@@ -1,0 +1,35 @@
+//! Criterion bench: synthetic corpus generation and database loading
+//! throughput — the substrate setup cost amortized across every experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgdb_ie::{Corpus, CorpusConfig, TokenSeqData};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corpus");
+    for &tokens in &[10_000usize, 100_000] {
+        let cfg = CorpusConfig::with_total_tokens(tokens);
+        group.throughput(Throughput::Elements(tokens as u64));
+        group.bench_with_input(BenchmarkId::new("generate", tokens), &(), |b, ()| {
+            b.iter(|| Corpus::generate(&cfg));
+        });
+        let corpus = Corpus::generate(&cfg);
+        group.bench_with_input(BenchmarkId::new("to_database", tokens), &(), |b, ()| {
+            b.iter(|| corpus.to_database("TOKEN"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("token_seq_data", tokens),
+            &(),
+            |b, ()| {
+                b.iter(|| TokenSeqData::from_corpus(&corpus, 8));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_generate
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: MH walk-step cost vs database size.
+//!
+//! The flatness of these curves is the operational content of Fig. 9 /
+//! Appendix 9.2 — a walk step evaluates a constant number of factors, so
+//! its cost must not grow with the number of tuples. Benchmarks both the
+//! linear-chain and the (denser) skip-chain model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fgdb_ie::{Corpus, CorpusConfig, Crf, TokenSeqData};
+use fgdb_mcmc::{Chain, UniformRelabel};
+use std::sync::Arc;
+
+fn bench_mh_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mh_walk_step");
+    for &tokens in &[2_000usize, 20_000, 100_000] {
+        let corpus = Corpus::generate(&CorpusConfig::with_total_tokens(tokens));
+        let data = TokenSeqData::from_corpus(&corpus, 8);
+        for skip in [false, true] {
+            let mut model = if skip {
+                Crf::skip_chain(Arc::clone(&data))
+            } else {
+                Crf::linear_chain(Arc::clone(&data))
+            };
+            model.seed_from_truth(&corpus, 1.0);
+            let model = Arc::new(model);
+            let vars = model.variables();
+            let world = model.new_world();
+            let mut chain = Chain::new(
+                Arc::clone(&model),
+                Box::new(UniformRelabel::new(vars)),
+                world,
+                7,
+            );
+            let name = if skip { "skip_chain" } else { "linear_chain" };
+            group.throughput(Throughput::Elements(1_000));
+            group.bench_with_input(
+                BenchmarkId::new(name, corpus.num_tokens()),
+                &(),
+                |b, ()| {
+                    b.iter(|| chain.run(1_000));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mh_step
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion bench E10: view-maintenance delta application vs full
+//! recomputation, per operator family, across database sizes and delta
+//! sizes — the microscopic version of Fig. 4's macro result, and the
+//! ablation for the design choice of maintaining every operator
+//! incrementally (selection, grouped filtered aggregates, self-join).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fgdb_relational::algebra::paper_queries;
+use fgdb_relational::{
+    execute_simple, Database, DeltaSet, MaterializedView, Plan, Schema, Tuple, Value, ValueType,
+};
+use std::sync::Arc;
+
+const LABELS: [&str; 4] = ["O", "B-PER", "B-ORG", "B-LOC"];
+
+fn build_token_db(n: usize) -> Database {
+    let schema = Schema::from_pairs(&[
+        ("tok_id", ValueType::Int),
+        ("doc_id", ValueType::Int),
+        ("string", ValueType::Str),
+        ("label", ValueType::Str),
+        ("truth", ValueType::Str),
+    ])
+    .unwrap()
+    .with_primary_key("tok_id")
+    .unwrap();
+    let mut db = Database::new();
+    db.create_relation("TOKEN", schema).unwrap();
+    let rel = db.relation_mut("TOKEN").unwrap();
+    for i in 0..n {
+        let label = LABELS[i % 4];
+        let string = if i % 97 == 0 { "Boston".to_string() } else { format!("w{}", i % 500) };
+        rel.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((i / 50) as i64),
+            Value::str(string),
+            Value::str(label),
+            Value::str(label),
+        ]))
+        .unwrap();
+    }
+    db
+}
+
+/// Applies `delta_size` round-trip label flips as one batch.
+fn make_delta(db: &mut Database, delta_size: usize, tick: &mut usize) -> DeltaSet {
+    let mut deltas = DeltaSet::new();
+    let name: Arc<str> = Arc::from("TOKEN");
+    let rel = db.relation_mut("TOKEN").unwrap();
+    let n = rel.len();
+    for j in 0..delta_size {
+        *tick += 1;
+        let rid = rel
+            .find_by_pk(&Value::Int(((*tick * 31 + j) % n) as i64))
+            .unwrap();
+        let new_label = LABELS[(*tick + j) % 4];
+        let (old, new) = rel.update_field(rid, 3, Value::str(new_label)).unwrap();
+        deltas.record_update(&name, old, new);
+    }
+    deltas
+}
+
+fn bench_view_vs_exec(c: &mut Criterion) {
+    for (qname, plan) in [
+        ("query1_select_project", paper_queries::query1("TOKEN")),
+        ("query3_grouped_counts", paper_queries::query3("TOKEN")),
+        ("query4_self_join", paper_queries::query4("TOKEN")),
+    ] {
+        let mut group = c.benchmark_group(format!("view_maintenance/{qname}"));
+        for &n in &[10_000usize, 100_000] {
+            // Full recomputation cost at this size.
+            let db = build_token_db(n);
+            let plan_for_exec: Plan = plan.clone();
+            group.bench_with_input(BenchmarkId::new("full_exec", n), &(), |b, ()| {
+                b.iter(|| execute_simple(&plan_for_exec, &db).unwrap());
+            });
+            // Delta-apply cost (|Δ| = 16) at this size.
+            let mut db = build_token_db(n);
+            let mut view = MaterializedView::new(&plan, &db).unwrap();
+            let mut tick = 0usize;
+            group.bench_with_input(BenchmarkId::new("delta_apply_16", n), &(), |b, ()| {
+                b.iter(|| {
+                    let d = make_delta(&mut db, 16, &mut tick);
+                    view.apply_delta(&d)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_delta_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_maintenance/delta_size_sweep_q1");
+    let plan = paper_queries::query1("TOKEN");
+    let mut db = build_token_db(50_000);
+    let mut view = MaterializedView::new(&plan, &db).unwrap();
+    let mut tick = 0usize;
+    for &delta in &[1usize, 8, 64, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &(), |b, ()| {
+            b.iter(|| {
+                let d = make_delta(&mut db, delta, &mut tick);
+                view.apply_delta(&d)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_view_vs_exec, bench_delta_size_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! E1 — Figure 4(a) + §5.3 inline numbers: scalability of query evaluation.
+//!
+//! For database sizes spanning orders of magnitude, measures the time each
+//! evaluator (naive Algorithm 3 vs materialized Algorithm 1) takes to halve
+//! the squared error of Query 1's marginals from the initial single-sample
+//! approximation.
+//!
+//! Paper-reported shape: comparable at 10⁴ tuples (naive 19 s vs 21 s —
+//! the diff-table overhead visible), crossover by 10⁵ (178 s vs 162 s),
+//! then orders-of-magnitude separation (projected 227 h vs 2.5 h at 10⁷).
+//!
+//! Sizes default to laptop scale; multiply with `FGDB_SCALE`.
+
+use fgdb_bench::{estimate_ground_truth, loss_against, print_csv, print_table, scaled, NerSetup};
+use fgdb_core::{LossCurve, QueryEvaluator};
+use fgdb_relational::algebra::paper_queries;
+use std::time::Instant;
+
+fn main() {
+    let sizes: Vec<usize> = [1_000usize, 5_000, 20_000, 100_000]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
+    let k = 2_000; // thinning steps between samples
+    let truth_samples = 1_500;
+    let max_samples = 400;
+
+    println!("E1 / Fig 4(a): time to half squared error, Query 1");
+    println!("sizes: {sizes:?}, k = {k}");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let setup = NerSetup::build(n, 100 + i as u64);
+        let n_actual = setup.corpus.num_tokens();
+        let plan = paper_queries::query1("TOKEN");
+        let truth = estimate_ground_truth(&setup, &plan, truth_samples, k, 7);
+        let burn = setup.default_burn();
+
+        // [naive, materialized] times to half loss.
+        let mut t_half = [f64::NAN; 2];
+        for (slot, naive) in [(0usize, true), (1usize, false)] {
+            let mut pdb = setup.pdb_burned(55, burn);
+            let mut eval = if naive {
+                QueryEvaluator::naive(plan.clone(), &pdb, k).expect("plan")
+            } else {
+                QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan")
+            };
+            let mut curve = LossCurve::new();
+            let t0 = Instant::now();
+            for s in 0..max_samples {
+                eval.sample(&mut pdb).expect("sample");
+                let loss = loss_against(eval.marginals(), &truth);
+                curve.push(t0.elapsed(), s as u64 + 1, loss);
+                if curve.time_to_half_loss().is_some() {
+                    break;
+                }
+            }
+            t_half[slot] = curve
+                .time_to_half_loss()
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN);
+        }
+        rows.push(vec![
+            n_actual.to_string(),
+            format!("{:.3}", t_half[0]),
+            format!("{:.3}", t_half[1]),
+            format!("{:.1}x", t_half[0] / t_half[1]),
+        ]);
+        csv.push(format!("{n_actual},{:.6},{:.6}", t_half[0], t_half[1]));
+        println!(
+            "  {n_actual} tuples: naive {:.3}s, materialized {:.3}s",
+            t_half[0], t_half[1]
+        );
+    }
+    print_table(
+        "Fig 4(a): time to half squared error (seconds)",
+        &["tuples", "naive_s", "materialized_s", "naive/mat"],
+        &rows,
+    );
+    print_csv("fig4a", "tuples,naive_s,materialized_s", &csv);
+    println!(
+        "\nExpected shape (paper): near-parity at the smallest size, the \
+         materialized evaluator pulling ahead by ~10^5 tuples and winning by \
+         orders of magnitude beyond."
+    );
+}

@@ -1,0 +1,65 @@
+//! E7 — Figure 9 / Appendix 9.2: MH acceptance-ratio locality.
+//!
+//! "For this model and proposal distribution, the number of factors we ever
+//! need to evaluate is constant with respect to the number of tokens in the
+//! database." Sweeps the database size over two orders of magnitude and
+//! reports (a) factors evaluated per proposal and (b) wall-time per MH
+//! walk-step — both should stay flat.
+
+use fgdb_bench::{print_csv, print_table, scaled, timed, NerSetup, Report};
+
+fn main() {
+    let sizes: Vec<usize> = [2_000usize, 10_000, 50_000, 200_000]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
+    let steps = 200_000;
+    println!("E7 / Fig 9: per-step factor evaluations vs database size ({steps} steps each)");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (i, &n) in sizes.iter().enumerate() {
+        let setup = NerSetup::build(n, 300 + i as u64);
+        let n_actual = setup.corpus.num_tokens();
+        let mut pdb = setup.pdb(9);
+        let (_, secs) = timed(|| pdb.step(steps).expect("walk"));
+        let stats = pdb.kernel_stats();
+        let factors_per_proposal = stats.eval.factors_evaluated as f64 / stats.proposals as f64;
+        let ns_per_step = secs * 1e9 / steps as f64;
+        rows.push(vec![
+            n_actual.to_string(),
+            format!("{factors_per_proposal:.2}"),
+            format!("{:.1}", ns_per_step),
+            format!("{:.3}", stats.acceptance_rate()),
+        ]);
+        csv.push(format!(
+            "{n_actual},{factors_per_proposal:.4},{ns_per_step:.1},{:.4}",
+            stats.acceptance_rate()
+        ));
+        println!(
+            "  {n_actual} tuples: {factors_per_proposal:.2} factors/proposal, \
+             {ns_per_step:.0} ns/step"
+        );
+    }
+    print_table(
+        "Fig 9: MH walk-step locality",
+        &["tuples", "factors/proposal", "ns/step", "accept_rate"],
+        &rows,
+    );
+    print_csv("fig9", "tuples,factors_per_proposal,ns_per_step,accept_rate", &csv);
+    let mut report = Report::new(
+        "fig9",
+        &["tuples", "factors_per_proposal", "ns_per_step", "accept_rate"],
+    );
+    report.param("steps", steps).param("scale", fgdb_bench::scale_factor());
+    for row in &rows {
+        report.row(row.clone());
+    }
+    if let Some(path) = report.write_if_configured() {
+        println!("json report: {}", path.display());
+    }
+    println!(
+        "\nExpected shape (paper): both factors/proposal and ns/step flat in \
+         the number of tuples — the walk-step is O(1) in database size."
+    );
+}

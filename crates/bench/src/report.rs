@@ -1,0 +1,146 @@
+//! Machine-readable experiment reports.
+//!
+//! Every harness binary prints human tables and fenced CSV; when the
+//! `FGDB_JSON_OUT` environment variable names a directory, it additionally
+//! writes a structured JSON report there, so downstream plotting/regression
+//! tooling does not have to scrape stdout.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// One experiment's structured result: a named table of rows.
+#[derive(Serialize, Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. "fig4a").
+    pub experiment: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows, stringly-typed to match the CSV the binaries print.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form parameters (scale factor, k, sizes…).
+    pub params: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(experiment: &str, columns: &[&str]) -> Self {
+        Report {
+            experiment: experiment.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            params: Vec::new(),
+        }
+    }
+
+    /// Records a parameter.
+    pub fn param(&mut self, key: &str, value: impl ToString) -> &mut Self {
+        self.params.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// The sanctioned dependency set includes `serde` (the derive above
+    /// makes [`Report`] consumable by any serde backend downstream) but not
+    /// `serde_json`, so this small fixed-shape emitter handles the built-in
+    /// file output. All leaf values are strings; escaping covers the JSON
+    /// string escapes.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let str_list = |items: &[String]| {
+            items
+                .iter()
+                .map(|s| format!("\"{}\"", esc(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("    [{}]", str_list(r)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let params = self
+            .params
+            .iter()
+            .map(|(k, v)| format!("    {{\"key\": \"{}\", \"value\": \"{}\"}}", esc(k), esc(v)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"experiment\": \"{}\",\n  \"columns\": [{}],\n  \"rows\": [\n{}\n  ],\n  \"params\": [\n{}\n  ]\n}}\n",
+            esc(&self.experiment),
+            str_list(&self.columns),
+            rows,
+            params
+        )
+    }
+
+    /// Writes `<FGDB_JSON_OUT>/<experiment>.json` when the environment
+    /// variable is set; silently no-ops otherwise. Returns the path written.
+    pub fn write_if_configured(&self) -> Option<PathBuf> {
+        let dir = std::env::var("FGDB_JSON_OUT").ok()?;
+        let dir = PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).ok()?;
+        let path = dir.join(format!("{}.json", self.experiment));
+        std::fs::write(&path, self.to_json()).ok()?;
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("fig_test", &["x", "y"]);
+        r.param("k", 2000).param("scale", 1.0);
+        r.row(vec!["1".into(), "2.5".into()]);
+        r.row(vec!["2".into(), "1.25".into()]);
+        r
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let j = sample().to_json();
+        assert!(j.contains("\"experiment\": \"fig_test\""));
+        assert!(j.contains("\"columns\""));
+        assert!(j.contains("2.5"));
+        assert!(j.contains("\"k\""));
+    }
+
+    #[test]
+    fn write_respects_env() {
+        let dir = std::env::temp_dir().join("fgdb_report_test");
+        // Unset → None.
+        std::env::remove_var("FGDB_JSON_OUT");
+        assert!(sample().write_if_configured().is_none());
+        // Set → file written.
+        std::env::set_var("FGDB_JSON_OUT", &dir);
+        let path = sample().write_if_configured().expect("written");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("fig_test"));
+        std::env::remove_var("FGDB_JSON_OUT");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

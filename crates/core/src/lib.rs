@@ -1,0 +1,28 @@
+//! # fgdb-core — the probabilistic database of Wick, McCallum & Miklau
+//! (VLDB 2010)
+//!
+//! Ties the substrates together into the paper's system:
+//!
+//! * [`pdb`] — one stored deterministic world, a factor-graph model, and an
+//!   MCMC chain hypothesizing modifications that are written through to the
+//!   store as Δ⁻/Δ⁺ deltas (§3, §5);
+//! * [`marginals`] — per-tuple answer-membership estimation (Eq. 4/5);
+//! * [`evaluate`] — Algorithm 3 (naive re-execution) and Algorithm 1
+//!   (materialized-view maintenance) query evaluators, plus the parallel
+//!   multi-chain evaluator of §5.4;
+//! * [`metrics`] — squared-error loss, normalized loss curves, and
+//!   time-to-half-loss (§5.2/§5.3);
+//! * [`ner`] — assembly of the end-to-end NER pipeline on the synthetic
+//!   corpus.
+
+pub mod evaluate;
+pub mod marginals;
+pub mod metrics;
+pub mod ner;
+pub mod pdb;
+
+pub use evaluate::{evaluate_parallel, EvaluateError, QueryEvaluator, SampleWork};
+pub use marginals::{MarginalTable, ValueDistribution};
+pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};
+pub use ner::{build_ner_pdb, ner_proposer, train_ner_model, truth_database, NerProposerConfig};
+pub use pdb::{FieldBinding, ProbabilisticDB};

@@ -1,0 +1,266 @@
+//! Marginal probability estimation from samples (Eq. 4 / Eq. 5).
+//!
+//! The evaluation problem: "return the set of tuples in the answer of a
+//! query Q … along with their corresponding probabilities". Exact
+//! computation sums over all possible worlds (Eq. 4, intractable); the
+//! sampling estimator (Eq. 5) counts how often each tuple appears in the
+//! answer over sampled worlds:
+//!
+//! ```text
+//! Pr[t ∈ Q(W)] ≈ (1/n) Σᵢ 1{t ∈ Q(wᵢ)}
+//! ```
+//!
+//! [`MarginalTable`] is the `m` / `z` bookkeeping of Algorithms 1 and 3;
+//! the answer-set membership test under projections is `count(mᵢ) > 0`
+//! (multiset semantics, §4.2 Remark).
+
+use fgdb_relational::{CountedSet, Tuple};
+use std::collections::HashMap;
+
+/// Running per-tuple membership counts over sampled worlds.
+#[derive(Clone, Debug, Default)]
+pub struct MarginalTable {
+    counts: HashMap<Tuple, u64>,
+    samples: u64,
+}
+
+impl MarginalTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sampled world's answer set: every tuple with positive
+    /// multiplicity gains one membership count, and `z` increments.
+    pub fn record(&mut self, answer: &CountedSet) {
+        for t in answer.support() {
+            *self.counts.entry(t.clone()).or_insert(0) += 1;
+        }
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded (the normalizer `z`).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Estimated `Pr[t ∈ Q(W)]` (zero before any sample).
+    pub fn probability(&self, t: &Tuple) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.counts.get(t).copied().unwrap_or(0) as f64 / self.samples as f64
+    }
+
+    /// All tuples ever observed in an answer, with probabilities, sorted by
+    /// tuple for deterministic reporting.
+    pub fn probabilities(&self) -> Vec<(Tuple, f64)> {
+        let mut v: Vec<(Tuple, f64)> = self
+            .counts
+            .iter()
+            .map(|(t, &c)| (t.clone(), c as f64 / self.samples.max(1) as f64))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Probabilities as a map (ground-truth exchange format for loss
+    /// computation).
+    pub fn as_map(&self) -> HashMap<Tuple, f64> {
+        self.counts
+            .iter()
+            .map(|(t, &c)| (t.clone(), c as f64 / self.samples.max(1) as f64))
+            .collect()
+    }
+
+    /// Number of distinct tuples observed.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The k most probable answer tuples, ties broken by tuple order — the
+    /// top-k ranking problem of Ré et al. (reference 22 of the paper) that MystiQ answers with
+    /// dedicated multisimulation machinery falls out of the marginal table
+    /// directly here.
+    pub fn top_k(&self, k: usize) -> Vec<(Tuple, f64)> {
+        let mut v = self.probabilities();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Tuples whose membership probability meets `threshold` — the answer a
+    /// consumer would materialize at a chosen confidence.
+    pub fn at_least(&self, threshold: f64) -> Vec<(Tuple, f64)> {
+        self.probabilities()
+            .into_iter()
+            .filter(|(_, p)| *p >= threshold)
+            .collect()
+    }
+
+    /// Merges per-chain tables by averaging probabilities (§5.4 parallel
+    /// evaluation). Tables may have different supports; missing entries are
+    /// zeros.
+    pub fn average(tables: &[MarginalTable]) -> HashMap<Tuple, f64> {
+        assert!(!tables.is_empty(), "no tables to average");
+        let n = tables.len() as f64;
+        let mut out: HashMap<Tuple, f64> = HashMap::new();
+        for table in tables {
+            for (t, p) in table.as_map() {
+                *out.entry(t).or_insert(0.0) += p / n;
+            }
+        }
+        out
+    }
+}
+
+/// A probability histogram over the values of a single-column answer —
+/// Fig. 7's "person mention counts" distribution. Thin wrapper that orders
+/// a marginal table's entries by value.
+#[derive(Clone, Debug)]
+pub struct ValueDistribution {
+    entries: Vec<(Tuple, f64)>,
+}
+
+impl ValueDistribution {
+    /// Builds from a marginal table.
+    pub fn from_table(table: &MarginalTable) -> Self {
+        ValueDistribution {
+            entries: table.probabilities(),
+        }
+    }
+
+    /// `(value tuple, probability)` pairs in value order.
+    pub fn entries(&self) -> &[(Tuple, f64)] {
+        &self.entries
+    }
+
+    /// Expected value, interpreting the first column as numeric.
+    pub fn mean(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter_map(|(t, p)| t.get(0).as_float().map(|v| v * p))
+            .sum()
+    }
+
+    /// Probability-weighted variance of the first column.
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.entries
+            .iter()
+            .filter_map(|(t, p)| t.get(0).as_float().map(|v| (v - m).powi(2) * p))
+            .sum()
+    }
+
+    /// The modal value.
+    pub fn mode(&self) -> Option<&Tuple> {
+        self.entries
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdb_relational::tuple;
+
+    #[test]
+    fn counts_and_normalizer() {
+        let mut m = MarginalTable::new();
+        assert_eq!(m.probability(&tuple!["x"]), 0.0);
+        m.record(&CountedSet::from_tuples(vec![tuple!["x"], tuple!["y"]]));
+        m.record(&CountedSet::from_tuples(vec![tuple!["x"]]));
+        assert_eq!(m.samples(), 2);
+        assert_eq!(m.probability(&tuple!["x"]), 1.0);
+        assert_eq!(m.probability(&tuple!["y"]), 0.5);
+        assert_eq!(m.probability(&tuple!["z"]), 0.0);
+        assert_eq!(m.support_size(), 2);
+    }
+
+    #[test]
+    fn multiplicity_counts_once_per_sample() {
+        // A tuple occurring 5 times in one world's answer is still *in* the
+        // answer once (membership probability, not expected multiplicity).
+        let mut m = MarginalTable::new();
+        let mut s = CountedSet::new();
+        s.add(tuple!["x"], 5);
+        m.record(&s);
+        assert_eq!(m.probability(&tuple!["x"]), 1.0);
+    }
+
+    #[test]
+    fn negative_support_is_not_membership() {
+        let mut m = MarginalTable::new();
+        let mut s = CountedSet::new();
+        s.add(tuple!["x"], -1);
+        m.record(&s);
+        assert_eq!(m.probability(&tuple!["x"]), 0.0);
+        assert_eq!(m.samples(), 1);
+    }
+
+    #[test]
+    fn probabilities_sorted() {
+        let mut m = MarginalTable::new();
+        m.record(&CountedSet::from_tuples(vec![tuple!["b"], tuple!["a"]]));
+        let p = m.probabilities();
+        assert_eq!(p[0].0, tuple!["a"]);
+        assert_eq!(p[1].0, tuple!["b"]);
+    }
+
+    #[test]
+    fn top_k_ranks_by_probability_then_tuple() {
+        let mut m = MarginalTable::new();
+        m.record(&CountedSet::from_tuples(vec![tuple!["a"], tuple!["b"], tuple!["c"]]));
+        m.record(&CountedSet::from_tuples(vec![tuple!["b"], tuple!["c"]]));
+        m.record(&CountedSet::from_tuples(vec![tuple!["c"]]));
+        let top = m.top_k(2);
+        assert_eq!(top[0].0, tuple!["c"]);
+        assert_eq!(top[1].0, tuple!["b"]);
+        assert_eq!(m.top_k(10).len(), 3);
+        assert!(m.top_k(0).is_empty());
+        // Tie between a-prob… add tie case:
+        let mut t = MarginalTable::new();
+        t.record(&CountedSet::from_tuples(vec![tuple!["y"], tuple!["x"]]));
+        let top = t.top_k(2);
+        assert_eq!(top[0].0, tuple!["x"], "ties break by tuple order");
+    }
+
+    #[test]
+    fn at_least_threshold_filters() {
+        let mut m = MarginalTable::new();
+        m.record(&CountedSet::from_tuples(vec![tuple!["hi"], tuple!["lo"]]));
+        m.record(&CountedSet::from_tuples(vec![tuple!["hi"]]));
+        let confident = m.at_least(0.75);
+        assert_eq!(confident.len(), 1);
+        assert_eq!(confident[0].0, tuple!["hi"]);
+        assert_eq!(m.at_least(0.0).len(), 2);
+    }
+
+    #[test]
+    fn average_handles_disjoint_supports() {
+        let mut a = MarginalTable::new();
+        a.record(&CountedSet::from_tuples(vec![tuple!["x"]]));
+        let mut b = MarginalTable::new();
+        b.record(&CountedSet::from_tuples(vec![tuple!["y"]]));
+        let avg = MarginalTable::average(&[a, b]);
+        assert_eq!(avg[&tuple!["x"]], 0.5);
+        assert_eq!(avg[&tuple!["y"]], 0.5);
+    }
+
+    #[test]
+    fn value_distribution_statistics() {
+        let mut m = MarginalTable::new();
+        // Simulate: counts 10 (p=.25), 20 (p=.5), 30 (p=.25) over 4 samples.
+        m.record(&CountedSet::from_tuples(vec![tuple![10i64]]));
+        m.record(&CountedSet::from_tuples(vec![tuple![20i64]]));
+        m.record(&CountedSet::from_tuples(vec![tuple![20i64]]));
+        m.record(&CountedSet::from_tuples(vec![tuple![30i64]]));
+        let d = ValueDistribution::from_table(&m);
+        assert_eq!(d.entries().len(), 3);
+        assert!((d.mean() - 20.0).abs() < 1e-12);
+        assert!((d.variance() - 50.0).abs() < 1e-12);
+        assert_eq!(d.mode(), Some(&tuple![20i64]));
+    }
+}

@@ -1,0 +1,218 @@
+//! Loss metrics and loss-over-time curves (§5.2 methodology).
+//!
+//! "We evaluate the accuracy of our samplers by measuring the squared-error
+//! loss to the ground truth query answer (that is, the usual element-wise
+//! squared loss). Sometimes we report the normalized squared loss, which
+//! simply scales the loss so that the maximum data point has a loss of 1."
+//!
+//! Fig. 4(a)'s y-axis is "time taken to half squared error" from the initial
+//! single-sample deterministic approximation — [`time_to_half_loss`].
+
+use fgdb_relational::Tuple;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Element-wise squared error between an estimate and the ground truth,
+/// summed over the union of their supports.
+pub fn squared_error(estimate: &HashMap<Tuple, f64>, truth: &HashMap<Tuple, f64>) -> f64 {
+    let mut loss = 0.0;
+    for (t, p) in estimate {
+        let q = truth.get(t).copied().unwrap_or(0.0);
+        loss += (p - q) * (p - q);
+    }
+    for (t, q) in truth {
+        if !estimate.contains_key(t) {
+            loss += q * q;
+        }
+    }
+    loss
+}
+
+/// One point of a loss-over-time curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LossPoint {
+    /// Wall-clock (or simulated) time since evaluation start.
+    pub elapsed: Duration,
+    /// Samples collected so far.
+    pub samples: u64,
+    /// Squared-error loss at this point.
+    pub loss: f64,
+}
+
+/// A loss-vs-time series (Figs. 4b and 6).
+#[derive(Clone, Debug, Default)]
+pub struct LossCurve {
+    points: Vec<LossPoint>,
+}
+
+impl LossCurve {
+    /// Empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a measurement.
+    pub fn push(&mut self, elapsed: Duration, samples: u64, loss: f64) {
+        self.points.push(LossPoint {
+            elapsed,
+            samples,
+            loss,
+        });
+    }
+
+    /// All points in recording order.
+    pub fn points(&self) -> &[LossPoint] {
+        &self.points
+    }
+
+    /// Loss of the first measurement (the "single-sample deterministic
+    /// approximation" baseline of §5.3).
+    pub fn initial_loss(&self) -> Option<f64> {
+        self.points.first().map(|p| p.loss)
+    }
+
+    /// Final loss.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.points.last().map(|p| p.loss)
+    }
+
+    /// Normalizes losses so the maximum point is 1 (the paper's "normalized
+    /// squared loss"). No-op on empty or all-zero curves.
+    pub fn normalized(&self) -> LossCurve {
+        let max = self
+            .points
+            .iter()
+            .map(|p| p.loss)
+            .fold(0.0f64, f64::max);
+        if max == 0.0 {
+            return self.clone();
+        }
+        LossCurve {
+            points: self
+                .points
+                .iter()
+                .map(|p| LossPoint {
+                    loss: p.loss / max,
+                    ..*p
+                })
+                .collect(),
+        }
+    }
+
+    /// First time at which loss fell to half the initial loss — Fig. 4(a)'s
+    /// "query evaluation time". `None` when never reached.
+    pub fn time_to_half_loss(&self) -> Option<Duration> {
+        let initial = self.initial_loss()?;
+        let target = initial / 2.0;
+        self.points
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.elapsed)
+    }
+
+    /// First time at which loss fell to `fraction` of the initial loss.
+    pub fn time_to_fraction(&self, fraction: f64) -> Option<Duration> {
+        let initial = self.initial_loss()?;
+        let target = initial * fraction;
+        self.points
+            .iter()
+            .find(|p| p.loss <= target)
+            .map(|p| p.elapsed)
+    }
+
+    /// Renders `elapsed_secs,samples,loss` CSV lines (harness output).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::from("elapsed_secs,samples,loss\n");
+        for p in &self.points {
+            s.push_str(&format!(
+                "{:.6},{},{:.9}\n",
+                p.elapsed.as_secs_f64(),
+                p.samples,
+                p.loss
+            ));
+        }
+        s
+    }
+}
+
+/// Convenience alias for the standard name used in Fig. 4(a).
+pub fn time_to_half_loss(curve: &LossCurve) -> Option<Duration> {
+    curve.time_to_half_loss()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdb_relational::tuple;
+
+    fn map(pairs: &[(&str, f64)]) -> HashMap<Tuple, f64> {
+        pairs.iter().map(|(s, p)| (tuple![*s], *p)).collect()
+    }
+
+    #[test]
+    fn squared_error_over_union() {
+        let est = map(&[("a", 0.5), ("b", 1.0)]);
+        let truth = map(&[("a", 1.0), ("c", 0.5)]);
+        // (0.5-1)² + (1-0)² + (0.5)² = 0.25 + 1 + 0.25
+        assert!((squared_error(&est, &truth) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_error_zero_when_equal() {
+        let m = map(&[("a", 0.25), ("b", 0.75)]);
+        assert_eq!(squared_error(&m, &m.clone()), 0.0);
+    }
+
+    #[test]
+    fn squared_error_symmetric() {
+        let a = map(&[("a", 0.3)]);
+        let b = map(&[("b", 0.9)]);
+        assert_eq!(squared_error(&a, &b), squared_error(&b, &a));
+    }
+
+    #[test]
+    fn curve_half_loss_time() {
+        let mut c = LossCurve::new();
+        c.push(Duration::from_secs(0), 1, 8.0);
+        c.push(Duration::from_secs(1), 2, 6.0);
+        c.push(Duration::from_secs(2), 3, 4.0);
+        c.push(Duration::from_secs(3), 4, 1.0);
+        assert_eq!(c.initial_loss(), Some(8.0));
+        assert_eq!(c.final_loss(), Some(1.0));
+        assert_eq!(c.time_to_half_loss(), Some(Duration::from_secs(2)));
+        assert_eq!(
+            c.time_to_fraction(0.125),
+            Some(Duration::from_secs(3))
+        );
+        assert_eq!(c.time_to_fraction(0.01), None);
+        assert_eq!(time_to_half_loss(&c), Some(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn normalization_scales_max_to_one() {
+        let mut c = LossCurve::new();
+        c.push(Duration::from_secs(0), 1, 4.0);
+        c.push(Duration::from_secs(1), 2, 2.0);
+        let n = c.normalized();
+        assert_eq!(n.points()[0].loss, 1.0);
+        assert_eq!(n.points()[1].loss, 0.5);
+        // Empty/zero curves survive.
+        assert!(LossCurve::new().normalized().points().is_empty());
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let mut c = LossCurve::new();
+        c.push(Duration::from_millis(1500), 3, 0.25);
+        let csv = c.to_csv();
+        assert!(csv.starts_with("elapsed_secs,samples,loss\n"));
+        assert!(csv.contains("1.500000,3,0.250000000"));
+    }
+
+    #[test]
+    fn empty_curve_has_no_milestones() {
+        let c = LossCurve::new();
+        assert_eq!(c.initial_loss(), None);
+        assert_eq!(c.time_to_half_loss(), None);
+    }
+}

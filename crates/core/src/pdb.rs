@@ -1,0 +1,328 @@
+//! The probabilistic database: one stored world + a factor graph + MCMC.
+//!
+//! §3 of the paper: "the underlying relational database always represents a
+//! single world, and an external factor graph encodes a distribution over
+//! possible worlds". §5 describes the bridge our [`ProbabilisticDB`]
+//! implements: "(1) retrieving tuples from disk and then instantiating the
+//! corresponding random variables in memory, and (2) propagating changes to
+//! random variables back to the tuples on disk. Statistical inference (MCMC)
+//! is performed on variables in main memory while query execution is
+//! performed on disk by the DBMS."
+//!
+//! A [`FieldBinding`] maps each hidden variable to a `(row, column)` of the
+//! stored relation. After every thinning interval the chain's net variable
+//! changes are written through to the relation, and the resulting tuple
+//! pre/post-images become the Δ⁻/Δ⁺ [`DeltaSet`] that drives view
+//! maintenance.
+
+use fgdb_graph::{Model, World};
+use fgdb_mcmc::{Chain, KernelStats, Proposer};
+use fgdb_relational::{Database, DeltaSet, RowId, StorageError, Value};
+use std::sync::Arc;
+
+/// Maps hidden variables to uncertain fields of one relation.
+///
+/// Variable `i` controls column `column` of row `rows[i]`. The variable's
+/// domain values are the field values written back.
+pub struct FieldBinding {
+    /// Relation holding the uncertain fields.
+    pub relation: Arc<str>,
+    /// Column index of the uncertain attribute (e.g. LABEL).
+    pub column: usize,
+    /// Row of each variable, indexed by `VariableId`.
+    pub rows: Vec<RowId>,
+}
+
+impl FieldBinding {
+    /// Builds a binding after validating the rows exist.
+    pub fn new(
+        db: &Database,
+        relation: impl Into<Arc<str>>,
+        column: &str,
+        rows: Vec<RowId>,
+    ) -> Result<Self, String> {
+        let relation = relation.into();
+        let rel = db
+            .relation(&relation)
+            .map_err(|e| format!("binding relation: {e}"))?;
+        let column = rel
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| format!("no column `{column}` in {relation}"))?;
+        for (i, r) in rows.iter().enumerate() {
+            if rel.get(*r).is_none() {
+                return Err(format!("variable {i} bound to dead row {r}"));
+            }
+        }
+        Ok(FieldBinding {
+            relation,
+            column,
+            rows,
+        })
+    }
+}
+
+/// A probabilistic database: deterministic store + model + MCMC chain.
+pub struct ProbabilisticDB<M> {
+    db: Database,
+    chain: Chain<M>,
+    binding: FieldBinding,
+}
+
+impl<M: Model> ProbabilisticDB<M> {
+    /// Assembles a probabilistic database. The world must already agree with
+    /// the stored field values (both are normally initialized to the same
+    /// default, e.g. label "O").
+    ///
+    /// # Errors
+    /// Returns an error when the binding disagrees with the world's variable
+    /// count or the stored values do not match the world.
+    pub fn new(
+        db: Database,
+        model: M,
+        proposer: Box<dyn Proposer>,
+        world: World,
+        binding: FieldBinding,
+        seed: u64,
+    ) -> Result<Self, String> {
+        if binding.rows.len() != world.num_variables() {
+            return Err(format!(
+                "binding covers {} rows but world has {} variables",
+                binding.rows.len(),
+                world.num_variables()
+            ));
+        }
+        {
+            let rel = db
+                .relation(&binding.relation)
+                .map_err(|e| e.to_string())?;
+            for v in world.variables() {
+                let stored = rel
+                    .get(binding.rows[v.index()])
+                    .expect("validated in FieldBinding::new")
+                    .get(binding.column);
+                if stored != world.value(v) {
+                    return Err(format!(
+                        "world/database disagree at {v}: stored {stored}, world {}",
+                        world.value(v)
+                    ));
+                }
+            }
+        }
+        Ok(ProbabilisticDB {
+            db,
+            chain: Chain::new(model, proposer, world, seed),
+            binding,
+        })
+    }
+
+    /// The current deterministic world (for query execution).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The in-memory variable assignment.
+    pub fn world(&self) -> &World {
+        self.chain.world()
+    }
+
+    /// The model.
+    pub fn model(&self) -> &M {
+        self.chain.model()
+    }
+
+    /// Kernel statistics (proposals, acceptance, factor evaluations).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.chain.stats()
+    }
+
+    /// Total MCMC steps taken.
+    pub fn steps_taken(&self) -> u64 {
+        self.chain.steps_taken()
+    }
+
+    /// Runs `k` MH walk-steps (the thinning interval of Algorithm 3), then
+    /// propagates the *net* variable changes to the stored relation and
+    /// returns them as a Δ⁻/Δ⁺ delta set.
+    ///
+    /// The naive evaluator ignores the returned deltas and re-runs its
+    /// query; the materialized evaluator feeds them to its views.
+    pub fn step(&mut self, k: usize) -> Result<DeltaSet, StorageError> {
+        self.chain.run(k);
+        let changes = self.chain.take_changes();
+        let mut deltas = DeltaSet::new();
+        let rel = self
+            .db
+            .relation_mut(&self.binding.relation)
+            .expect("binding validated at construction");
+        for (v, _old_idx, new_idx) in changes {
+            let value: Value = self.chain.world().domain(v).value(new_idx).clone();
+            let row = self.binding.rows[v.index()];
+            let (old, new) = rel.update_field(row, self.binding.column, value)?;
+            deltas.record_update(&self.binding.relation, old, new);
+        }
+        Ok(deltas)
+    }
+
+    /// Checks that every bound field equals its variable's value — the
+    /// world/store synchronization invariant. Test and debugging aid.
+    pub fn check_synchronized(&self) -> Result<(), String> {
+        let rel = self
+            .db
+            .relation(&self.binding.relation)
+            .map_err(|e| e.to_string())?;
+        for v in self.chain.world().variables() {
+            let stored = rel
+                .get(self.binding.rows[v.index()])
+                .ok_or_else(|| format!("row vanished for {v}"))?
+                .get(self.binding.column);
+            if stored != self.chain.world().value(v) {
+                return Err(format!(
+                    "desync at {v}: stored {stored} vs world {}",
+                    self.chain.world().value(v)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdb_graph::{Domain, FactorGraph, TableFactor, VariableId};
+    use fgdb_mcmc::UniformRelabel;
+    use fgdb_relational::{Schema, Tuple, ValueType};
+
+    /// Two-row relation whose `state` field is uncertain over {"a","b"}.
+    fn setup() -> (Database, World, Vec<RowId>, FactorGraph) {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("id", ValueType::Int), ("state", ValueType::Str)])
+            .unwrap()
+            .with_primary_key("id")
+            .unwrap();
+        db.create_relation("T", schema).unwrap();
+        let mut rows = Vec::new();
+        for i in 0..2i64 {
+            rows.push(
+                db.relation_mut("T")
+                    .unwrap()
+                    .insert(Tuple::from_iter_values([Value::Int(i), Value::str("a")]))
+                    .unwrap(),
+            );
+        }
+        let d = Domain::of_labels(&["a", "b"]);
+        let world = World::new(vec![d.clone(), d]);
+        let mut g = FactorGraph::new();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0)],
+            vec![2],
+            vec![0.0, 1.5],
+            "bias",
+        )));
+        (db, world, rows, g)
+    }
+
+    fn build() -> ProbabilisticDB<FactorGraph> {
+        let (db, world, rows, g) = setup();
+        let binding = FieldBinding::new(&db, "T", "state", rows).unwrap();
+        ProbabilisticDB::new(
+            db,
+            g,
+            Box::new(UniformRelabel::new(vec![VariableId(0), VariableId(1)])),
+            world,
+            binding,
+            42,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_agreement() {
+        let (db, mut world, rows, g) = setup();
+        world.set(VariableId(0), 1); // world says "b", store says "a"
+        let binding = FieldBinding::new(&db, "T", "state", rows).unwrap();
+        let err = ProbabilisticDB::new(
+            db,
+            g,
+            Box::new(UniformRelabel::new(vec![VariableId(0)])),
+            world,
+            binding,
+            1,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn binding_validates_rows_and_columns() {
+        let (db, _, mut rows, _) = setup();
+        assert!(FieldBinding::new(&db, "T", "nope", rows.clone()).is_err());
+        assert!(FieldBinding::new(&db, "U", "state", rows.clone()).is_err());
+        rows.push(RowId(99));
+        assert!(FieldBinding::new(&db, "T", "state", rows).is_err());
+    }
+
+    #[test]
+    fn binding_arity_must_match_world() {
+        let (db, world, mut rows, g) = setup();
+        rows.pop();
+        let binding = FieldBinding::new(&db, "T", "state", rows).unwrap();
+        assert!(ProbabilisticDB::new(
+            db,
+            g,
+            Box::new(UniformRelabel::new(vec![VariableId(0)])),
+            world,
+            binding,
+            1
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn step_keeps_world_and_store_synchronized() {
+        let mut pdb = build();
+        for _ in 0..20 {
+            let deltas = pdb.step(10).unwrap();
+            pdb.check_synchronized().unwrap();
+            // Deltas touch only relation T.
+            for r in deltas.relations() {
+                assert_eq!(&**r, "T");
+            }
+        }
+        assert_eq!(pdb.steps_taken(), 200);
+        assert!(pdb.kernel_stats().proposals == 200);
+    }
+
+    #[test]
+    fn deltas_reflect_net_field_changes() {
+        let mut pdb = build();
+        // Run until some delta appears (free variable 1 flips freely).
+        let mut saw_delta = false;
+        for _ in 0..50 {
+            let deltas = pdb.step(5).unwrap();
+            if !deltas.is_empty() {
+                saw_delta = true;
+                // Removed and added tuple counts balance (updates only).
+                let removed = deltas.removed("T");
+                let added = deltas.added("T");
+                assert_eq!(removed.total(), added.total());
+            }
+        }
+        assert!(saw_delta);
+    }
+
+    #[test]
+    fn no_change_means_empty_delta() {
+        let mut pdb = build();
+        let d = pdb.step(0).unwrap();
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn model_and_accessors() {
+        let pdb = build();
+        assert_eq!(pdb.model().num_factors(), 1);
+        assert_eq!(pdb.world().num_variables(), 2);
+        assert_eq!(pdb.database().relation("T").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Factors — compatibility functions over variable subsets (§3.1).
+//!
+//! A factor `ψ : xᵐ × yⁿ → ℝ⁺` scores an assignment to its argument
+//! variables. The paper computes factors as log-linear combinations
+//! `ψₖ = exp(φₖ · θₖ)` of feature functions and learned weights; we store
+//! log-scores directly (`log ψ = φ · θ`).
+//!
+//! This module provides the explicit-factor machinery used by the generic
+//! [`crate::graph::FactorGraph`]: a [`Factor`] trait plus two concrete
+//! factor kinds — dense [`TableFactor`]s (a score per joint assignment, the
+//! workhorse of small pedagogical graphs and exact-inference tests) and
+//! [`FnFactor`]s wrapping arbitrary closures (how deterministic constraint
+//! factors that "output 1 if the constraint is satisfied, and 0 if it is
+//! violated" are expressed: log 0 = −∞ renders a world impossible).
+
+use crate::variable::VariableId;
+use crate::world::World;
+
+/// A factor: a log-score over the joint assignment of its argument variables.
+pub trait Factor: Send + Sync {
+    /// The argument (hidden) variables of this factor.
+    fn variables(&self) -> &[VariableId];
+
+    /// Log-score of the factor under the current world.
+    fn log_score(&self, world: &World) -> f64;
+
+    /// Human-readable factor kind, for debugging.
+    fn name(&self) -> &str {
+        "factor"
+    }
+}
+
+/// A dense factor table: one log-score per joint assignment, in row-major
+/// order over the argument variables' domain indexes.
+pub struct TableFactor {
+    vars: Vec<VariableId>,
+    /// Domain cardinalities of the argument variables, in order.
+    card: Vec<usize>,
+    /// Row-major log-score table of size `∏ card`.
+    table: Vec<f64>,
+    label: String,
+}
+
+impl TableFactor {
+    /// Builds a table factor.
+    ///
+    /// # Panics
+    /// Panics when the table size does not equal the product of cardinalities.
+    pub fn new(
+        vars: Vec<VariableId>,
+        card: Vec<usize>,
+        table: Vec<f64>,
+        label: impl Into<String>,
+    ) -> Self {
+        assert_eq!(vars.len(), card.len(), "one cardinality per variable");
+        let expect: usize = card.iter().product();
+        assert_eq!(table.len(), expect, "table must cover the joint domain");
+        TableFactor {
+            vars,
+            card,
+            table,
+            label: label.into(),
+        }
+    }
+
+    /// Row-major index of the current joint assignment.
+    fn index(&self, world: &World) -> usize {
+        let mut idx = 0;
+        for (v, c) in self.vars.iter().zip(&self.card) {
+            let a = world.get(*v);
+            debug_assert!(a < *c);
+            idx = idx * c + a;
+        }
+        idx
+    }
+
+    /// Log-score for an explicit joint assignment (used by tests).
+    pub fn log_score_for(&self, assignment: &[usize]) -> f64 {
+        assert_eq!(assignment.len(), self.vars.len());
+        let mut idx = 0;
+        for (a, c) in assignment.iter().zip(&self.card) {
+            idx = idx * c + a;
+        }
+        self.table[idx]
+    }
+}
+
+impl Factor for TableFactor {
+    fn variables(&self) -> &[VariableId] {
+        &self.vars
+    }
+
+    fn log_score(&self, world: &World) -> f64 {
+        self.table[self.index(world)]
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// A factor computed by an arbitrary closure over the world.
+///
+/// Deterministic constraints return `f64::NEG_INFINITY` for violating
+/// assignments, which zeroes the world's probability (Eq. 2: worlds with
+/// `π(w) = 0` are impossible).
+pub struct FnFactor<F> {
+    vars: Vec<VariableId>,
+    f: F,
+    label: String,
+}
+
+impl<F: Fn(&World) -> f64 + Send + Sync> FnFactor<F> {
+    /// Wraps a closure as a factor over `vars`.
+    pub fn new(vars: Vec<VariableId>, f: F, label: impl Into<String>) -> Self {
+        FnFactor {
+            vars,
+            f,
+            label: label.into(),
+        }
+    }
+}
+
+impl<F: Fn(&World) -> f64 + Send + Sync> Factor for FnFactor<F> {
+    fn variables(&self) -> &[VariableId] {
+        &self.vars
+    }
+
+    fn log_score(&self, world: &World) -> f64 {
+        (self.f)(world)
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Builds the log-linear score `φ · θ` from feature values and weights —
+/// the paper's `ψₖ(xᵐ, yⁿ) = exp(φₖ(xᵐ, yⁿ) · θₖ)` in log space.
+#[inline]
+pub fn log_linear(features: &[f64], weights: &[f64]) -> f64 {
+    debug_assert_eq!(features.len(), weights.len());
+    features
+        .iter()
+        .zip(weights)
+        .map(|(f, w)| f * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::Domain;
+
+    fn two_var_world() -> World {
+        let d = Domain::of_labels(&["a", "b", "c"]);
+        World::new(vec![d.clone(), d])
+    }
+
+    #[test]
+    fn table_factor_indexes_row_major() {
+        let mut w = two_var_world();
+        // table[i*3 + j] = 10i + j
+        let table: Vec<f64> = (0..9).map(|k| (k / 3 * 10 + k % 3) as f64).collect();
+        let f = TableFactor::new(
+            vec![VariableId(0), VariableId(1)],
+            vec![3, 3],
+            table,
+            "pair",
+        );
+        w.set(VariableId(0), 2);
+        w.set(VariableId(1), 1);
+        assert_eq!(f.log_score(&w), 21.0);
+        assert_eq!(f.log_score_for(&[2, 1]), 21.0);
+        assert_eq!(f.name(), "pair");
+        assert_eq!(f.variables(), &[VariableId(0), VariableId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "table must cover")]
+    fn table_size_mismatch_panics() {
+        TableFactor::new(vec![VariableId(0)], vec![3], vec![0.0; 2], "bad");
+    }
+
+    #[test]
+    fn fn_factor_expresses_constraints() {
+        let mut w = two_var_world();
+        // Deterministic agreement constraint: both variables equal.
+        let f = FnFactor::new(
+            vec![VariableId(0), VariableId(1)],
+            |w: &World| {
+                if w.get(VariableId(0)) == w.get(VariableId(1)) {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            },
+            "agree",
+        );
+        assert_eq!(f.log_score(&w), 0.0);
+        w.set(VariableId(1), 2);
+        assert_eq!(f.log_score(&w), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log_linear_dot_product() {
+        assert_eq!(log_linear(&[1.0, 0.0, 2.0], &[0.5, 9.0, 0.25]), 1.0);
+        assert_eq!(log_linear(&[], &[]), 0.0);
+    }
+}

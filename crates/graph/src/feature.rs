@@ -1,0 +1,170 @@
+//! Sparse feature vectors and the learnable-model interface.
+//!
+//! The paper's factors are log-linear, `ψₖ = exp(φₖ · θₖ)`, with weights θ
+//! learned by SampleRank (§5.2, reference 32 of the paper). SampleRank needs, for any world and
+//! changed-variable set, the *sufficient statistics* φ of the neighborhood
+//! factors — so it can take perceptron-style steps `θ ← θ + η(φ(w⁺) − φ(w⁻))`
+//! toward the world preferred by the ground-truth objective.
+//!
+//! [`FeatureVector`] is a sparse map from a model-defined feature id to its
+//! value; [`Learnable`] is implemented by models whose weights live in a
+//! flat addressable space.
+
+use crate::model::Model;
+use crate::variable::VariableId;
+use crate::world::World;
+use std::collections::HashMap;
+
+/// A sparse vector over a model's feature space.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FeatureVector {
+    values: HashMap<u64, f64>,
+}
+
+impl FeatureVector {
+    /// Empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to feature `id` (entries cancel at zero).
+    pub fn add(&mut self, id: u64, delta: f64) {
+        let e = self.values.entry(id).or_insert(0.0);
+        *e += delta;
+        if *e == 0.0 {
+            self.values.remove(&id);
+        }
+    }
+
+    /// Feature value (zero when absent).
+    pub fn get(&self, id: u64) -> f64 {
+        self.values.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Number of nonzero features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when all features are zero.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates `(feature id, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.values.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// `self − other`, the gradient direction of a SampleRank update.
+    pub fn minus(&self, other: &FeatureVector) -> FeatureVector {
+        let mut out = self.clone();
+        for (id, v) in other.iter() {
+            out.add(id, -v);
+        }
+        out
+    }
+
+    /// Scales all entries in place.
+    pub fn scale(&mut self, s: f64) {
+        if s == 0.0 {
+            self.values.clear();
+            return;
+        }
+        for v in self.values.values_mut() {
+            *v *= s;
+        }
+    }
+
+    /// Dot product with another sparse vector.
+    pub fn dot(&self, other: &FeatureVector) -> f64 {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.iter().map(|(id, v)| v * big.get(id)).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.values.values().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+/// A model with learnable log-linear weights.
+pub trait Learnable: Model {
+    /// Sufficient statistics of all factors adjacent to `vars` under the
+    /// current world — the φ that pair with the model's θ such that
+    /// `score_neighborhood = φ · θ`.
+    fn features_neighborhood(&self, world: &World, vars: &[VariableId]) -> FeatureVector;
+
+    /// Applies `θ ← θ + lr · grad` for every feature id in `grad`.
+    fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64);
+
+    /// Current weight of a feature (for inspection and tests).
+    fn weight(&self, feature: u64) -> f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_cancel() {
+        let mut f = FeatureVector::new();
+        f.add(3, 1.5);
+        f.add(3, -1.5);
+        assert!(f.is_empty());
+        assert_eq!(f.get(3), 0.0);
+    }
+
+    #[test]
+    fn minus_is_gradient_direction() {
+        let mut a = FeatureVector::new();
+        a.add(1, 2.0);
+        a.add(2, 1.0);
+        let mut b = FeatureVector::new();
+        b.add(2, 1.0);
+        b.add(3, 4.0);
+        let d = a.minus(&b);
+        assert_eq!(d.get(1), 2.0);
+        assert_eq!(d.get(2), 0.0);
+        assert_eq!(d.get(3), -4.0);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn dot_product_symmetric() {
+        let mut a = FeatureVector::new();
+        a.add(1, 2.0);
+        a.add(5, 3.0);
+        let mut b = FeatureVector::new();
+        b.add(5, 4.0);
+        b.add(9, 1.0);
+        assert_eq!(a.dot(&b), 12.0);
+        assert_eq!(b.dot(&a), 12.0);
+    }
+
+    #[test]
+    fn scale_and_norm() {
+        let mut f = FeatureVector::new();
+        f.add(0, 3.0);
+        f.add(1, 4.0);
+        assert_eq!(f.norm(), 5.0);
+        f.scale(2.0);
+        assert_eq!(f.norm(), 10.0);
+        f.scale(0.0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn iter_covers_entries() {
+        let mut f = FeatureVector::new();
+        f.add(7, 1.0);
+        f.add(8, 2.0);
+        let mut pairs: Vec<_> = f.iter().collect();
+        pairs.sort_by_key(|(k, _)| *k);
+        assert_eq!(pairs, vec![(7, 1.0), (8, 2.0)]);
+    }
+}

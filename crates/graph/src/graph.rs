@@ -1,0 +1,187 @@
+//! An explicit factor graph — the bipartite `G = ⟨V, Ψ⟩` of §3.1.
+//!
+//! [`FactorGraph`] materializes factors and a variable→factor adjacency
+//! index, and implements [`Model`] by summing adjacent factors. This is the
+//! right representation for *small* graphs: pedagogical examples (Figure 1),
+//! exact-inference tests, and unit-scale worlds. The large CRF models of the
+//! `fgdb-ie` crate instead implement [`Model`] lazily — the paper is
+//! explicit that MCMC lets it "avoid instantiating the factor graphs over
+//! the entire database" (§3.3) — but both forms score identically, which the
+//! test-suite exploits by cross-checking them on small instances.
+
+use crate::factor::Factor;
+use crate::model::{EvalStats, Model};
+use crate::variable::VariableId;
+use crate::world::World;
+
+/// An explicit factor graph with adjacency indexing.
+#[derive(Default)]
+pub struct FactorGraph {
+    factors: Vec<Box<dyn Factor>>,
+    /// `adjacency[v]` lists the factor indexes touching variable v.
+    adjacency: Vec<Vec<u32>>,
+}
+
+impl FactorGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a factor, updating adjacency. Returns its index.
+    pub fn add_factor(&mut self, factor: Box<dyn Factor>) -> usize {
+        let idx = self.factors.len() as u32;
+        for v in factor.variables() {
+            let vi = v.index();
+            if self.adjacency.len() <= vi {
+                self.adjacency.resize_with(vi + 1, Vec::new);
+            }
+            self.adjacency[vi].push(idx);
+        }
+        self.factors.push(factor);
+        idx as usize
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// Factors adjacent to a variable.
+    pub fn factors_of(&self, v: VariableId) -> &[u32] {
+        self.adjacency
+            .get(v.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Degree of a variable (number of adjacent factors).
+    pub fn degree(&self, v: VariableId) -> usize {
+        self.factors_of(v).len()
+    }
+
+    /// The factor at an index.
+    pub fn factor(&self, idx: usize) -> &dyn Factor {
+        &*self.factors[idx]
+    }
+}
+
+impl Model for FactorGraph {
+    fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
+        stats.factors_evaluated += self.factors.len() as u64;
+        self.factors.iter().map(|f| f.log_score(world)).sum()
+    }
+
+    fn score_neighborhood(
+        &self,
+        world: &World,
+        vars: &[VariableId],
+        stats: &mut EvalStats,
+    ) -> f64 {
+        stats.neighborhood_scores += 1;
+        // Deduplicate factors shared between changed variables so each is
+        // counted exactly once, as required by the MH ratio of Appendix 9.2.
+        let mut seen: Vec<u32> = Vec::new();
+        let mut sum = 0.0;
+        for v in vars {
+            for &fi in self.factors_of(*v) {
+                if seen.contains(&fi) {
+                    continue;
+                }
+                seen.push(fi);
+                stats.factors_evaluated += 1;
+                sum += self.factors[fi as usize].log_score(world);
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::{FnFactor, TableFactor};
+    use crate::variable::Domain;
+
+    /// Chain of three binary variables with pairwise agreement factors and a
+    /// bias on the first.
+    fn chain() -> (FactorGraph, World) {
+        let d = Domain::of_labels(&["0", "1"]);
+        let w = World::new(vec![d.clone(), d.clone(), d]);
+        let mut g = FactorGraph::new();
+        let agree = |a: u32, b: u32| {
+            TableFactor::new(
+                vec![VariableId(a), VariableId(b)],
+                vec![2, 2],
+                // log-scores: agreement rewarded by +1
+                vec![1.0, 0.0, 0.0, 1.0],
+                format!("agree{a}{b}"),
+            )
+        };
+        g.add_factor(Box::new(agree(0, 1)));
+        g.add_factor(Box::new(agree(1, 2)));
+        g.add_factor(Box::new(FnFactor::new(
+            vec![VariableId(0)],
+            |w: &World| if w.get(VariableId(0)) == 1 { 0.5 } else { 0.0 },
+            "bias0",
+        )));
+        (g, w)
+    }
+
+    #[test]
+    fn adjacency_tracks_factors() {
+        let (g, _) = chain();
+        assert_eq!(g.num_factors(), 3);
+        assert_eq!(g.degree(VariableId(0)), 2); // agree01 + bias
+        assert_eq!(g.degree(VariableId(1)), 2); // agree01 + agree12
+        assert_eq!(g.degree(VariableId(2)), 1);
+        assert_eq!(g.degree(VariableId(9)), 0); // unknown var: empty
+    }
+
+    #[test]
+    fn world_score_sums_all_factors() {
+        let (g, mut w) = chain();
+        let mut s = EvalStats::default();
+        // all zeros: both agreements fire (+1 each), bias0 off.
+        assert_eq!(g.score_world(&w, &mut s), 2.0);
+        w.set(VariableId(0), 1);
+        // agree01 broken, bias on: 0 + 1 + 0.5
+        assert_eq!(g.score_world(&w, &mut s), 1.5);
+        assert_eq!(s.factors_evaluated, 6);
+    }
+
+    #[test]
+    fn neighborhood_deduplicates_shared_factors() {
+        let (g, w) = chain();
+        let mut s = EvalStats::default();
+        // Variables 0 and 1 share agree01; it must be scored once.
+        let n = g.score_neighborhood(&w, &[VariableId(0), VariableId(1)], &mut s);
+        assert_eq!(s.factors_evaluated, 3); // agree01, bias0, agree12
+        assert_eq!(n, 2.0);
+    }
+
+    #[test]
+    fn neighborhood_score_difference_equals_world_score_difference() {
+        // The cancellation identity of Appendix 9.2 on the explicit graph.
+        let (g, mut w) = chain();
+        let mut s = EvalStats::default();
+        let delta = [VariableId(1)];
+
+        let full_before = g.score_world(&w, &mut s);
+        let hood_before = g.score_neighborhood(&w, &delta, &mut s);
+        w.set(VariableId(1), 1);
+        let full_after = g.score_world(&w, &mut s);
+        let hood_after = g.score_neighborhood(&w, &delta, &mut s);
+
+        assert!(
+            ((full_after - full_before) - (hood_after - hood_before)).abs() < 1e-12,
+            "neighborhood delta must equal full delta"
+        );
+    }
+
+    #[test]
+    fn factor_accessor() {
+        let (g, _) = chain();
+        assert_eq!(g.factor(2).name(), "bias0");
+    }
+}

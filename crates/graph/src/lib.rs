@@ -1,0 +1,25 @@
+//! # fgdb-graph — factor graphs over database fields
+//!
+//! The representation layer of Wick, McCallum & Miklau (VLDB 2010, §3):
+//! hidden random variables with finite domains ([`variable`]), possible
+//! worlds as assignments ([`world`]), factors and log-linear scoring
+//! ([`factor`]), explicit factor graphs with adjacency ([`graph`]), the lazy
+//! [`model::Model`] abstraction whose `score_neighborhood` realizes the
+//! factor-cancellation identity of Appendix 9.2, sparse features for
+//! SampleRank learning ([`feature`]), and exact inference by enumeration for
+//! test-scale ground truth ([`enumerate`]).
+
+pub mod enumerate;
+pub mod factor;
+pub mod feature;
+pub mod graph;
+pub mod model;
+pub mod variable;
+pub mod world;
+
+pub use factor::{log_linear, Factor, FnFactor, TableFactor};
+pub use feature::{FeatureVector, Learnable};
+pub use graph::FactorGraph;
+pub use model::{EvalStats, Model};
+pub use variable::{Domain, VariableId};
+pub use world::World;

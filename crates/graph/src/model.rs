@@ -1,0 +1,205 @@
+//! The model abstraction: a distribution over worlds, scored lazily.
+//!
+//! A factor graph defines `π(y|x) ∝ ∏ₖ ψₖ(yˢ, xᵗ)` (Eq. 1 of the paper). We
+//! work throughout in **log space**: a model reports the log of the
+//! unnormalized probability, and Metropolis–Hastings only ever needs
+//! *differences* of log scores, so the #P-hard normalizer `Z_X` never
+//! appears (§3.4).
+//!
+//! Crucially, [`Model::score_neighborhood`] scores only the factors adjacent
+//! to a given set of variables. Appendix 9.2 shows that the MH acceptance
+//! ratio reduces to `∏_{yᵢ∈δ} ψ(X, yᵢ') / ∏_{yᵢ∈δ} ψ(X, yᵢ)` — all factors
+//! untouched by the proposal cancel. Models therefore never materialize the
+//! full unrolled graph; they enumerate neighborhood factors on demand, which
+//! is what makes a walk step O(1) in the database size (§5.3).
+
+use crate::variable::VariableId;
+use crate::world::World;
+
+/// Instrumentation counters for factor evaluation.
+///
+/// Figure 9 / Appendix 9.2 claims the number of factors evaluated per
+/// proposal is constant in the number of tuples; experiment E7 verifies this
+/// by reading these counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Individual factor evaluations performed.
+    pub factors_evaluated: u64,
+    /// Neighborhood scorings performed.
+    pub neighborhood_scores: u64,
+}
+
+impl EvalStats {
+    /// Accumulates another counter set.
+    pub fn absorb(&mut self, other: EvalStats) {
+        self.factors_evaluated += other.factors_evaluated;
+        self.neighborhood_scores += other.neighborhood_scores;
+    }
+}
+
+/// A probability model over worlds (unnormalized, log space).
+pub trait Model: Send + Sync {
+    /// Log of the unnormalized probability of the whole world:
+    /// `log ∏ ψ = Σ log ψ`. Used by exact enumeration and tests; large
+    /// models may implement it as a fold over all factors.
+    fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64;
+
+    /// Sum of log-scores of every factor adjacent to at least one variable
+    /// in `vars` (each such factor counted exactly once).
+    ///
+    /// MH computes `score_neighborhood(w', δ) − score_neighborhood(w, δ)`
+    /// for the changed set δ; correctness requires that factor *structure*
+    /// adjacent to δ depends only on observed data and on the variables in
+    /// δ themselves (true for the CRF and coreference models here).
+    fn score_neighborhood(
+        &self,
+        world: &World,
+        vars: &[VariableId],
+        stats: &mut EvalStats,
+    ) -> f64;
+
+    /// Neighborhood score of `var` *as if* it were set to `value`, without
+    /// mutating the world — the primitive Gibbs full-conditional sampling
+    /// needs once per candidate value.
+    ///
+    /// The default implementation clones the world, which is correct but
+    /// O(#variables) per call; models over large worlds should override it
+    /// with an overlay read (the CRF and coreference models do).
+    fn score_neighborhood_whatif(
+        &self,
+        world: &World,
+        var: VariableId,
+        value: usize,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        let mut scratch = world.clone();
+        scratch.set(var, value);
+        self.score_neighborhood(&scratch, &[var], stats)
+    }
+}
+
+/// Blanket impl so `&M` and boxed models are models too.
+impl<M: Model + ?Sized> Model for &M {
+    fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
+        (**self).score_world(world, stats)
+    }
+    fn score_neighborhood(
+        &self,
+        world: &World,
+        vars: &[VariableId],
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood(world, vars, stats)
+    }
+    fn score_neighborhood_whatif(
+        &self,
+        world: &World,
+        var: VariableId,
+        value: usize,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood_whatif(world, var, value, stats)
+    }
+}
+
+impl<M: Model + ?Sized> Model for Box<M> {
+    fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
+        (**self).score_world(world, stats)
+    }
+    fn score_neighborhood(
+        &self,
+        world: &World,
+        vars: &[VariableId],
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood(world, vars, stats)
+    }
+    fn score_neighborhood_whatif(
+        &self,
+        world: &World,
+        var: VariableId,
+        value: usize,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood_whatif(world, var, value, stats)
+    }
+}
+
+impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
+    fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
+        (**self).score_world(world, stats)
+    }
+    fn score_neighborhood(
+        &self,
+        world: &World,
+        vars: &[VariableId],
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood(world, vars, stats)
+    }
+    fn score_neighborhood_whatif(
+        &self,
+        world: &World,
+        var: VariableId,
+        value: usize,
+        stats: &mut EvalStats,
+    ) -> f64 {
+        (**self).score_neighborhood_whatif(world, var, value, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variable::Domain;
+
+    /// A trivial model preferring higher domain indexes.
+    struct Prefer;
+
+    impl Model for Prefer {
+        fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
+            stats.factors_evaluated += world.num_variables() as u64;
+            world.variables().map(|v| world.get(v) as f64).sum()
+        }
+        fn score_neighborhood(
+            &self,
+            world: &World,
+            vars: &[VariableId],
+            stats: &mut EvalStats,
+        ) -> f64 {
+            stats.neighborhood_scores += 1;
+            stats.factors_evaluated += vars.len() as u64;
+            vars.iter().map(|&v| world.get(v) as f64).sum()
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = Domain::of_labels(&["a", "b"]);
+        let w = World::new(vec![d.clone(), d]);
+        let m = Prefer;
+        let mut s = EvalStats::default();
+        m.score_world(&w, &mut s);
+        m.score_neighborhood(&w, &[VariableId(0)], &mut s);
+        assert_eq!(s.factors_evaluated, 3);
+        assert_eq!(s.neighborhood_scores, 1);
+        let mut t = EvalStats::default();
+        t.absorb(s);
+        t.absorb(s);
+        assert_eq!(t.factors_evaluated, 6);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let d = Domain::of_labels(&["a", "b"]);
+        let mut w = World::new(vec![d]);
+        w.set(VariableId(0), 1);
+        let mut s = EvalStats::default();
+        let boxed: Box<dyn Model> = Box::new(Prefer);
+        assert_eq!(boxed.score_world(&w, &mut s), 1.0);
+        let arc = std::sync::Arc::new(Prefer);
+        assert_eq!(arc.score_world(&w, &mut s), 1.0);
+        let r = &Prefer;
+        assert_eq!(r.score_neighborhood(&w, &[VariableId(0)], &mut s), 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Possible worlds as variable assignments.
+//!
+//! A [`World`] is a setting of every hidden variable — together with the
+//! (implicit, constant) observed variables it determines one deterministic
+//! database instance (§3.2). MCMC walks this space by flipping one or a few
+//! entries at a time; the representation is a flat `Vec<u16>` of domain
+//! indexes so a walk step touches a couple of cache lines.
+
+use crate::variable::{Domain, VariableId};
+use fgdb_relational::Value;
+use std::sync::Arc;
+
+/// An assignment of every hidden variable to a value of its domain.
+#[derive(Clone, Debug)]
+pub struct World {
+    domains: Vec<Arc<Domain>>,
+    assignment: Vec<u16>,
+}
+
+impl World {
+    /// Creates a world with every variable at domain index 0.
+    pub fn new(domains: Vec<Arc<Domain>>) -> Self {
+        for d in &domains {
+            assert!(
+                d.len() <= u16::MAX as usize + 1,
+                "domain too large for u16 index"
+            );
+        }
+        let n = domains.len();
+        World {
+            domains,
+            assignment: vec![0; n],
+        }
+    }
+
+    /// Adds a variable with the given domain and initial index, returning its id.
+    pub fn add_variable(&mut self, domain: Arc<Domain>, initial: usize) -> VariableId {
+        assert!(initial < domain.len(), "initial index out of domain");
+        let id = VariableId(self.domains.len() as u32);
+        self.domains.push(domain);
+        self.assignment.push(initial as u16);
+        id
+    }
+
+    /// Number of hidden variables.
+    pub fn num_variables(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Current domain index of a variable.
+    #[inline]
+    pub fn get(&self, v: VariableId) -> usize {
+        self.assignment[v.index()] as usize
+    }
+
+    /// Current value of a variable.
+    #[inline]
+    pub fn value(&self, v: VariableId) -> &Value {
+        self.domains[v.index()].value(self.get(v))
+    }
+
+    /// Sets a variable to a domain index, returning the previous index.
+    #[inline]
+    pub fn set(&mut self, v: VariableId, idx: usize) -> usize {
+        debug_assert!(idx < self.domains[v.index()].len());
+        let old = self.assignment[v.index()];
+        self.assignment[v.index()] = idx as u16;
+        old as usize
+    }
+
+    /// Sets a variable by value. Panics if the value is not in the domain.
+    pub fn set_value(&mut self, v: VariableId, value: &Value) -> usize {
+        let idx = self.domains[v.index()]
+            .index_of(value)
+            .unwrap_or_else(|| panic!("value {value} not in domain of {v}"));
+        self.set(v, idx)
+    }
+
+    /// Domain of a variable.
+    pub fn domain(&self, v: VariableId) -> &Arc<Domain> {
+        &self.domains[v.index()]
+    }
+
+    /// Iterates all variable ids.
+    pub fn variables(&self) -> impl Iterator<Item = VariableId> {
+        (0..self.assignment.len() as u32).map(VariableId)
+    }
+
+    /// Raw assignment snapshot (for hashing worlds in tests).
+    pub fn assignment(&self) -> &[u16] {
+        &self.assignment
+    }
+
+    /// Restores a previously captured assignment.
+    pub fn restore(&mut self, assignment: &[u16]) {
+        assert_eq!(assignment.len(), self.assignment.len());
+        self.assignment.copy_from_slice(assignment);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bio() -> Arc<Domain> {
+        Domain::of_labels(&["O", "B-PER", "I-PER"])
+    }
+
+    #[test]
+    fn construction_defaults_to_zero() {
+        let w = World::new(vec![bio(), bio()]);
+        assert_eq!(w.num_variables(), 2);
+        assert_eq!(w.get(VariableId(0)), 0);
+        assert_eq!(w.value(VariableId(1)).as_str(), Some("O"));
+    }
+
+    #[test]
+    fn add_variable_grows_world() {
+        let mut w = World::new(vec![]);
+        let a = w.add_variable(bio(), 1);
+        let b = w.add_variable(bio(), 2);
+        assert_eq!(w.num_variables(), 2);
+        assert_eq!(w.value(a).as_str(), Some("B-PER"));
+        assert_eq!(w.value(b).as_str(), Some("I-PER"));
+    }
+
+    #[test]
+    fn set_returns_old_index() {
+        let mut w = World::new(vec![bio()]);
+        let v = VariableId(0);
+        assert_eq!(w.set(v, 2), 0);
+        assert_eq!(w.set(v, 1), 2);
+        assert_eq!(w.get(v), 1);
+    }
+
+    #[test]
+    fn set_value_resolves_domain_index() {
+        let mut w = World::new(vec![bio()]);
+        let v = VariableId(0);
+        w.set_value(v, &Value::str("I-PER"));
+        assert_eq!(w.get(v), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in domain")]
+    fn set_value_rejects_foreign_value() {
+        let mut w = World::new(vec![bio()]);
+        w.set_value(VariableId(0), &Value::str("B-ORG"));
+    }
+
+    #[test]
+    fn snapshot_and_restore() {
+        let mut w = World::new(vec![bio(), bio()]);
+        w.set(VariableId(0), 1);
+        let snap = w.assignment().to_vec();
+        w.set(VariableId(0), 2);
+        w.set(VariableId(1), 1);
+        w.restore(&snap);
+        assert_eq!(w.get(VariableId(0)), 1);
+        assert_eq!(w.get(VariableId(1)), 0);
+    }
+
+    #[test]
+    fn variables_iterator_covers_all() {
+        let w = World::new(vec![bio(), bio(), bio()]);
+        let ids: Vec<_> = w.variables().collect();
+        assert_eq!(ids, vec![VariableId(0), VariableId(1), VariableId(2)]);
+    }
+}

@@ -1,0 +1,316 @@
+//! BIO label scheme for named entity recognition (Appendix 9.3).
+//!
+//! The paper labels ten million NYT tokens with CoNLL entity types —
+//! PER, ORG, LOC, MISC — under BIO encoding: `B-<T>` begins a mention of
+//! type `<T>`, `I-<T>` continues it, `O` is outside any mention; nine labels
+//! in total. `I-<T>` may follow `B-<U>` or `I-<U>` only when `T = U`.
+
+use fgdb_graph::Domain;
+use std::fmt;
+use std::sync::Arc;
+
+/// CoNLL entity types used throughout the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityType {
+    /// Person ("Bill").
+    Per,
+    /// Organization ("IBM").
+    Org,
+    /// Location ("New York City").
+    Loc,
+    /// Miscellaneous — none of the above.
+    Misc,
+}
+
+impl EntityType {
+    /// All entity types.
+    pub const ALL: [EntityType; 4] = [
+        EntityType::Per,
+        EntityType::Org,
+        EntityType::Loc,
+        EntityType::Misc,
+    ];
+
+    /// CoNLL suffix ("PER" etc.).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            EntityType::Per => "PER",
+            EntityType::Org => "ORG",
+            EntityType::Loc => "LOC",
+            EntityType::Misc => "MISC",
+        }
+    }
+}
+
+/// One of the nine BIO labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Label {
+    /// Not part of any mention.
+    O,
+    /// Beginning of a mention.
+    B(EntityType),
+    /// Continuation of a mention.
+    I(EntityType),
+}
+
+/// Number of BIO labels (the paper's nine).
+pub const NUM_LABELS: usize = 9;
+
+impl Label {
+    /// All nine labels in canonical index order: O, then B/I per type.
+    pub const ALL: [Label; NUM_LABELS] = [
+        Label::O,
+        Label::B(EntityType::Per),
+        Label::I(EntityType::Per),
+        Label::B(EntityType::Org),
+        Label::I(EntityType::Org),
+        Label::B(EntityType::Loc),
+        Label::I(EntityType::Loc),
+        Label::B(EntityType::Misc),
+        Label::I(EntityType::Misc),
+    ];
+
+    /// Canonical index of this label (matches [`Label::ALL`] and the CRF
+    /// label domain).
+    pub fn index(self) -> usize {
+        match self {
+            Label::O => 0,
+            Label::B(t) => 1 + 2 * t as usize,
+            Label::I(t) => 2 + 2 * t as usize,
+        }
+    }
+
+    /// Label from its canonical index.
+    pub fn from_index(idx: usize) -> Label {
+        Label::ALL[idx]
+    }
+
+    /// Text form ("O", "B-PER", …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Label::O => "O",
+            Label::B(EntityType::Per) => "B-PER",
+            Label::I(EntityType::Per) => "I-PER",
+            Label::B(EntityType::Org) => "B-ORG",
+            Label::I(EntityType::Org) => "I-ORG",
+            Label::B(EntityType::Loc) => "B-LOC",
+            Label::I(EntityType::Loc) => "I-LOC",
+            Label::B(EntityType::Misc) => "B-MISC",
+            Label::I(EntityType::Misc) => "I-MISC",
+        }
+    }
+
+    /// Parses a textual BIO label.
+    pub fn parse(s: &str) -> Option<Label> {
+        Label::ALL.iter().copied().find(|l| l.as_str() == s)
+    }
+
+    /// True when `self` may immediately follow `prev` under BIO rules:
+    /// `I-<T>` requires the previous label to be `B-<T>` or `I-<T>`.
+    pub fn may_follow(self, prev: Label) -> bool {
+        match self {
+            Label::I(t) => matches!(prev, Label::B(u) | Label::I(u) if u == t),
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The shared nine-label domain used by every LABEL field (§5.1).
+pub fn label_domain() -> Arc<Domain> {
+    Domain::of_labels(&Label::ALL.map(Label::as_str))
+}
+
+/// A decoded entity mention: token span `[start, end)` of one type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mention {
+    /// First token index.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+    /// Entity type.
+    pub ty: EntityType,
+}
+
+/// Decodes a BIO label sequence into mentions. Malformed `I-` labels (no
+/// matching B/I predecessor) start a new mention, the conventional lenient
+/// repair.
+pub fn decode_mentions(labels: &[Label]) -> Vec<Mention> {
+    let mut out = Vec::new();
+    let mut open: Option<Mention> = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match l {
+            Label::O => {
+                if let Some(m) = open.take() {
+                    out.push(m);
+                }
+            }
+            Label::B(t) => {
+                if let Some(m) = open.take() {
+                    out.push(m);
+                }
+                open = Some(Mention {
+                    start: i,
+                    end: i + 1,
+                    ty: t,
+                });
+            }
+            Label::I(t) => match &mut open {
+                Some(m) if m.ty == t => m.end = i + 1,
+                _ => {
+                    if let Some(m) = open.take() {
+                        out.push(m);
+                    }
+                    open = Some(Mention {
+                        start: i,
+                        end: i + 1,
+                        ty: t,
+                    });
+                }
+            },
+        }
+    }
+    if let Some(m) = open {
+        out.push(m);
+    }
+    out
+}
+
+/// Encodes mentions (non-overlapping, sorted) back into a BIO sequence of
+/// length `n`.
+pub fn encode_mentions(n: usize, mentions: &[Mention]) -> Vec<Label> {
+    let mut labels = vec![Label::O; n];
+    for m in mentions {
+        assert!(m.start < m.end && m.end <= n, "mention out of range");
+        labels[m.start] = Label::B(m.ty);
+        for l in labels.iter_mut().take(m.end).skip(m.start + 1) {
+            *l = Label::I(m.ty);
+        }
+    }
+    labels
+}
+
+/// True when a label sequence is BIO-consistent.
+pub fn is_valid_sequence(labels: &[Label]) -> bool {
+    let mut prev = Label::O;
+    for &l in labels {
+        if !l.may_follow(prev) {
+            return false;
+        }
+        prev = l;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_labels_with_stable_indexes() {
+        assert_eq!(Label::ALL.len(), NUM_LABELS);
+        for (i, l) in Label::ALL.iter().enumerate() {
+            assert_eq!(l.index(), i);
+            assert_eq!(Label::from_index(i), *l);
+            assert_eq!(Label::parse(l.as_str()), Some(*l));
+        }
+        assert_eq!(Label::parse("B-XYZ"), None);
+    }
+
+    #[test]
+    fn label_domain_matches_indices() {
+        let d = label_domain();
+        assert_eq!(d.len(), NUM_LABELS);
+        for l in Label::ALL {
+            assert_eq!(
+                d.index_of(&fgdb_relational::Value::str(l.as_str())),
+                Some(l.index())
+            );
+        }
+    }
+
+    #[test]
+    fn bio_follow_rules() {
+        use EntityType::*;
+        assert!(Label::I(Per).may_follow(Label::B(Per)));
+        assert!(Label::I(Per).may_follow(Label::I(Per)));
+        assert!(!Label::I(Per).may_follow(Label::B(Org)));
+        assert!(!Label::I(Per).may_follow(Label::O));
+        assert!(Label::B(Org).may_follow(Label::O));
+        assert!(Label::O.may_follow(Label::I(Loc)));
+    }
+
+    #[test]
+    fn decode_the_papers_example() {
+        // "he (B-PER), saw (O), Hillary (B-PER), Clinton (I-PER), speaks (O)"
+        // → two mentions: "he" and "Hillary Clinton" (Appendix 9.3).
+        use EntityType::Per;
+        let labels = vec![
+            Label::B(Per),
+            Label::O,
+            Label::B(Per),
+            Label::I(Per),
+            Label::O,
+        ];
+        let mentions = decode_mentions(&labels);
+        assert_eq!(
+            mentions,
+            vec![
+                Mention { start: 0, end: 1, ty: Per },
+                Mention { start: 2, end: 4, ty: Per },
+            ]
+        );
+        assert!(is_valid_sequence(&labels));
+    }
+
+    #[test]
+    fn adjacent_b_labels_are_distinct_mentions() {
+        use EntityType::*;
+        let labels = vec![Label::B(Per), Label::B(Per), Label::B(Org)];
+        assert_eq!(decode_mentions(&labels).len(), 3);
+    }
+
+    #[test]
+    fn orphan_i_is_repaired_to_a_mention() {
+        use EntityType::*;
+        let labels = vec![Label::O, Label::I(Loc), Label::I(Loc)];
+        assert!(!is_valid_sequence(&labels));
+        let m = decode_mentions(&labels);
+        assert_eq!(m, vec![Mention { start: 1, end: 3, ty: Loc }]);
+    }
+
+    #[test]
+    fn type_switch_inside_i_run_splits() {
+        use EntityType::*;
+        let labels = vec![Label::B(Per), Label::I(Org)];
+        let m = decode_mentions(&labels);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].ty, Per);
+        assert_eq!(m[1].ty, Org);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        use EntityType::*;
+        let mentions = vec![
+            Mention { start: 1, end: 3, ty: Org },
+            Mention { start: 5, end: 6, ty: Per },
+        ];
+        let labels = encode_mentions(8, &mentions);
+        assert!(is_valid_sequence(&labels));
+        assert_eq!(decode_mentions(&labels), mentions);
+    }
+
+    #[test]
+    fn mention_at_sequence_end_is_closed() {
+        use EntityType::*;
+        let labels = vec![Label::O, Label::B(Misc), Label::I(Misc)];
+        let m = decode_mentions(&labels);
+        assert_eq!(m, vec![Mention { start: 1, end: 3, ty: Misc }]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # fgdb-ie — information extraction models and data
+//!
+//! The application layer of Wick, McCallum & Miklau (VLDB 2010): [`bio`]
+//! implements the nine-label BIO scheme (Appendix 9.3); [`corpus`] generates
+//! the synthetic NYT-substitute corpus and materializes the paper's TOKEN
+//! relation; [`crf`] provides the linear-chain and skip-chain CRFs of §3.3
+//! and §5 (lazy, never unrolled); [`coref`] provides the entity-resolution
+//! model of Fig. 1 with the constraint-preserving split-merge proposer of
+//! §3.4.
+
+pub mod bio;
+pub mod coref;
+pub mod corpus;
+pub mod crf;
+
+pub use bio::{label_domain, EntityType, Label, Mention, NUM_LABELS};
+pub use coref::{
+    exact_pair_probabilities, pairwise_scores, CorefModel, MentionData, MentionMoveProposer,
+    PairwiseScores, SplitMergeProposer,
+};
+pub use corpus::{Corpus, CorpusConfig, Token};
+pub use crf::{Crf, TokenSeqData};

@@ -1,0 +1,114 @@
+//! Behavioural tests for the corpus generator's discourse features: cue
+//! words, one-sense-per-document, and Zipfian entity popularity — the
+//! properties the skip-chain experiments rely on.
+
+use fgdb_ie::{Corpus, CorpusConfig, EntityType, Label};
+use std::collections::HashMap;
+
+fn corpus(cue_rate: f64, seed: u64) -> Corpus {
+    Corpus::generate(&CorpusConfig {
+        num_docs: 60,
+        mean_doc_len: 80,
+        cue_rate,
+        seed,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn cue_words_precede_mentions_of_their_type() {
+    let c = corpus(0.5, 11);
+    let mut cued = 0;
+    let mut matched = 0;
+    for (i, t) in c.tokens.iter().enumerate() {
+        if !t.string.starts_with("cue") {
+            continue;
+        }
+        cued += 1;
+        // A cue is itself O…
+        assert_eq!(t.truth, Label::O, "cue token must be labelled O");
+        // …and the next token (same doc) begins a mention of the cued type.
+        if i + 1 < c.num_tokens() && c.doc_of(i) == c.doc_of(i + 1) {
+            let expect = match &*t.string {
+                "cueMr" => EntityType::Per,
+                "cueSpokesman" => EntityType::Org,
+                "cueIn" => EntityType::Loc,
+                "cueAnnual" => EntityType::Misc,
+                other => panic!("unknown cue {other}"),
+            };
+            if c.tokens[i + 1].truth == Label::B(expect) {
+                matched += 1;
+            }
+        }
+    }
+    assert!(cued > 20, "expected many cues at rate 0.5, got {cued}");
+    // Document boundaries can clip the mention; the overwhelming majority
+    // must still be followed by the right B- label.
+    assert!(
+        matched as f64 / cued as f64 > 0.95,
+        "{matched}/{cued} cues followed by the cued type"
+    );
+}
+
+#[test]
+fn zero_cue_rate_produces_no_cues() {
+    let c = corpus(0.0, 12);
+    assert!(c.tokens.iter().all(|t| !t.string.starts_with("cue")));
+}
+
+#[test]
+fn one_sense_per_document_for_every_string() {
+    let c = corpus(0.3, 13);
+    for (d, r) in c.documents.iter().enumerate() {
+        let mut sense: HashMap<u32, EntityType> = HashMap::new();
+        for t in &c.tokens[r.clone()] {
+            if let Label::B(ty) = t.truth {
+                if let Some(prev) = sense.insert(t.string_id, ty) {
+                    assert_eq!(
+                        prev, ty,
+                        "string {} takes two senses in document {d}",
+                        t.string
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn entity_popularity_is_skewed() {
+    // Zipfian entity draws: the most frequent entity string should beat the
+    // median entity string by a wide margin.
+    let c = corpus(0.3, 14);
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for t in &c.tokens {
+        if t.skip_eligible {
+            *counts.entry(&*t.string).or_insert(0) += 1;
+        }
+    }
+    let mut freqs: Vec<usize> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+    assert!(freqs.len() > 10);
+    let top = freqs[0];
+    let median = freqs[freqs.len() / 2];
+    assert!(
+        top >= median * 5,
+        "expected skew: top {top} vs median {median}"
+    );
+}
+
+#[test]
+fn ambiguous_strings_take_different_senses_across_documents() {
+    let c = corpus(0.3, 15);
+    let mut senses: HashMap<&str, std::collections::HashSet<EntityType>> = HashMap::new();
+    for t in &c.tokens {
+        if let Label::B(ty) = t.truth {
+            senses.entry(&*t.string).or_default().insert(ty);
+        }
+    }
+    let boston = senses.get("Boston").expect("Boston occurs");
+    assert!(
+        boston.contains(&EntityType::Org) && boston.contains(&EntityType::Loc),
+        "Boston senses: {boston:?}"
+    );
+}

@@ -1,0 +1,134 @@
+//! Property tests for the IE layer: BIO encode/decode, corpus invariants,
+//! and canonical-coloring preservation by both coreference proposers.
+
+use fgdb_graph::VariableId;
+use fgdb_ie::bio::{decode_mentions, encode_mentions, is_valid_sequence, Mention};
+use fgdb_ie::coref::is_canonical;
+use fgdb_ie::{
+    CorefModel, Corpus, CorpusConfig, EntityType, Label, MentionData, MentionMoveProposer,
+    SplitMergeProposer,
+};
+use fgdb_mcmc::{DynRng, MetropolisHastings, Proposer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn mention_list(n_tokens: usize) -> impl Strategy<Value = Vec<Mention>> {
+    // Non-overlapping sorted spans with types.
+    prop::collection::vec((0usize..n_tokens, 1usize..3, 0usize..4), 0..4).prop_map(
+        move |raw| {
+            let mut out: Vec<Mention> = Vec::new();
+            let mut cursor = 0usize;
+            for (start, len, ty) in raw {
+                let s = start.max(cursor);
+                let e = (s + len).min(n_tokens);
+                if s >= e {
+                    continue;
+                }
+                out.push(Mention {
+                    start: s,
+                    end: e,
+                    ty: EntityType::ALL[ty],
+                });
+                cursor = e;
+            }
+            out
+        },
+    )
+}
+
+proptest! {
+    /// encode → decode round-trips any non-overlapping mention list, and
+    /// the encoding is always BIO-valid.
+    #[test]
+    fn bio_encode_decode_round_trip(mentions in mention_list(12)) {
+        let labels = encode_mentions(12, &mentions);
+        prop_assert!(is_valid_sequence(&labels));
+        prop_assert_eq!(decode_mentions(&labels), mentions);
+    }
+
+    /// decode → encode round-trips any *valid* label sequence.
+    #[test]
+    fn bio_decode_encode_round_trip(raw in prop::collection::vec(0usize..9, 0..15)) {
+        // Repair arbitrary sequences into valid ones first.
+        let mut labels: Vec<Label> = Vec::with_capacity(raw.len());
+        let mut prev = Label::O;
+        for r in raw {
+            let candidate = Label::from_index(r);
+            let l = if candidate.may_follow(prev) { candidate } else { Label::O };
+            labels.push(l);
+            prev = l;
+        }
+        prop_assert!(is_valid_sequence(&labels));
+        let mentions = decode_mentions(&labels);
+        prop_assert_eq!(encode_mentions(labels.len(), &mentions), labels);
+    }
+
+    /// Generated corpora have valid BIO truth in every document and
+    /// consistent document ranges, at any seed.
+    #[test]
+    fn corpus_invariants(seed in 0u64..500) {
+        let c = Corpus::generate(&CorpusConfig {
+            num_docs: 4,
+            mean_doc_len: 30,
+            common_vocab: 30,
+            entities_per_type: 6,
+            seed,
+            ..Default::default()
+        });
+        let mut covered = 0;
+        for r in &c.documents {
+            prop_assert_eq!(r.start, covered);
+            covered = r.end;
+            let labels: Vec<Label> = c.tokens[r.clone()].iter().map(|t| t.truth).collect();
+            prop_assert!(is_valid_sequence(&labels));
+            // One sense per document for every skip-eligible string.
+            let mut sense: std::collections::HashMap<u32, Label> = Default::default();
+            for t in &c.tokens[r.clone()] {
+                if t.skip_eligible {
+                    if let Label::B(ty) = t.truth {
+                        let prev = sense.insert(t.string_id, Label::B(ty));
+                        if let Some(p) = prev {
+                            prop_assert_eq!(p, Label::B(ty), "sense flip within doc");
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(covered, c.num_tokens());
+    }
+
+    /// Both coref proposers keep worlds canonical under arbitrary kernels
+    /// and seeds, and the kernel never desynchronizes on rejection.
+    #[test]
+    fn coref_proposers_preserve_canonical_form(
+        seed in 0u64..200,
+        entities in 2usize..4,
+        per in 1usize..4,
+        use_split_merge in any::<bool>(),
+    ) {
+        let n = entities * per;
+        prop_assume!(n >= 2);
+        let data = MentionData::generate(entities, per, 1.0, 1.0, 0.5, seed);
+        let model = CorefModel::new(Arc::clone(&data));
+        let mut world = model.singleton_world();
+        let proposer: Box<dyn Proposer> = if use_split_merge {
+            Box::new(SplitMergeProposer::new(n))
+        } else {
+            Box::new(MentionMoveProposer::new(n))
+        };
+        let mut kernel = MetropolisHastings::new(&model, proposer);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut rng = DynRng::from(&mut rng);
+        for _ in 0..300 {
+            kernel.step(&mut world, &mut rng);
+            prop_assert!(is_canonical(&world, n));
+            // Every cluster id is a live mention index.
+            for m in 0..n {
+                let c = world.get(VariableId(m as u32));
+                prop_assert!(c < n);
+            }
+        }
+    }
+}

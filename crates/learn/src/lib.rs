@@ -1,0 +1,13 @@
+//! # fgdb-learn — SampleRank parameter estimation
+//!
+//! §5.2 of Wick, McCallum & Miklau (VLDB 2010): factor weights are learned
+//! with SampleRank (reference 32 of the paper), a perceptron-style method riding the MH proposal
+//! stream — "avoiding the need to tune weights by hand" (§3). [`objective`]
+//! defines ground-truth scoring (the TRUTH column of the TOKEN relation);
+//! [`samplerank`] performs the atomic-gradient updates.
+
+pub mod objective;
+pub mod samplerank;
+
+pub use objective::{HammingObjective, Objective};
+pub use samplerank::{train, Drive, SampleRankConfig, TrainStats, WeightAverager};

@@ -1,0 +1,118 @@
+//! Training objectives — the ground-truth preference SampleRank learns from.
+//!
+//! §5.2 of the paper trains against labels stored in the TOKEN relation's
+//! TRUTH attribute. An [`Objective`] scores how well a world agrees with
+//! that truth; SampleRank only ever needs objective *differences* between a
+//! world and its proposed modification, so objectives expose a local scoring
+//! method over the changed variables — mirroring how the model itself is
+//! scored by neighborhood.
+
+use fgdb_graph::{VariableId, World};
+
+/// A ground-truth scoring function over worlds (higher is better).
+pub trait Objective: Send + Sync {
+    /// Global objective value (used for reporting/eval).
+    fn score(&self, world: &World) -> f64;
+
+    /// Objective restricted to `vars`: the contribution of just those
+    /// variables. Differences of this quantity across a local change equal
+    /// differences of the global objective.
+    fn score_local(&self, world: &World, vars: &[VariableId]) -> f64;
+}
+
+/// Per-variable agreement with a fixed truth assignment (Hamming objective):
+/// the number of variables set to their true value.
+pub struct HammingObjective {
+    truth: Vec<u16>,
+}
+
+impl HammingObjective {
+    /// Builds the objective from a truth assignment (domain indexes, one per
+    /// variable).
+    pub fn new(truth: Vec<u16>) -> Self {
+        HammingObjective { truth }
+    }
+
+    /// Builds from a world holding the truth (e.g. a world initialized from
+    /// the TRUTH column).
+    pub fn from_world(truth_world: &World) -> Self {
+        HammingObjective {
+            truth: truth_world.assignment().to_vec(),
+        }
+    }
+
+    /// True value (domain index) of a variable.
+    pub fn truth_of(&self, v: VariableId) -> usize {
+        self.truth[v.index()] as usize
+    }
+
+    /// Fraction of variables correct — the accuracy reported in training
+    /// experiments.
+    pub fn accuracy(&self, world: &World) -> f64 {
+        if self.truth.is_empty() {
+            return 1.0;
+        }
+        self.score(world) / self.truth.len() as f64
+    }
+}
+
+impl Objective for HammingObjective {
+    fn score(&self, world: &World) -> f64 {
+        assert_eq!(world.num_variables(), self.truth.len());
+        world
+            .assignment()
+            .iter()
+            .zip(&self.truth)
+            .filter(|(a, t)| a == t)
+            .count() as f64
+    }
+
+    fn score_local(&self, world: &World, vars: &[VariableId]) -> f64 {
+        vars.iter()
+            .filter(|v| world.get(**v) == self.truth[v.index()] as usize)
+            .count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgdb_graph::Domain;
+
+    fn world3() -> World {
+        let d = Domain::of_labels(&["a", "b", "c"]);
+        World::new(vec![d; 3])
+    }
+
+    #[test]
+    fn global_score_counts_matches() {
+        let mut w = world3();
+        let obj = HammingObjective::new(vec![0, 1, 2]);
+        assert_eq!(obj.score(&w), 1.0); // only var 0 matches
+        w.set(VariableId(1), 1);
+        assert_eq!(obj.score(&w), 2.0);
+        assert!((obj.accuracy(&w) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_differences_equal_global_differences() {
+        let mut w = world3();
+        let obj = HammingObjective::new(vec![2, 1, 0]);
+        let vars = [VariableId(0), VariableId(2)];
+        let g0 = obj.score(&w);
+        let l0 = obj.score_local(&w, &vars);
+        w.set(VariableId(0), 2);
+        let g1 = obj.score(&w);
+        let l1 = obj.score_local(&w, &vars);
+        assert_eq!(g1 - g0, l1 - l0);
+    }
+
+    #[test]
+    fn from_world_snapshot() {
+        let mut truth = world3();
+        truth.set(VariableId(2), 1);
+        let obj = HammingObjective::from_world(&truth);
+        assert_eq!(obj.truth_of(VariableId(2)), 1);
+        assert_eq!(obj.score(&truth), 3.0);
+    }
+}

@@ -1,0 +1,202 @@
+//! A single MCMC chain with net-change tracking.
+//!
+//! Algorithm 3 of the paper alternates `MetropolisHastings(w, k)` — k walk
+//! steps between query evaluations (thinning, §4.1) — with a query
+//! evaluation over the resulting world. [`Chain`] packages the kernel, the
+//! world, and a seeded RNG, and *accumulates the net variable changes* since
+//! the last query evaluation: exactly the information the view-maintenance
+//! evaluator needs to build its Δ⁻/Δ⁺ auxiliary tables (Fig. 2).
+//!
+//! Net-change compaction happens here at the variable level: a variable
+//! flipped A→B→A contributes nothing, and A→B→C contributes a single (A, C)
+//! record, keeping per-sample delta size bounded by the number of *distinct*
+//! variables touched, not the number of accepted steps.
+
+use crate::kernel::{KernelStats, MetropolisHastings};
+use crate::proposal::Proposer;
+use crate::rng::DynRng;
+use fgdb_graph::{Model, VariableId, World};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// A net world change since the last flush: `(variable, old, new)` with
+/// `old != new`.
+pub type NetChange = (VariableId, usize, usize);
+
+/// One MCMC chain over a world.
+pub struct Chain<M> {
+    kernel: MetropolisHastings<M>,
+    world: World,
+    rng: StdRng,
+    /// variable → (index at last flush, current index)
+    pending: HashMap<VariableId, (usize, usize)>,
+    steps_taken: u64,
+}
+
+impl<M: Model> Chain<M> {
+    /// Builds a chain with a deterministic seed.
+    pub fn new(model: M, proposer: Box<dyn Proposer>, world: World, seed: u64) -> Self {
+        Chain {
+            kernel: MetropolisHastings::new(model, proposer),
+            world,
+            rng: StdRng::seed_from_u64(seed),
+            pending: HashMap::new(),
+            steps_taken: 0,
+        }
+    }
+
+    /// The current world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the world (initialization only; changes made here
+    /// are not tracked as deltas).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The model.
+    pub fn model(&self) -> &M {
+        self.kernel.model()
+    }
+
+    /// Kernel statistics.
+    pub fn stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Total steps taken.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// Runs `k` MH steps (the paper's walk between samples), accumulating
+    /// net changes.
+    pub fn run(&mut self, k: usize) {
+        self.steps_taken += k as u64;
+        let mut rng = DynRng::new(&mut self.rng);
+        let pending = &mut self.pending;
+        self.kernel.walk(&mut self.world, k, &mut rng, |v, old, new| {
+            match pending.entry(v) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().1 = new;
+                    if e.get().0 == e.get().1 {
+                        e.remove();
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((old, new));
+                }
+            }
+        });
+    }
+
+    /// Net changes since the last call, compacted and sorted by variable.
+    /// Clears the pending set (Algorithm 1's "cleaning and refreshing of the
+    /// tables … between deterministic query executions").
+    pub fn take_changes(&mut self) -> Vec<NetChange> {
+        let mut out: Vec<NetChange> = self
+            .pending
+            .drain()
+            .filter(|(_, (old, new))| old != new)
+            .map(|(v, (old, new))| (v, old, new))
+            .collect();
+        out.sort_by_key(|(v, _, _)| *v);
+        out
+    }
+
+    /// True when uncommitted changes exist.
+    pub fn has_pending_changes(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal::UniformRelabel;
+    use fgdb_graph::{Domain, FactorGraph};
+
+    fn free_model(n: usize) -> (FactorGraph, World, Vec<VariableId>) {
+        // No factors: every proposal accepted (α = 1), maximizing churn.
+        let d = Domain::of_labels(&["a", "b", "c"]);
+        let w = World::new(vec![d; n]);
+        let vars: Vec<_> = (0..n as u32).map(VariableId).collect();
+        (FactorGraph::new(), w, vars)
+    }
+
+    #[test]
+    fn run_accumulates_net_changes() {
+        let (g, w, vars) = free_model(4);
+        let mut chain = Chain::new(g, Box::new(UniformRelabel::new(vars)), w, 42);
+        chain.run(100);
+        assert_eq!(chain.steps_taken(), 100);
+        let changes = chain.take_changes();
+        assert!(!changes.is_empty());
+        for (v, old, new) in &changes {
+            assert_ne!(old, new);
+            // The reported old value must be the *flush-time* value: all
+            // worlds start at index 0.
+            assert_eq!(*old, 0, "first old for {v} is the initial value");
+            assert_eq!(chain.world().get(*v), *new);
+        }
+        // Pending cleared.
+        assert!(!chain.has_pending_changes());
+        assert!(chain.take_changes().is_empty());
+    }
+
+    #[test]
+    fn changes_compact_across_runs_within_one_flush() {
+        let (g, w, vars) = free_model(2);
+        let mut chain = Chain::new(g, Box::new(UniformRelabel::new(vars)), w, 7);
+        chain.run(50);
+        chain.run(50);
+        let changes = chain.take_changes();
+        // Every variable appears at most once despite many flips.
+        let mut seen = std::collections::HashSet::new();
+        for (v, _, _) in &changes {
+            assert!(seen.insert(*v), "variable {v} reported twice");
+        }
+    }
+
+    #[test]
+    fn take_changes_reflects_only_net_motion() {
+        let (g, w, vars) = free_model(1);
+        let mut chain = Chain::new(g, Box::new(UniformRelabel::new(vars)), w, 3);
+        // Drive until the variable returns to its initial index, then flush.
+        let mut saw_round_trip = false;
+        for _ in 0..500 {
+            chain.run(1);
+            if chain.world().get(VariableId(0)) == 0 && chain.has_pending_changes() {
+                unreachable!("pending change with old==new should have compacted away");
+            }
+            if chain.world().get(VariableId(0)) == 0 {
+                saw_round_trip = true;
+            }
+        }
+        assert!(saw_round_trip, "chain should revisit the initial state");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let (g, w, vars) = free_model(5);
+            let mut chain = Chain::new(g, Box::new(UniformRelabel::new(vars)), w, seed);
+            chain.run(200);
+            chain.world().assignment().to_vec()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn world_mut_initialization_is_untracked() {
+        let (g, w, vars) = free_model(2);
+        let mut chain = Chain::new(g, Box::new(UniformRelabel::new(vars)), w, 1);
+        chain.world_mut().set(VariableId(0), 2);
+        assert!(!chain.has_pending_changes());
+        assert_eq!(chain.model().num_factors(), 0);
+    }
+}

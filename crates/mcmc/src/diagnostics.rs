@@ -1,0 +1,189 @@
+//! Convergence diagnostics for MCMC chains.
+//!
+//! The paper motivates thinning (§4.1: "consecutive samples in MH are highly
+//! dependent") and parallel chains (§5.4: cross-chain samples are more
+//! independent, hence super-linear error reduction). These diagnostics
+//! quantify both effects and back the ablation experiments:
+//!
+//! * [`autocorrelation`] — within-chain sample dependence at a given lag;
+//! * [`effective_sample_size`] — how many independent samples a correlated
+//!   chain is worth (the reason thinning with k = 10 000 is sensible);
+//! * [`gelman_rubin`] — the potential scale reduction factor R̂ across
+//!   parallel chains (≈ 1 at convergence).
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (unbiased, n−1 denominator).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Lag-`k` autocorrelation of a chain trace. Returns 0 for degenerate
+/// (constant or too-short) traces.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m).powi(2)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    num / denom
+}
+
+/// Effective sample size via the initial-positive-sequence estimator:
+/// `ESS = n / (1 + 2 Σ ρₖ)`, truncating the sum at the first non-positive
+/// even-pair, capped to `n`.
+pub fn effective_sample_size(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return n as f64;
+    }
+    let mut rho_sum = 0.0;
+    let mut k = 1;
+    while k + 1 < n {
+        let pair = autocorrelation(xs, k) + autocorrelation(xs, k + 1);
+        if pair <= 0.0 {
+            break;
+        }
+        rho_sum += pair;
+        k += 2;
+    }
+    (n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64)
+}
+
+/// Gelman–Rubin potential scale reduction factor R̂ over ≥ 2 chains of equal
+/// length. Values close to 1 indicate the chains have mixed.
+///
+/// # Panics
+/// Panics with fewer than two chains or mismatched/too-short traces.
+pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+    assert!(chains.len() >= 2, "R̂ needs at least two chains");
+    let n = chains[0].len();
+    assert!(n >= 2, "chains too short");
+    assert!(chains.iter().all(|c| c.len() == n), "unequal chain lengths");
+
+    let m = chains.len() as f64;
+    let nf = n as f64;
+    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
+    let grand = mean(&chain_means);
+    // Between-chain variance.
+    let b = nf / (m - 1.0)
+        * chain_means
+            .iter()
+            .map(|cm| (cm - grand).powi(2))
+            .sum::<f64>();
+    // Within-chain variance.
+    let w = chains.iter().map(|c| variance(c)).sum::<f64>() / m;
+    if w == 0.0 {
+        return 1.0; // all chains constant and identical
+    }
+    let var_plus = (nf - 1.0) / nf * w + b / nf;
+    (var_plus / w).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(variance(&[1.0, 2.0, 3.0]), 1.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn iid_samples_have_low_autocorrelation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<f64> = (0..5000).map(|_| rng.gen::<f64>()).collect();
+        assert!(autocorrelation(&xs, 1).abs() < 0.05);
+        let ess = effective_sample_size(&xs);
+        assert!(ess > 3000.0, "iid ESS ≈ n, got {ess}");
+    }
+
+    #[test]
+    fn sticky_chain_has_high_autocorrelation_and_low_ess() {
+        // AR(1) with coefficient 0.95.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut xs = vec![0.0f64];
+        for _ in 0..5000 {
+            let prev = *xs.last().unwrap();
+            xs.push(0.95 * prev + rng.gen::<f64>() - 0.5);
+        }
+        assert!(autocorrelation(&xs, 1) > 0.8);
+        let ess = effective_sample_size(&xs);
+        assert!(ess < 500.0, "sticky chain ESS should collapse, got {ess}");
+    }
+
+    #[test]
+    fn thinning_raises_ess_per_sample() {
+        // The §4.1 rationale: keeping every k-th sample de-correlates.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut xs = vec![0.0f64];
+        for _ in 0..20_000 {
+            let prev = *xs.last().unwrap();
+            xs.push(0.9 * prev + rng.gen::<f64>() - 0.5);
+        }
+        let thinned: Vec<f64> = xs.iter().step_by(20).copied().collect();
+        let rho_raw = autocorrelation(&xs, 1);
+        let rho_thin = autocorrelation(&thinned, 1);
+        assert!(rho_thin < rho_raw * 0.5);
+    }
+
+    #[test]
+    fn gelman_rubin_near_one_for_mixed_chains() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let chains: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..2000).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let r = gelman_rubin(&chains);
+        assert!((r - 1.0).abs() < 0.05, "R̂ = {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_large_for_disagreeing_chains() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a: Vec<f64> = (0..1000).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..1000).map(|_| 10.0 + rng.gen::<f64>()).collect();
+        let r = gelman_rubin(&[a, b]);
+        assert!(r > 5.0, "unmixed chains must show R̂ ≫ 1, got {r}");
+    }
+
+    #[test]
+    fn gelman_rubin_constant_chains() {
+        let r = gelman_rubin(&[vec![1.0; 10], vec![1.0; 10]]);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn gelman_rubin_one_chain_panics() {
+        gelman_rubin(&[vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    fn degenerate_autocorrelation_is_zero() {
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0], 3), 0.0);
+        assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Gibbs-style proposals — the paper's future-work direction of "jump
+//! functions that better explore the space of possible worlds" (§5.3, §6).
+//!
+//! [`GibbsRelabel`] picks a hidden variable uniformly and proposes a new
+//! value drawn from its **full conditional** `p(Yᵢ = d | rest)`, computed by
+//! scoring the variable's factor neighborhood once per domain value. With
+//! the matching Hastings correction
+//!
+//! ```text
+//! log q(w|w') − log q(w'|w) = log p(old | rest) − log p(new | rest)
+//! ```
+//!
+//! the MH acceptance probability is identically 1 — this is exactly the
+//! Gibbs sampler expressed inside the Metropolis–Hastings kernel, so the
+//! delta-tracking and evaluator machinery work unchanged. Each proposal
+//! costs |DOM| neighborhood scorings instead of one, but never wastes a
+//! rejection; on peaked posteriors it mixes markedly faster per proposal.
+
+use crate::proposal::{Proposal, Proposer};
+use crate::rng::DynRng;
+use fgdb_graph::enumerate::log_sum_exp;
+use fgdb_graph::{EvalStats, Model, VariableId, World};
+use rand::Rng;
+use std::sync::Arc;
+
+/// A Gibbs full-conditional proposer over a set of variables.
+///
+/// Holds its own reference to the model (proposers are otherwise
+/// model-agnostic) and a scratch world clone for conditional scoring.
+pub struct GibbsRelabel<M> {
+    model: Arc<M>,
+    vars: Vec<VariableId>,
+    /// Factor-evaluation counters for the conditional computations.
+    stats: EvalStats,
+    /// Scratch buffer of per-value log scores.
+    scores: Vec<f64>,
+}
+
+impl<M: Model> GibbsRelabel<M> {
+    /// Builds the proposer.
+    ///
+    /// # Panics
+    /// Panics when `vars` is empty.
+    pub fn new(model: Arc<M>, vars: Vec<VariableId>) -> Self {
+        assert!(!vars.is_empty(), "Gibbs proposer needs at least one variable");
+        GibbsRelabel {
+            model,
+            vars,
+            stats: EvalStats::default(),
+            scores: Vec::new(),
+        }
+    }
+
+    /// Factor evaluations spent computing conditionals.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+}
+
+impl<M: Model> Proposer for GibbsRelabel<M> {
+    fn propose(&mut self, world: &World, rng: &mut DynRng<'_>) -> Proposal {
+        let v = self.vars[rng.gen_range(0..self.vars.len())];
+        let card = world.domain(v).len();
+        let current = world.get(v);
+
+        // Score the neighborhood under every candidate value via the
+        // what-if overlay — no world mutation or clone.
+        self.scores.clear();
+        for d in 0..card {
+            self.scores
+                .push(self.model.score_neighborhood_whatif(world, v, d, &mut self.stats));
+        }
+        let logz = log_sum_exp(&self.scores);
+        // Sample d ∝ exp(score_d).
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        let mut chosen = card - 1;
+        for (d, s) in self.scores.iter().enumerate() {
+            acc += (s - logz).exp();
+            if u < acc {
+                chosen = d;
+                break;
+            }
+        }
+        // Hastings correction renders acceptance exactly 1:
+        // q(w'|w) = p(chosen | rest), q(w|w') = p(current | rest).
+        let log_q_ratio = (self.scores[current] - logz) - (self.scores[chosen] - logz)
+            // The score difference the kernel will add is
+            // score(chosen) − score(current); cancel it exactly.
+            ;
+        Proposal {
+            changes: vec![(v, chosen)],
+            log_q_ratio,
+        }
+    }
+
+    fn support(&self) -> &[VariableId] {
+        &self.vars
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::MetropolisHastings;
+    use fgdb_graph::enumerate::exact_marginals;
+    use fgdb_graph::{Domain, FactorGraph, TableFactor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn coupled_graph() -> (Arc<FactorGraph>, World, Vec<VariableId>) {
+        let d = Domain::of_labels(&["a", "b", "c"]);
+        let w = World::new(vec![d.clone(), d]);
+        let mut g = FactorGraph::new();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0), VariableId(1)],
+            vec![3, 3],
+            vec![1.0, 0.0, -0.5, 0.0, 1.0, 0.3, -0.5, 0.3, 1.0],
+            "pair",
+        )));
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0)],
+            vec![3],
+            vec![0.4, 0.0, -0.2],
+            "unary",
+        )));
+        (Arc::new(g), w, vec![VariableId(0), VariableId(1)])
+    }
+
+    #[test]
+    fn gibbs_never_rejects() {
+        let (g, mut w, vars) = coupled_graph();
+        let proposer = GibbsRelabel::new(Arc::clone(&g), vars);
+        let mut kernel = MetropolisHastings::new(g, Box::new(proposer));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DynRng::from(&mut rng);
+        for _ in 0..2000 {
+            kernel.step(&mut w, &mut rng);
+        }
+        let s = kernel.stats();
+        assert_eq!(s.accepted, s.proposals, "Gibbs acceptance must be 1");
+    }
+
+    #[test]
+    fn gibbs_converges_to_exact_marginals() {
+        let (g, mut w, vars) = coupled_graph();
+        let exact = exact_marginals(&*g, &mut w.clone(), &vars);
+        let proposer = GibbsRelabel::new(Arc::clone(&g), vars.clone());
+        let mut kernel = MetropolisHastings::new(Arc::clone(&g), Box::new(proposer));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = DynRng::from(&mut rng);
+        let n = 120_000;
+        let mut counts = [[0u64; 3]; 2];
+        for _ in 0..n {
+            kernel.step(&mut w, &mut rng);
+            for (i, &v) in vars.iter().enumerate() {
+                counts[i][w.get(v)] += 1;
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            for d in 0..3 {
+                let est = c[d] as f64 / n as f64;
+                assert!(
+                    (est - exact[i][d]).abs() < 0.01,
+                    "var {i} value {d}: {est:.4} vs {:.4}",
+                    exact[i][d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gibbs_mixes_faster_than_uniform_per_proposal() {
+        // On a peaked two-variable model, Gibbs reaches the mode's
+        // occupancy statistics in fewer proposals than uniform relabeling.
+        let d = Domain::of_labels(&["lo", "hi"]);
+        let mk = || {
+            let mut g = FactorGraph::new();
+            g.add_factor(Box::new(TableFactor::new(
+                vec![VariableId(0)],
+                vec![2],
+                vec![0.0, 3.0],
+                "peaked",
+            )));
+            Arc::new(g)
+        };
+        let exact_hi = 3f64.exp() / (1.0 + 3f64.exp());
+
+        let occupancy = |gibbs: bool| {
+            let g = mk();
+            let mut w = World::new(vec![d.clone()]);
+            let proposer: Box<dyn Proposer> = if gibbs {
+                Box::new(GibbsRelabel::new(Arc::clone(&g), vec![VariableId(0)]))
+            } else {
+                Box::new(crate::proposal::UniformRelabel::new(vec![VariableId(0)]))
+            };
+            let mut kernel = MetropolisHastings::new(g, proposer);
+            let mut rng = StdRng::seed_from_u64(4);
+            let mut rng = DynRng::from(&mut rng);
+            let n = 3000;
+            let mut hi = 0u64;
+            for _ in 0..n {
+                kernel.step(&mut w, &mut rng);
+                hi += w.get(VariableId(0)) as u64;
+            }
+            (hi as f64 / n as f64 - exact_hi).abs()
+        };
+        // Both should be near; Gibbs at least as close (generous slack to
+        // stay deterministic-robust).
+        assert!(occupancy(true) <= occupancy(false) + 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_vars_panics() {
+        let (g, _, _) = coupled_graph();
+        let _ = GibbsRelabel::new(g, vec![]);
+    }
+}

@@ -1,0 +1,342 @@
+//! The Metropolis–Hastings transition kernel (§3.4, Algorithm 2).
+//!
+//! One step: draw `w' ~ q(·|w)`, accept with probability
+//!
+//! ```text
+//! α(w', w) = min(1, π(w')/π(w) · q(w|w')/q(w'|w))          (Eq. 3)
+//! ```
+//!
+//! The model ratio is computed **only over factors adjacent to the changed
+//! variables** (the cancellation of Appendix 9.2) and entirely in log space,
+//! so the #P-hard normalizer `Z_X` never appears and each step is O(1) in
+//! the database size for constant-size proposals.
+
+use crate::proposal::{Proposal, Proposer};
+use crate::rng::DynRng;
+use fgdb_graph::{EvalStats, Model, VariableId, World};
+use rand::Rng;
+
+/// Counters for a kernel's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Proposals drawn.
+    pub proposals: u64,
+    /// Proposals accepted.
+    pub accepted: u64,
+    /// Factor-evaluation counters from the model.
+    pub eval: EvalStats,
+}
+
+impl KernelStats {
+    /// Fraction of proposals accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposals as f64
+        }
+    }
+}
+
+/// The outcome of one MH step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StepOutcome {
+    /// Whether the proposal was accepted (the world now reflects it).
+    pub accepted: bool,
+    /// Applied changes as `(variable, old index, new index)`; empty on
+    /// rejection or for no-op proposals.
+    pub changes: Vec<(VariableId, usize, usize)>,
+}
+
+/// A Metropolis–Hastings kernel binding a model and a proposer.
+pub struct MetropolisHastings<M> {
+    model: M,
+    proposer: Box<dyn Proposer>,
+    stats: KernelStats,
+    /// Scratch buffers reused across steps to keep the hot loop allocation-free.
+    touched: Vec<VariableId>,
+    applied: Vec<(VariableId, usize, usize)>,
+}
+
+impl<M: Model> MetropolisHastings<M> {
+    /// Builds a kernel.
+    pub fn new(model: M, proposer: Box<dyn Proposer>) -> Self {
+        MetropolisHastings {
+            model,
+            proposer,
+            stats: KernelStats::default(),
+            touched: Vec::new(),
+            applied: Vec::new(),
+        }
+    }
+
+    /// The model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Variables the proposer may modify.
+    pub fn support(&self) -> &[VariableId] {
+        self.proposer.support()
+    }
+
+    /// Executes one MH step in place, returning what (if anything) changed.
+    pub fn step(&mut self, world: &mut World, rng: &mut DynRng<'_>) -> StepOutcome {
+        self.stats.proposals += 1;
+        let proposal = self.proposer.propose(world, rng);
+        self.step_with(world, proposal, rng)
+    }
+
+    /// Executes one MH step with an externally supplied proposal (used by
+    /// SampleRank, which needs to observe the proposal before the accept
+    /// decision).
+    pub fn step_with(
+        &mut self,
+        world: &mut World,
+        proposal: Proposal,
+        rng: &mut DynRng<'_>,
+    ) -> StepOutcome {
+        // Distinct touched variables.
+        self.touched.clear();
+        for (v, _) in &proposal.changes {
+            if !self.touched.contains(v) {
+                self.touched.push(*v);
+            }
+        }
+
+        // Score the neighborhood before and after applying the change; all
+        // other factors cancel in the ratio (Appendix 9.2).
+        let before = self
+            .model
+            .score_neighborhood(world, &self.touched, &mut self.stats.eval);
+
+        self.applied.clear();
+        for &(v, new) in &proposal.changes {
+            let old = world.set(v, new);
+            self.applied.push((v, old, new));
+        }
+
+        let after = self
+            .model
+            .score_neighborhood(world, &self.touched, &mut self.stats.eval);
+
+        let log_alpha = (after - before) + proposal.log_q_ratio;
+        let accept = if log_alpha >= 0.0 {
+            true
+        } else {
+            // u ~ U(0,1); accept iff log u < log α. `gen::<f64>()` is in
+            // [0,1); ln(0) = -inf rejects only when α is 0.
+            rng.gen::<f64>().ln() < log_alpha
+        };
+
+        if accept {
+            self.stats.accepted += 1;
+            // Drop no-op entries (old == new) and report the rest.
+            let changes: Vec<_> = self
+                .applied
+                .iter()
+                .copied()
+                .filter(|(_, old, new)| old != new)
+                .collect();
+            StepOutcome {
+                accepted: true,
+                changes,
+            }
+        } else {
+            // Revert in reverse order so repeated writes to one variable
+            // unwind correctly.
+            for &(v, old, _) in self.applied.iter().rev() {
+                world.set(v, old);
+            }
+            StepOutcome {
+                accepted: false,
+                changes: Vec::new(),
+            }
+        }
+    }
+
+    /// Runs `n` steps (Algorithm 2's random walk), invoking `on_change` for
+    /// every applied change.
+    pub fn walk(
+        &mut self,
+        world: &mut World,
+        n: usize,
+        rng: &mut DynRng<'_>,
+        mut on_change: impl FnMut(VariableId, usize, usize),
+    ) {
+        for _ in 0..n {
+            let out = self.step(world, rng);
+            for (v, old, new) in out.changes {
+                on_change(v, old, new);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proposal::UniformRelabel;
+    use fgdb_graph::enumerate::exact_marginals;
+    use fgdb_graph::{Domain, FactorGraph, TableFactor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two coupled binary variables with a bias (same graph as the
+    /// enumeration tests — lets us verify MCMC against exact marginals).
+    fn ising2() -> (FactorGraph, World, Vec<VariableId>) {
+        let d = Domain::of_labels(&["0", "1"]);
+        let w = World::new(vec![d.clone(), d]);
+        let mut g = FactorGraph::new();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0), VariableId(1)],
+            vec![2, 2],
+            vec![1.2, 0.0, 0.0, 1.2],
+            "couple",
+        )));
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0)],
+            vec![2],
+            vec![0.0, 0.8],
+            "bias",
+        )));
+        (g, w, vec![VariableId(0), VariableId(1)])
+    }
+
+    #[test]
+    fn rejected_step_restores_world() {
+        // A hard constraint makes flipping var 0 alone always rejected when
+        // it breaks agreement.
+        let d = Domain::of_labels(&["0", "1"]);
+        let w0 = World::new(vec![d.clone(), d]);
+        let mut g = FactorGraph::new();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0), VariableId(1)],
+            vec![2, 2],
+            vec![0.0, f64::NEG_INFINITY, f64::NEG_INFINITY, 0.0],
+            "must-agree",
+        )));
+        let mut world = w0;
+        let mut k = MetropolisHastings::new(g, Box::new(UniformRelabel::new(vec![VariableId(0)])));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = DynRng::from(&mut rng);
+        for _ in 0..100 {
+            let out = k.step(&mut world, &mut rng);
+            // Accepted steps can only be no-ops (0 → 0).
+            assert!(out.changes.is_empty());
+            assert_eq!(world.get(VariableId(0)), 0);
+            assert_eq!(world.get(VariableId(1)), 0);
+        }
+    }
+
+    #[test]
+    fn chain_converges_to_exact_marginals() {
+        let (g, mut world, vars) = ising2();
+        let exact = exact_marginals(&g, &mut world.clone(), &vars);
+
+        let mut k = MetropolisHastings::new(g, Box::new(UniformRelabel::new(vars.clone())));
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DynRng::from(&mut rng);
+        let n = 200_000usize;
+        let mut counts = vec![[0u64; 2]; vars.len()];
+        for _ in 0..n {
+            k.step(&mut world, &mut rng);
+            for (i, &v) in vars.iter().enumerate() {
+                counts[i][world.get(v)] += 1;
+            }
+        }
+        for (i, c) in counts.iter().enumerate() {
+            let p1 = c[1] as f64 / n as f64;
+            assert!(
+                (p1 - exact[i][1]).abs() < 0.01,
+                "variable {i}: sampled {p1:.4} vs exact {:.4}",
+                exact[i][1]
+            );
+        }
+    }
+
+    #[test]
+    fn acceptance_stats_track() {
+        let (g, mut world, vars) = ising2();
+        let mut k = MetropolisHastings::new(g, Box::new(UniformRelabel::new(vars)));
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = DynRng::from(&mut rng);
+        for _ in 0..500 {
+            k.step(&mut world, &mut rng);
+        }
+        let s = k.stats();
+        assert_eq!(s.proposals, 500);
+        assert!(s.accepted > 0 && s.accepted <= 500);
+        let r = s.acceptance_rate();
+        assert!(r > 0.0 && r <= 1.0);
+        // Two neighborhood scorings per step.
+        assert_eq!(s.eval.neighborhood_scores, 1000);
+    }
+
+    #[test]
+    fn walk_reports_changes() {
+        let (g, mut world, vars) = ising2();
+        let mut k = MetropolisHastings::new(g, Box::new(UniformRelabel::new(vars)));
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = DynRng::from(&mut rng);
+        let mut n_changes = 0;
+        let snapshot = world.assignment().to_vec();
+        k.walk(&mut world, 200, &mut rng, |_, old, new| {
+            assert_ne!(old, new);
+            n_changes += 1;
+        });
+        // The world moved (with overwhelming probability at this seed).
+        assert!(n_changes > 0);
+        let _ = snapshot;
+    }
+
+    #[test]
+    fn multi_variable_proposals_revert_in_order() {
+        // A proposal writing the same variable twice must unwind correctly.
+        struct DoubleWrite(Vec<VariableId>);
+        impl Proposer for DoubleWrite {
+            fn propose(&mut self, _world: &World, _rng: &mut DynRng<'_>) -> Proposal {
+                Proposal {
+                    changes: vec![(VariableId(0), 1), (VariableId(0), 0)],
+                    // Force rejection via a hugely negative q-ratio.
+                    log_q_ratio: -1e18,
+                }
+            }
+            fn support(&self) -> &[VariableId] {
+                &self.0
+            }
+        }
+        let (g, mut world, _) = ising2();
+        let mut k = MetropolisHastings::new(g, Box::new(DoubleWrite(vec![VariableId(0)])));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DynRng::from(&mut rng);
+        let out = k.step(&mut world, &mut rng);
+        assert!(!out.accepted);
+        assert_eq!(world.get(VariableId(0)), 0, "reverted to original");
+    }
+
+    #[test]
+    fn no_op_accepted_changes_are_filtered() {
+        struct NoOp(Vec<VariableId>);
+        impl Proposer for NoOp {
+            fn propose(&mut self, world: &World, _rng: &mut DynRng<'_>) -> Proposal {
+                Proposal::symmetric(vec![(VariableId(0), world.get(VariableId(0)))])
+            }
+            fn support(&self) -> &[VariableId] {
+                &self.0
+            }
+        }
+        let (g, mut world, _) = ising2();
+        let mut k = MetropolisHastings::new(g, Box::new(NoOp(vec![VariableId(0)])));
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = DynRng::from(&mut rng);
+        let out = k.step(&mut world, &mut rng);
+        assert!(out.accepted); // α = 1 for identical worlds
+        assert!(out.changes.is_empty());
+    }
+}

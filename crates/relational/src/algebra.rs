@@ -1,0 +1,578 @@
+//! Relational algebra plans.
+//!
+//! The paper's query evaluation problem (§4) is defined over *arbitrary*
+//! relational algebra, "including aggregation", because the stored world is
+//! always deterministic. [`Plan`] is that algebra: selection, projection,
+//! Cartesian product, equi-join, grouping/aggregation (with per-aggregate
+//! filters, which express the correlated COUNT subqueries of Query 3), and
+//! duplicate elimination.
+//!
+//! Plans are built by name against relation schemas and later compiled either
+//! by the full executor ([`crate::exec`]) or into an incrementally-maintained
+//! materialized view ([`crate::view`]).
+
+use crate::database::Database;
+use crate::expr::Expr;
+use std::fmt;
+use std::sync::Arc;
+
+/// Aggregate functions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts input multiplicity.
+    Count,
+    /// `SUM(column)` over numeric values (NULLs skipped).
+    Sum(Arc<str>),
+    /// `MIN(column)` (NULLs skipped; NULL when group has no non-null value).
+    Min(Arc<str>),
+    /// `MAX(column)` (NULLs skipped).
+    Max(Arc<str>),
+}
+
+/// One aggregate in a [`Plan::Aggregate`] node.
+///
+/// The optional `filter` restricts which input rows feed the aggregate —
+/// SQL's `COUNT(*) FILTER (WHERE …)`. Query 3's two correlated subqueries
+/// become two filtered counts over the same grouping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Optional row filter evaluated against the aggregate input.
+    pub filter: Option<Expr>,
+    /// Output column name.
+    pub name: Arc<str>,
+}
+
+impl AggExpr {
+    /// Unfiltered aggregate.
+    pub fn new(func: AggFunc, name: impl Into<Arc<str>>) -> Self {
+        AggExpr {
+            func,
+            filter: None,
+            name: name.into(),
+        }
+    }
+
+    /// `COUNT(*) FILTER (WHERE predicate) AS name`.
+    pub fn count_if(predicate: Expr, name: impl Into<Arc<str>>) -> Self {
+        AggExpr {
+            func: AggFunc::Count,
+            filter: Some(predicate),
+            name: name.into(),
+        }
+    }
+}
+
+/// A relational algebra plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Base relation access; `alias` qualifies output columns as `alias.col`
+    /// so that self-joins (Query 4) can disambiguate.
+    Scan {
+        /// Relation name in the catalog.
+        relation: Arc<str>,
+        /// Optional alias for column qualification.
+        alias: Option<Arc<str>>,
+    },
+    /// σ — filter rows by a predicate.
+    Select {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Row predicate (SQL three-valued).
+        predicate: Expr,
+    },
+    /// π — project onto named columns (multiset semantics: duplicates kept).
+    Project {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output column names, resolved against the input.
+        columns: Vec<Arc<str>>,
+    },
+    /// × — Cartesian product.
+    Product {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// ⋈ — equi-join on pairs of (left column, right column).
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Equality conditions `(left_col, right_col)`.
+        on: Vec<(Arc<str>, Arc<str>)>,
+    },
+    /// γ — group by columns and compute aggregates. With an empty `group_by`
+    /// this is a global aggregate that always emits exactly one row.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Grouping columns.
+        group_by: Vec<Arc<str>>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+    /// δ — duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// ∪ — bag union (UNION ALL: multiplicities add).
+    Union {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input (must have the same arity as the left).
+        right: Box<Plan>,
+    },
+    /// ∖ — bag difference (monus: `max(0, L(t) − R(t))`).
+    Difference {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// ∩ — bag intersection (`min(L(t), R(t))`).
+    Intersect {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+}
+
+/// Errors raised while validating or binding a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Relation missing from the catalog.
+    UnknownRelation(String),
+    /// Column name failed to resolve (or was ambiguous).
+    UnknownColumn(String),
+    /// The same output column name appears twice.
+    DuplicateOutput(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            PlanError::UnknownColumn(c) => write!(f, "unknown or ambiguous column `{c}`"),
+            PlanError::DuplicateOutput(c) => write!(f, "duplicate output column `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl Plan {
+    /// Scans a relation.
+    pub fn scan(relation: impl Into<Arc<str>>) -> Plan {
+        Plan::Scan {
+            relation: relation.into(),
+            alias: None,
+        }
+    }
+
+    /// Scans a relation under an alias (columns become `alias.col`).
+    pub fn scan_as(relation: impl Into<Arc<str>>, alias: impl Into<Arc<str>>) -> Plan {
+        Plan::Scan {
+            relation: relation.into(),
+            alias: Some(alias.into()),
+        }
+    }
+
+    /// Adds a σ on top.
+    pub fn filter(self, predicate: Expr) -> Plan {
+        Plan::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Adds a π on top.
+    pub fn project(self, columns: &[&str]) -> Plan {
+        Plan::Project {
+            input: Box::new(self),
+            columns: columns.iter().map(|c| Arc::from(*c)).collect(),
+        }
+    }
+
+    /// Cartesian product with another plan.
+    pub fn product(self, right: Plan) -> Plan {
+        Plan::Product {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Equi-join with another plan.
+    pub fn join_on(self, right: Plan, on: &[(&str, &str)]) -> Plan {
+        Plan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on
+                .iter()
+                .map(|(l, r)| (Arc::from(*l), Arc::from(*r)))
+                .collect(),
+        }
+    }
+
+    /// Group-by + aggregates.
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<AggExpr>) -> Plan {
+        Plan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|c| Arc::from(*c)).collect(),
+            aggs,
+        }
+    }
+
+    /// Duplicate elimination.
+    pub fn distinct(self) -> Plan {
+        Plan::Distinct {
+            input: Box::new(self),
+        }
+    }
+
+    /// Bag union (UNION ALL).
+    pub fn union(self, right: Plan) -> Plan {
+        Plan::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Bag difference (EXCEPT ALL, monus semantics).
+    pub fn difference(self, right: Plan) -> Plan {
+        Plan::Difference {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Bag intersection (INTERSECT ALL).
+    pub fn intersect(self, right: Plan) -> Plan {
+        Plan::Intersect {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// Output column names of this plan against a database catalog.
+    pub fn output_columns(&self, db: &Database) -> Result<Vec<Arc<str>>, PlanError> {
+        match self {
+            Plan::Scan { relation, alias } => {
+                let rel = db
+                    .relation(relation)
+                    .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
+                Ok(rel
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| match alias {
+                        Some(a) => Arc::from(format!("{a}.{}", c.name)),
+                        None => Arc::clone(&c.name),
+                    })
+                    .collect())
+            }
+            Plan::Select { input, .. } => input.output_columns(db),
+            Plan::Project { input, columns } => {
+                let in_cols = input.output_columns(db)?;
+                let mut out = Vec::with_capacity(columns.len());
+                for c in columns {
+                    crate::expr::resolve_column(&in_cols, c)
+                        .ok_or_else(|| PlanError::UnknownColumn(c.to_string()))?;
+                    out.push(Arc::clone(c));
+                }
+                check_unique(&out)?;
+                Ok(out)
+            }
+            Plan::Product { left, right } | Plan::Join { left, right, .. } => {
+                let mut out = left.output_columns(db)?;
+                out.extend(right.output_columns(db)?);
+                check_unique(&out)?;
+                Ok(out)
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_cols = input.output_columns(db)?;
+                let mut out = Vec::with_capacity(group_by.len() + aggs.len());
+                for g in group_by {
+                    crate::expr::resolve_column(&in_cols, g)
+                        .ok_or_else(|| PlanError::UnknownColumn(g.to_string()))?;
+                    out.push(Arc::clone(g));
+                }
+                for a in aggs {
+                    out.push(Arc::clone(&a.name));
+                }
+                check_unique(&out)?;
+                Ok(out)
+            }
+            Plan::Distinct { input } => input.output_columns(db),
+            Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::Intersect { left, right } => {
+                let l = left.output_columns(db)?;
+                let r = right.output_columns(db)?;
+                if l.len() != r.len() {
+                    // Arity mismatch is a missing-column-shaped error on the
+                    // narrower side's first absent position.
+                    return Err(PlanError::UnknownColumn(format!(
+                        "set operation arity mismatch: {} vs {}",
+                        l.len(),
+                        r.len()
+                    )));
+                }
+                Ok(l)
+            }
+        }
+    }
+
+    /// Base relations referenced by this plan (deduplicated).
+    pub fn base_relations(&self) -> Vec<Arc<str>> {
+        let mut out = Vec::new();
+        self.collect_base_relations(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_base_relations(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Plan::Scan { relation, .. } => out.push(Arc::clone(relation)),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input } => input.collect_base_relations(out),
+            Plan::Product { left, right }
+            | Plan::Join { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::Intersect { left, right } => {
+                left.collect_base_relations(out);
+                right.collect_base_relations(out);
+            }
+        }
+    }
+}
+
+fn check_unique(cols: &[Arc<str>]) -> Result<(), PlanError> {
+    for (i, c) in cols.iter().enumerate() {
+        if cols[..i].iter().any(|p| p == c) {
+            return Err(PlanError::DuplicateOutput(c.to_string()));
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan { relation, alias } => match alias {
+                Some(a) => write!(f, "Scan({relation} AS {a})"),
+                None => write!(f, "Scan({relation})"),
+            },
+            Plan::Select { input, .. } => write!(f, "σ({input})"),
+            Plan::Project { input, columns } => {
+                let cols: Vec<_> = columns.iter().map(|c| c.to_string()).collect();
+                write!(f, "π[{}]({input})", cols.join(","))
+            }
+            Plan::Product { left, right } => write!(f, "({left} × {right})"),
+            Plan::Join { left, right, on } => {
+                let conds: Vec<_> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                write!(f, "({left} ⋈[{}] {right})", conds.join(","))
+            }
+            Plan::Aggregate {
+                input, group_by, ..
+            } => {
+                let g: Vec<_> = group_by.iter().map(|c| c.to_string()).collect();
+                write!(f, "γ[{}]({input})", g.join(","))
+            }
+            Plan::Distinct { input } => write!(f, "δ({input})"),
+            Plan::Union { left, right } => write!(f, "({left} ∪ {right})"),
+            Plan::Difference { left, right } => write!(f, "({left} ∖ {right})"),
+            Plan::Intersect { left, right } => write!(f, "({left} ∩ {right})"),
+        }
+    }
+}
+
+/// The four evaluation queries of the paper (§5), as plan constructors over
+/// the TOKEN relation `(tok_id, doc_id, string, label, truth)`.
+pub mod paper_queries {
+    use super::*;
+
+    /// Query 1: `SELECT STRING FROM TOKEN WHERE LABEL='B-PER'`.
+    pub fn query1(token: &str) -> Plan {
+        Plan::scan(token)
+            .filter(Expr::col("label").eq(Expr::lit("B-PER")))
+            .project(&["string"])
+    }
+
+    /// Query 2: `SELECT COUNT(*) FROM TOKEN WHERE LABEL='B-PER'`.
+    ///
+    /// Expressed as a single global filtered count so the view-maintained
+    /// evaluator keeps one accumulator.
+    pub fn query2(token: &str) -> Plan {
+        Plan::scan(token).aggregate(
+            &[],
+            vec![AggExpr::count_if(
+                Expr::col("label").eq(Expr::lit("B-PER")),
+                "n_person",
+            )],
+        )
+    }
+
+    /// Query 3: documents whose B-PER count equals their B-ORG count.
+    ///
+    /// The SQL in the paper uses two correlated COUNT subqueries; in algebra
+    /// this is one grouping over `doc_id` with two filtered counts, a σ on
+    /// count equality, and a π onto `doc_id`. (Per SQL semantics every
+    /// document with at least one token appears in the grouping; documents
+    /// with zero B-PER *and* zero B-ORG mentions satisfy 0 = 0.)
+    pub fn query3(token: &str) -> Plan {
+        Plan::scan(token)
+            .aggregate(
+                &["doc_id"],
+                vec![
+                    AggExpr::count_if(Expr::col("label").eq(Expr::lit("B-PER")), "n_per"),
+                    AggExpr::count_if(Expr::col("label").eq(Expr::lit("B-ORG")), "n_org"),
+                ],
+            )
+            .filter(Expr::col("n_per").eq(Expr::col("n_org")))
+            .project(&["doc_id"])
+    }
+
+    /// Query 4: person strings co-occurring (same document) with a token
+    /// "Boston" labelled B-ORG.
+    pub fn query4(token: &str) -> Plan {
+        let t1 = Plan::scan_as(token, "T1").filter(
+            Expr::col("T1.string")
+                .eq(Expr::lit("Boston"))
+                .and(Expr::col("T1.label").eq(Expr::lit("B-ORG"))),
+        );
+        let t2 = Plan::scan_as(token, "T2")
+            .filter(Expr::col("T2.label").eq(Expr::lit("B-PER")));
+        t1.join_on(t2, &[("T1.doc_id", "T2.doc_id")])
+            .project(&["T2.string"])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::ValueType;
+
+    fn db_with_token() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[
+            ("tok_id", ValueType::Int),
+            ("doc_id", ValueType::Int),
+            ("string", ValueType::Str),
+            ("label", ValueType::Str),
+            ("truth", ValueType::Str),
+        ])
+        .unwrap()
+        .with_primary_key("tok_id")
+        .unwrap();
+        db.create_relation("TOKEN", schema).unwrap();
+        db
+    }
+
+    #[test]
+    fn scan_output_columns() {
+        let db = db_with_token();
+        let cols = Plan::scan("TOKEN").output_columns(&db).unwrap();
+        let names: Vec<_> = cols.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, vec!["tok_id", "doc_id", "string", "label", "truth"]);
+    }
+
+    #[test]
+    fn aliased_scan_qualifies_columns() {
+        let db = db_with_token();
+        let cols = Plan::scan_as("TOKEN", "T1").output_columns(&db).unwrap();
+        assert_eq!(&*cols[0], "T1.tok_id");
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let db = db_with_token();
+        assert!(matches!(
+            Plan::scan("NOPE").output_columns(&db),
+            Err(PlanError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn project_validates_columns() {
+        let db = db_with_token();
+        let good = Plan::scan("TOKEN").project(&["string"]);
+        assert_eq!(good.output_columns(&db).unwrap().len(), 1);
+        let bad = Plan::scan("TOKEN").project(&["nope"]);
+        assert!(matches!(
+            bad.output_columns(&db),
+            Err(PlanError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn self_product_without_alias_has_duplicate_columns() {
+        let db = db_with_token();
+        let p = Plan::scan("TOKEN").product(Plan::scan("TOKEN"));
+        assert!(matches!(
+            p.output_columns(&db),
+            Err(PlanError::DuplicateOutput(_))
+        ));
+        // Aliased self-product is fine.
+        let p = Plan::scan_as("TOKEN", "T1").product(Plan::scan_as("TOKEN", "T2"));
+        assert_eq!(p.output_columns(&db).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn paper_query_plans_validate() {
+        let db = db_with_token();
+        for (plan, want_cols) in [
+            (paper_queries::query1("TOKEN"), vec!["string"]),
+            (paper_queries::query2("TOKEN"), vec!["n_person"]),
+            (paper_queries::query3("TOKEN"), vec!["doc_id"]),
+            (paper_queries::query4("TOKEN"), vec!["T2.string"]),
+        ] {
+            let cols = plan.output_columns(&db).unwrap();
+            let names: Vec<_> = cols.iter().map(|c| c.to_string()).collect();
+            assert_eq!(names, want_cols, "{plan}");
+        }
+    }
+
+    #[test]
+    fn base_relations_deduplicated() {
+        let q4 = paper_queries::query4("TOKEN");
+        let rels = q4.base_relations();
+        assert_eq!(rels.len(), 1);
+        assert_eq!(&*rels[0], "TOKEN");
+    }
+
+    #[test]
+    fn aggregate_output_columns() {
+        let db = db_with_token();
+        let p = Plan::scan("TOKEN").aggregate(
+            &["doc_id"],
+            vec![
+                AggExpr::new(AggFunc::Count, "n"),
+                AggExpr::new(AggFunc::Min(Arc::from("tok_id")), "first_tok"),
+            ],
+        );
+        let cols = p.output_columns(&db).unwrap();
+        let names: Vec<_> = cols.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names, vec!["doc_id", "n", "first_tok"]);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let q1 = paper_queries::query1("TOKEN");
+        assert_eq!(q1.to_string(), "π[string](σ(Scan(TOKEN)))");
+    }
+}

@@ -1,0 +1,246 @@
+//! Deltas between consecutive possible worlds.
+//!
+//! Figure 2 of the paper: after k MCMC steps the new world `w'` differs from
+//! `w` by a removed set Δ⁻ ⊆ w and an added set Δ⁺ ⊆ w'. The prototype in
+//! §5 stores these as "auxiliary tables representing the 'added' and
+//! 'deleted' tuples required for applying the efficient modified queries".
+//!
+//! [`DeltaSet`] is those auxiliary tables. It records per-relation signed
+//! tuple multiplicities; because it is backed by [`CountedSet`], a field that
+//! is changed and later restored to its original value *cancels out*
+//! automatically (the compaction the paper performs when "cleaning and
+//! refreshing the tables ... between deterministic query executions").
+
+use crate::counted::CountedSet;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Signed per-relation tuple deltas accumulated between query evaluations.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaSet {
+    per_relation: BTreeMap<Arc<str>, CountedSet>,
+}
+
+impl DeltaSet {
+    /// Creates an empty delta set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a tuple insertion into `relation` (a Δ⁺ entry).
+    pub fn record_insert(&mut self, relation: &Arc<str>, tuple: Tuple) {
+        self.entry(relation).add(tuple, 1);
+        self.prune(relation);
+    }
+
+    /// Records a tuple deletion from `relation` (a Δ⁻ entry).
+    pub fn record_delete(&mut self, relation: &Arc<str>, tuple: Tuple) {
+        self.entry(relation).add(tuple, -1);
+        self.prune(relation);
+    }
+
+    /// Records an in-place update: the old image leaves the world (Δ⁻) and
+    /// the new image enters it (Δ⁺). This is the path MCMC takes on every
+    /// accepted proposal.
+    pub fn record_update(&mut self, relation: &Arc<str>, old: Tuple, new: Tuple) {
+        if old == new {
+            return;
+        }
+        let set = self.entry(relation);
+        set.add(old, -1);
+        set.add(new, 1);
+        self.prune(relation);
+    }
+
+    fn entry(&mut self, relation: &Arc<str>) -> &mut CountedSet {
+        self.per_relation
+            .entry(Arc::clone(relation))
+            .or_default()
+    }
+
+    fn prune(&mut self, relation: &Arc<str>) {
+        if self
+            .per_relation
+            .get(relation)
+            .is_some_and(CountedSet::is_empty)
+        {
+            self.per_relation.remove(relation);
+        }
+    }
+
+    /// Signed delta for one relation (empty when unchanged).
+    pub fn for_relation(&self, relation: &str) -> Option<&CountedSet> {
+        self.per_relation.get(relation)
+    }
+
+    /// The Δ⁻ view: tuples with negative net multiplicity, as positive counts.
+    pub fn removed(&self, relation: &str) -> CountedSet {
+        let mut out = CountedSet::new();
+        if let Some(set) = self.per_relation.get(relation) {
+            for (t, c) in set.iter() {
+                if c < 0 {
+                    out.add(t.clone(), -c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The Δ⁺ view: tuples with positive net multiplicity.
+    pub fn added(&self, relation: &str) -> CountedSet {
+        let mut out = CountedSet::new();
+        if let Some(set) = self.per_relation.get(relation) {
+            for (t, c) in set.iter() {
+                if c > 0 {
+                    out.add(t.clone(), c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Relations with a nonempty delta.
+    pub fn relations(&self) -> impl Iterator<Item = &Arc<str>> {
+        self.per_relation.keys()
+    }
+
+    /// True when no net change is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.per_relation.is_empty()
+    }
+
+    /// Total number of distinct changed tuples across relations — the |Δ| the
+    /// paper's cost analysis compares to |w|.
+    pub fn magnitude(&self) -> usize {
+        self.per_relation.values().map(CountedSet::distinct_len).sum()
+    }
+
+    /// Merges another delta set into this one (composition of world changes:
+    /// `w →Δ₁→ w' →Δ₂→ w''` composes to `w →Δ₁+Δ₂→ w''`).
+    pub fn merge(&mut self, other: &DeltaSet) {
+        for (rel, set) in &other.per_relation {
+            self.entry(rel).merge(set);
+            self.prune(rel);
+        }
+    }
+
+    /// Clears all recorded changes ("refreshing of the tables ... between
+    /// deterministic query executions", §4.2).
+    pub fn clear(&mut self) {
+        self.per_relation.clear();
+    }
+
+    /// Consumes the delta, returning per-relation signed sets.
+    pub fn into_parts(self) -> BTreeMap<Arc<str>, CountedSet> {
+        self.per_relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel(name: &str) -> Arc<str> {
+        Arc::from(name)
+    }
+
+    #[test]
+    fn update_records_both_images() {
+        let mut d = DeltaSet::new();
+        let r = rel("TOKEN");
+        d.record_update(&r, tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        assert_eq!(d.removed("TOKEN").sorted_support(), vec![tuple![1i64, "O"]]);
+        assert_eq!(
+            d.added("TOKEN").sorted_support(),
+            vec![tuple![1i64, "B-PER"]]
+        );
+        assert_eq!(d.magnitude(), 2);
+    }
+
+    #[test]
+    fn restoring_original_value_cancels() {
+        let mut d = DeltaSet::new();
+        let r = rel("TOKEN");
+        d.record_update(&r, tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        d.record_update(&r, tuple![1i64, "B-PER"], tuple![1i64, "O"]);
+        assert!(d.is_empty());
+        assert_eq!(d.magnitude(), 0);
+    }
+
+    #[test]
+    fn chained_updates_compact_to_net_change() {
+        let mut d = DeltaSet::new();
+        let r = rel("TOKEN");
+        d.record_update(&r, tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        d.record_update(&r, tuple![1i64, "B-PER"], tuple![1i64, "B-ORG"]);
+        // Net: O removed, B-ORG added; the intermediate B-PER vanished.
+        assert_eq!(d.removed("TOKEN").sorted_support(), vec![tuple![1i64, "O"]]);
+        assert_eq!(
+            d.added("TOKEN").sorted_support(),
+            vec![tuple![1i64, "B-ORG"]]
+        );
+    }
+
+    #[test]
+    fn self_update_is_noop() {
+        let mut d = DeltaSet::new();
+        d.record_update(&rel("T"), tuple![1i64], tuple![1i64]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut d = DeltaSet::new();
+        let r = rel("T");
+        d.record_insert(&r, tuple![5i64]);
+        d.record_delete(&r, tuple![5i64]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn deltas_are_per_relation() {
+        let mut d = DeltaSet::new();
+        d.record_insert(&rel("A"), tuple![1i64]);
+        d.record_delete(&rel("B"), tuple![2i64]);
+        let rels: Vec<_> = d.relations().map(|r| r.to_string()).collect();
+        assert_eq!(rels, vec!["A", "B"]);
+        assert!(d.added("A").contains(&tuple![1i64]));
+        assert!(d.added("B").is_empty());
+        assert!(d.removed("B").contains(&tuple![2i64]));
+        assert!(d.for_relation("C").is_none());
+    }
+
+    #[test]
+    fn merge_composes_changes() {
+        let mut d1 = DeltaSet::new();
+        let r = rel("T");
+        d1.record_update(&r, tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        let mut d2 = DeltaSet::new();
+        d2.record_update(&r, tuple![1i64, "B-PER"], tuple![1i64, "O"]);
+        d1.merge(&d2);
+        assert!(d1.is_empty());
+    }
+
+    #[test]
+    fn duplicate_tuples_accumulate_multiplicity() {
+        // Two different rows can carry identical tuple images (no pk in the
+        // projected view); multiset counts keep them distinguishable.
+        let mut d = DeltaSet::new();
+        let r = rel("T");
+        d.record_insert(&r, tuple!["x"]);
+        d.record_insert(&r, tuple!["x"]);
+        assert_eq!(d.added("T").count(&tuple!["x"]), 2);
+        d.record_delete(&r, tuple!["x"]);
+        assert_eq!(d.added("T").count(&tuple!["x"]), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut d = DeltaSet::new();
+        d.record_insert(&rel("T"), tuple![1i64]);
+        d.clear();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,371 @@
+//! Scalar expressions and predicates (the WHERE clauses of Queries 1–4).
+//!
+//! Expressions are written against column *names* and bound to positions
+//! against the output schema of the plan node they run over. Evaluation uses
+//! SQL three-valued logic: a comparison involving NULL is *unknown*, and
+//! rows whose predicate is unknown are filtered out.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An unbound scalar expression over named columns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Reference to an output column by (possibly alias-qualified) name.
+    Column(Arc<str>),
+    /// A constant.
+    Literal(Value),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (three-valued).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (three-valued).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT (three-valued).
+    Not(Box<Expr>),
+    /// `IS NULL` test (never unknown).
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<Arc<str>>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self <> other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)] // DSL builder; `!expr` would be less readable
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Binds column names to positions in `columns`, producing an executable
+    /// expression. Returns the unknown name on failure.
+    pub fn bind(&self, columns: &[Arc<str>]) -> Result<BoundExpr, String> {
+        Ok(match self {
+            Expr::Column(name) => {
+                let idx = resolve_column(columns, name).ok_or_else(|| name.to_string())?;
+                BoundExpr::Column(idx)
+            }
+            Expr::Literal(v) => BoundExpr::Literal(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                BoundExpr::Cmp(*op, Box::new(a.bind(columns)?), Box::new(b.bind(columns)?))
+            }
+            Expr::And(a, b) => {
+                BoundExpr::And(Box::new(a.bind(columns)?), Box::new(b.bind(columns)?))
+            }
+            Expr::Or(a, b) => {
+                BoundExpr::Or(Box::new(a.bind(columns)?), Box::new(b.bind(columns)?))
+            }
+            Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(columns)?)),
+            Expr::IsNull(a) => BoundExpr::IsNull(Box::new(a.bind(columns)?)),
+        })
+    }
+
+    /// Column names referenced by this expression.
+    pub fn referenced_columns(&self, out: &mut Vec<Arc<str>>) {
+        match self {
+            Expr::Column(n) => out.push(Arc::clone(n)),
+            Expr::Literal(_) => {}
+            Expr::Cmp(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.referenced_columns(out),
+        }
+    }
+}
+
+/// Resolves `name` against output column names.
+///
+/// Matching rules: an exact match wins; otherwise an unqualified `name`
+/// matches a qualified column `alias.name` when exactly one such column
+/// exists (ambiguity is a bind failure, surfaced as "no match" with the
+/// offending name).
+pub fn resolve_column(columns: &[Arc<str>], name: &str) -> Option<usize> {
+    if let Some(i) = columns.iter().position(|c| &**c == name) {
+        return Some(i);
+    }
+    if !name.contains('.') {
+        let mut found = None;
+        for (i, c) in columns.iter().enumerate() {
+            if let Some((_, suffix)) = c.split_once('.') {
+                if suffix == name {
+                    if found.is_some() {
+                        return None; // ambiguous
+                    }
+                    found = Some(i);
+                }
+            }
+        }
+        return found;
+    }
+    None
+}
+
+/// An expression with column references resolved to positions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BoundExpr {
+    /// Positional column reference.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Three-valued AND.
+    And(Box<BoundExpr>, Box<BoundExpr>),
+    /// Three-valued OR.
+    Or(Box<BoundExpr>, Box<BoundExpr>),
+    /// Three-valued NOT.
+    Not(Box<BoundExpr>),
+    /// NULL test.
+    IsNull(Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Evaluates to a value (logical sub-expressions yield booleans or NULL).
+    pub fn eval(&self, tuple: &Tuple) -> Value {
+        match self {
+            BoundExpr::Column(i) => tuple.get(*i).clone(),
+            BoundExpr::Literal(v) => v.clone(),
+            BoundExpr::Cmp(op, a, b) => {
+                match a.eval(tuple).sql_cmp(&b.eval(tuple)) {
+                    Some(ord) => Value::Bool(op.apply(ord)),
+                    None => Value::Null,
+                }
+            }
+            BoundExpr::And(a, b) => match (a.eval_truth(tuple), b.eval_truth(tuple)) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            BoundExpr::Or(a, b) => match (a.eval_truth(tuple), b.eval_truth(tuple)) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
+            BoundExpr::Not(a) => match a.eval_truth(tuple) {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            BoundExpr::IsNull(a) => Value::Bool(a.eval(tuple).is_null()),
+        }
+    }
+
+    /// Evaluates as a three-valued truth value.
+    pub fn eval_truth(&self, tuple: &Tuple) -> Option<bool> {
+        match self.eval(tuple) {
+            Value::Bool(b) => Some(b),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// SQL WHERE semantics: keep the row only when the predicate is `true`.
+    #[inline]
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.eval_truth(tuple) == Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn cols(names: &[&str]) -> Vec<Arc<str>> {
+        names.iter().map(|n| Arc::from(*n)).collect()
+    }
+
+    #[test]
+    fn query1_predicate() {
+        // WHERE LABEL = 'B-PER'
+        let p = Expr::col("label").eq(Expr::lit("B-PER"));
+        let b = p.bind(&cols(&["tok_id", "label"])).unwrap();
+        assert!(b.matches(&tuple![1i64, "B-PER"]));
+        assert!(!b.matches(&tuple![1i64, "O"]));
+    }
+
+    #[test]
+    fn bind_reports_unknown_column() {
+        let p = Expr::col("missing").eq(Expr::lit(1i64));
+        assert_eq!(p.bind(&cols(&["a"])).unwrap_err(), "missing");
+    }
+
+    #[test]
+    fn qualified_name_resolution() {
+        let columns = cols(&["T1.doc_id", "T1.label", "T2.doc_id"]);
+        // Exact qualified match.
+        assert_eq!(resolve_column(&columns, "T2.doc_id"), Some(2));
+        // Unqualified match is ambiguous for doc_id...
+        assert_eq!(resolve_column(&columns, "doc_id"), None);
+        // ...but unique for label.
+        assert_eq!(resolve_column(&columns, "label"), Some(1));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let columns = cols(&["x"]);
+        let p = Expr::col("x").eq(Expr::lit(1i64));
+        let b = p.bind(&columns).unwrap();
+        // NULL = 1 is unknown → filtered.
+        assert_eq!(b.eval_truth(&tuple![Value::Null]), None);
+        assert!(!b.matches(&tuple![Value::Null]));
+
+        // NULL AND false = false; NULL OR true = true.
+        let and = Expr::col("x").eq(Expr::lit(1i64)).and(Expr::lit(false).eq(Expr::lit(true)));
+        let and = and.bind(&columns).unwrap();
+        assert_eq!(and.eval_truth(&tuple![Value::Null]), Some(false));
+
+        let or = Expr::col("x").eq(Expr::lit(1i64)).or(Expr::lit(1i64).eq(Expr::lit(1i64)));
+        let or = or.bind(&columns).unwrap();
+        assert_eq!(or.eval_truth(&tuple![Value::Null]), Some(true));
+    }
+
+    #[test]
+    fn is_null_never_unknown() {
+        let b = Expr::col("x").is_null().bind(&cols(&["x"])).unwrap();
+        assert!(b.matches(&tuple![Value::Null]));
+        assert!(!b.matches(&tuple![1i64]));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let columns = cols(&["x"]);
+        let t5 = tuple![5i64];
+        for (op, lo, hi, eq) in [
+            (CmpOp::Lt, false, true, false),
+            (CmpOp::Le, false, true, true),
+            (CmpOp::Gt, true, false, false),
+            (CmpOp::Ge, true, false, true),
+            (CmpOp::Eq, false, false, true),
+            (CmpOp::Ne, true, true, false),
+        ] {
+            let mk = |rhs: i64| {
+                BoundExpr::Cmp(
+                    op,
+                    Box::new(BoundExpr::Column(0)),
+                    Box::new(BoundExpr::Literal(Value::Int(rhs))),
+                )
+            };
+            assert_eq!(mk(3).matches(&t5), lo, "{op} 5 vs 3");
+            assert_eq!(mk(7).matches(&t5), hi, "{op} 5 vs 7");
+            assert_eq!(mk(5).matches(&t5), eq, "{op} 5 vs 5");
+        }
+        let _ = columns;
+    }
+
+    #[test]
+    fn not_inverts() {
+        let b = Expr::col("x").eq(Expr::lit(1i64)).not().bind(&cols(&["x"])).unwrap();
+        assert!(!b.matches(&tuple![1i64]));
+        assert!(b.matches(&tuple![2i64]));
+        assert_eq!(b.eval_truth(&tuple![Value::Null]), None);
+    }
+
+    #[test]
+    fn referenced_columns_collects_names() {
+        let p = Expr::col("a").eq(Expr::lit(1i64)).and(Expr::col("b").lt(Expr::col("c")));
+        let mut out = Vec::new();
+        p.referenced_columns(&mut out);
+        let names: Vec<_> = out.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

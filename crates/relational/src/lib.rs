@@ -1,0 +1,44 @@
+//! # fgdb-relational — the deterministic relational substrate
+//!
+//! This crate is the "underlying relational database" of Wick, McCallum &
+//! Miklau, *Scalable Probabilistic Databases with Factor Graphs and MCMC*
+//! (VLDB 2010): an in-memory DBMS that always stores **one possible world**
+//! and therefore evaluates arbitrary relational algebra directly.
+//!
+//! Layers:
+//!
+//! * [`value`] / [`schema`] / [`mod@tuple`] — typed rows;
+//! * [`storage`] / [`database`] — slotted heap relations with primary-key and
+//!   optional secondary indexes, field-granular updates that return pre/post
+//!   images (the MCMC write path);
+//! * [`expr`] / [`algebra`] — predicates and plans (σ, π, ×, ⋈, γ, δ),
+//!   including [`algebra::paper_queries`], the four evaluation queries of §5;
+//! * [`exec`] — full from-scratch execution with work accounting (what the
+//!   *naive* sampling evaluator pays per sample);
+//! * [`counted`] / [`delta`] / [`view`] — counted multisets, Δ⁻/Δ⁺ auxiliary
+//!   tables, and incrementally maintained materialized views (Eq. 6 /
+//!   Algorithm 1 of the paper — the headline systems contribution).
+
+pub mod algebra;
+pub mod counted;
+pub mod database;
+pub mod delta;
+pub mod exec;
+pub mod expr;
+pub mod schema;
+pub mod storage;
+pub mod tuple;
+pub mod value;
+pub mod view;
+
+pub use algebra::{AggExpr, AggFunc, Plan, PlanError};
+pub use counted::CountedSet;
+pub use database::{CatalogError, Database};
+pub use delta::DeltaSet;
+pub use exec::{execute, execute_simple, ExecError, ExecStats, QueryResult};
+pub use expr::{BoundExpr, CmpOp, Expr};
+pub use schema::{Column, Schema, SchemaError};
+pub use storage::{Relation, RowId, StorageError};
+pub use tuple::Tuple;
+pub use value::{Interner, Value, ValueType, F64};
+pub use view::{MaterializedView, ViewStats};

@@ -1,0 +1,287 @@
+//! Relation schemas.
+//!
+//! A schema `Sᵏ` of arity k names the attributes `R.a₁ … R.aₖ` of a relation
+//! (§3.2 of the paper) and records which attribute is the primary key. The
+//! MCMC bridge uses the primary key to address individual fields as random
+//! variables.
+
+use crate::value::ValueType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Column {
+    /// Attribute name, unique within the schema.
+    pub name: Arc<str>,
+    /// Declared type. `Value::Null` is accepted in any column.
+    pub ty: ValueType,
+}
+
+impl Column {
+    /// Creates a column.
+    pub fn new(name: impl Into<Arc<str>>, ty: ValueType) -> Self {
+        Column {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// The schema of a relation: ordered columns plus an optional primary key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+    /// Index into `columns` of the primary key, when declared.
+    primary_key: Option<usize>,
+}
+
+/// Error raised when building or interrogating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two columns share a name.
+    DuplicateColumn(String),
+    /// A referenced column does not exist.
+    UnknownColumn(String),
+    /// A tuple's arity or types do not match the schema.
+    TypeMismatch {
+        /// Column that failed the check.
+        column: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Actual value type.
+        found: ValueType,
+    },
+    /// Tuple arity differs from schema arity.
+    ArityMismatch {
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateColumn(c) => write!(f, "duplicate column `{c}`"),
+            SchemaError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SchemaError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => write!(f, "column `{column}` expects {expected}, got {found}"),
+            SchemaError::ArityMismatch { expected, found } => {
+                write!(f, "tuple arity {found} does not match schema arity {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Builds a schema from columns, validating name uniqueness.
+    pub fn new(columns: Vec<Column>) -> Result<Self, SchemaError> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|p| p.name == c.name) {
+                return Err(SchemaError::DuplicateColumn(c.name.to_string()));
+            }
+        }
+        Ok(Schema {
+            columns: columns.into(),
+            primary_key: None,
+        })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Result<Self, SchemaError> {
+        Schema::new(
+            pairs
+                .iter()
+                .map(|(n, t)| Column::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Declares `name` as the primary key column.
+    pub fn with_primary_key(mut self, name: &str) -> Result<Self, SchemaError> {
+        let idx = self
+            .index_of(name)
+            .ok_or_else(|| SchemaError::UnknownColumn(name.to_string()))?;
+        self.primary_key = Some(idx);
+        Ok(self)
+    }
+
+    /// Number of columns (the arity k of §3.2).
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns, in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Index of `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| &*c.name == name)
+    }
+
+    /// Like [`Schema::index_of`] but returns an error naming the column.
+    pub fn require(&self, name: &str) -> Result<usize, SchemaError> {
+        self.index_of(name)
+            .ok_or_else(|| SchemaError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column index of the primary key, when declared.
+    pub fn primary_key(&self) -> Option<usize> {
+        self.primary_key
+    }
+
+    /// Column metadata by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Checks a row of values against this schema (arity and types; NULL is
+    /// accepted everywhere).
+    pub fn check(&self, values: &[crate::value::Value]) -> Result<(), SchemaError> {
+        if values.len() != self.arity() {
+            return Err(SchemaError::ArityMismatch {
+                expected: self.arity(),
+                found: values.len(),
+            });
+        }
+        for (c, v) in self.columns.iter().zip(values) {
+            let ft = v.value_type();
+            if ft != ValueType::Null && ft != c.ty {
+                return Err(SchemaError::TypeMismatch {
+                    column: c.name.to_string(),
+                    expected: c.ty,
+                    found: ft,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.ty)?;
+            if self.primary_key == Some(i) {
+                write!(f, " PRIMARY KEY")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn token_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("tok_id", ValueType::Int),
+            ("doc_id", ValueType::Int),
+            ("string", ValueType::Str),
+            ("label", ValueType::Str),
+            ("truth", ValueType::Str),
+        ])
+        .unwrap()
+        .with_primary_key("tok_id")
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_paper_token_schema() {
+        let s = token_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.primary_key(), Some(0));
+        assert_eq!(s.index_of("label"), Some(3));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::from_pairs(&[("a", ValueType::Int), ("a", ValueType::Str)]);
+        assert!(matches!(err, Err(SchemaError::DuplicateColumn(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_primary_key() {
+        let s = Schema::from_pairs(&[("a", ValueType::Int)]).unwrap();
+        assert!(matches!(
+            s.with_primary_key("b"),
+            Err(SchemaError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn check_validates_arity_and_types() {
+        let s = token_schema();
+        let good = vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::str("IBM"),
+            Value::str("B-ORG"),
+            Value::str("B-ORG"),
+        ];
+        assert!(s.check(&good).is_ok());
+
+        let short = vec![Value::Int(1)];
+        assert!(matches!(
+            s.check(&short),
+            Err(SchemaError::ArityMismatch { .. })
+        ));
+
+        let bad_type = vec![
+            Value::str("oops"),
+            Value::Int(1),
+            Value::str("IBM"),
+            Value::str("B-ORG"),
+            Value::str("B-ORG"),
+        ];
+        assert!(matches!(
+            s.check(&bad_type),
+            Err(SchemaError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn null_allowed_in_any_column() {
+        let s = token_schema();
+        let with_null = vec![
+            Value::Int(1),
+            Value::Int(1),
+            Value::Null,
+            Value::str("O"),
+            Value::str("O"),
+        ];
+        assert!(s.check(&with_null).is_ok());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = token_schema();
+        let d = s.to_string();
+        assert!(d.contains("tok_id INT PRIMARY KEY"));
+        assert!(d.contains("string STR"));
+    }
+
+    #[test]
+    fn require_errors_name_the_column() {
+        let s = token_schema();
+        assert_eq!(s.require("doc_id").unwrap(), 1);
+        let e = s.require("nope").unwrap_err();
+        assert_eq!(e.to_string(), "unknown column `nope`");
+    }
+}

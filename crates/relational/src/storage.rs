@@ -1,0 +1,416 @@
+//! Heap storage for relations.
+//!
+//! A [`Relation`] stores the deterministic tuples of the current possible
+//! world in a slotted heap: rows get stable [`RowId`]s so the MCMC bridge can
+//! address "the LABEL field of token 1234" as a random variable and write
+//! sampled values back (§5 of the paper: "propagating changes to random
+//! variables back to the tuples on disk").
+//!
+//! Updates are field-granular and return both the pre- and post-image of the
+//! row; the delta tracker (see [`crate::delta`]) turns these into the Δ⁻/Δ⁺
+//! auxiliary tables of §4.2.
+
+use crate::schema::{Schema, SchemaError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Stable identifier of a row slot within a relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "row#{}", self.0)
+    }
+}
+
+/// Errors raised by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Schema validation failed.
+    Schema(SchemaError),
+    /// A primary key value is already present.
+    DuplicateKey(String),
+    /// The row id does not name a live row.
+    NoSuchRow(RowId),
+    /// Column index out of range.
+    NoSuchColumn(usize),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Schema(e) => write!(f, "schema error: {e}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate primary key {k}"),
+            StorageError::NoSuchRow(r) => write!(f, "no such row {r}"),
+            StorageError::NoSuchColumn(c) => write!(f, "no such column index {c}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<SchemaError> for StorageError {
+    fn from(e: SchemaError) -> Self {
+        StorageError::Schema(e)
+    }
+}
+
+/// A secondary hash index over one column.
+///
+/// The paper's scalability experiment deliberately runs *without* an index on
+/// the STRING field (§5.3), so indexes are opt-in per column. When present,
+/// the executor uses them for equality predicates.
+#[derive(Debug, Default)]
+struct HashIndex {
+    column: usize,
+    map: HashMap<Value, Vec<RowId>>,
+}
+
+impl HashIndex {
+    fn insert(&mut self, row: RowId, t: &Tuple) {
+        self.map.entry(t.get(self.column).clone()).or_default().push(row);
+    }
+
+    fn remove(&mut self, row: RowId, t: &Tuple) {
+        if let Some(v) = self.map.get_mut(t.get(self.column)) {
+            if let Some(pos) = v.iter().position(|r| *r == row) {
+                v.swap_remove(pos);
+            }
+            if v.is_empty() {
+                self.map.remove(t.get(self.column));
+            }
+        }
+    }
+}
+
+/// A named relation backed by a slotted heap.
+pub struct Relation {
+    name: Arc<str>,
+    schema: Schema,
+    rows: Vec<Option<Tuple>>,
+    free: Vec<u32>,
+    live: usize,
+    pk_index: HashMap<Value, RowId>,
+    secondary: Vec<HashIndex>,
+}
+
+impl Relation {
+    /// Creates an empty relation.
+    pub fn new(name: impl Into<Arc<str>>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pk_index: HashMap::new(),
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// Relation schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no rows are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Creates a secondary hash index on `column` (by name), backfilling it
+    /// from existing rows.
+    pub fn create_index(&mut self, column: &str) -> Result<(), StorageError> {
+        let col = self.schema.require(column)?;
+        if self.secondary.iter().any(|ix| ix.column == col) {
+            return Ok(()); // idempotent
+        }
+        let mut ix = HashIndex {
+            column: col,
+            map: HashMap::new(),
+        };
+        for (rid, t) in self.iter() {
+            ix.insert(rid, t);
+        }
+        self.secondary.push(ix);
+        Ok(())
+    }
+
+    /// True when a secondary index exists on `column` (by index).
+    pub fn has_index_on(&self, column: usize) -> bool {
+        self.secondary.iter().any(|ix| ix.column == column)
+    }
+
+    /// Looks up rows via the secondary index on `column`. Returns `None` when
+    /// no such index exists (the caller must fall back to a scan).
+    pub fn index_lookup(&self, column: usize, value: &Value) -> Option<&[RowId]> {
+        self.secondary
+            .iter()
+            .find(|ix| ix.column == column)
+            .map(|ix| ix.map.get(value).map(Vec::as_slice).unwrap_or(&[]))
+    }
+
+    /// Inserts a tuple, enforcing schema and primary-key uniqueness.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<RowId, StorageError> {
+        self.schema.check(tuple.values())?;
+        if let Some(pk) = self.schema.primary_key() {
+            let key = tuple.get(pk);
+            if self.pk_index.contains_key(key) {
+                return Err(StorageError::DuplicateKey(key.to_string()));
+            }
+        }
+        let rid = match self.free.pop() {
+            Some(slot) => {
+                self.rows[slot as usize] = Some(tuple.clone());
+                RowId(slot)
+            }
+            None => {
+                self.rows.push(Some(tuple.clone()));
+                RowId((self.rows.len() - 1) as u32)
+            }
+        };
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_index.insert(tuple.get(pk).clone(), rid);
+        }
+        for ix in &mut self.secondary {
+            ix.insert(rid, &tuple);
+        }
+        self.live += 1;
+        Ok(rid)
+    }
+
+    /// Deletes a row, returning its final image.
+    pub fn delete(&mut self, row: RowId) -> Result<Tuple, StorageError> {
+        let slot = self
+            .rows
+            .get_mut(row.0 as usize)
+            .ok_or(StorageError::NoSuchRow(row))?;
+        let tuple = slot.take().ok_or(StorageError::NoSuchRow(row))?;
+        self.free.push(row.0);
+        self.live -= 1;
+        if let Some(pk) = self.schema.primary_key() {
+            self.pk_index.remove(tuple.get(pk));
+        }
+        for ix in &mut self.secondary {
+            ix.remove(row, &tuple);
+        }
+        Ok(tuple)
+    }
+
+    /// Reads a row.
+    pub fn get(&self, row: RowId) -> Option<&Tuple> {
+        self.rows.get(row.0 as usize).and_then(Option::as_ref)
+    }
+
+    /// Updates one field of a row, returning `(old_image, new_image)`.
+    ///
+    /// This is the write path used by MCMC when a proposal is accepted: one
+    /// random-variable change maps to one field update here, and the returned
+    /// images feed the Δ⁻/Δ⁺ tracker.
+    pub fn update_field(
+        &mut self,
+        row: RowId,
+        column: usize,
+        value: Value,
+    ) -> Result<(Tuple, Tuple), StorageError> {
+        if column >= self.schema.arity() {
+            return Err(StorageError::NoSuchColumn(column));
+        }
+        let old = self
+            .rows
+            .get(row.0 as usize)
+            .and_then(Option::as_ref)
+            .ok_or(StorageError::NoSuchRow(row))?
+            .clone();
+        let new = old.with_value(column, value);
+        self.schema.check(new.values())?;
+        if Some(column) == self.schema.primary_key() {
+            let key = new.get(column);
+            if key != old.get(column) && self.pk_index.contains_key(key) {
+                return Err(StorageError::DuplicateKey(key.to_string()));
+            }
+            self.pk_index.remove(old.get(column));
+            self.pk_index.insert(key.clone(), row);
+        }
+        for ix in &mut self.secondary {
+            if ix.column == column {
+                ix.remove(row, &old);
+                ix.insert(row, &new);
+            }
+        }
+        self.rows[row.0 as usize] = Some(new.clone());
+        Ok((old, new))
+    }
+
+    /// Looks up a row by primary key.
+    pub fn find_by_pk(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.get(key).copied()
+    }
+
+    /// Iterates live rows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (RowId(i as u32), t)))
+    }
+
+    /// Snapshot of all live tuples (used to seed materialized views).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation {} {} [{} rows]", self.name, self.schema, self.live)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn token_relation() -> Relation {
+        let schema = Schema::from_pairs(&[
+            ("tok_id", ValueType::Int),
+            ("string", ValueType::Str),
+            ("label", ValueType::Str),
+        ])
+        .unwrap()
+        .with_primary_key("tok_id")
+        .unwrap();
+        Relation::new("TOKEN", schema)
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "IBM", "O"]).unwrap();
+        let b = r.insert(tuple![2i64, "said", "O"]).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(a).unwrap().get(1).as_str(), Some("IBM"));
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut r = token_relation();
+        r.insert(tuple![1i64, "a", "O"]).unwrap();
+        let err = r.insert(tuple![1i64, "b", "O"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey(_)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn delete_frees_slot_and_pk() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "a", "O"]).unwrap();
+        let t = r.delete(a).unwrap();
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(r.len(), 0);
+        assert!(r.get(a).is_none());
+        assert!(r.find_by_pk(&Value::Int(1)).is_none());
+        // Slot is reused and the pk becomes insertable again.
+        let b = r.insert(tuple![1i64, "a2", "O"]).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn double_delete_is_an_error() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "a", "O"]).unwrap();
+        r.delete(a).unwrap();
+        assert!(matches!(r.delete(a), Err(StorageError::NoSuchRow(_))));
+    }
+
+    #[test]
+    fn update_field_returns_both_images() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "IBM", "O"]).unwrap();
+        let (old, new) = r.update_field(a, 2, Value::str("B-ORG")).unwrap();
+        assert_eq!(old.get(2).as_str(), Some("O"));
+        assert_eq!(new.get(2).as_str(), Some("B-ORG"));
+        assert_eq!(r.get(a).unwrap().get(2).as_str(), Some("B-ORG"));
+    }
+
+    #[test]
+    fn update_pk_moves_index_entry() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "x", "O"]).unwrap();
+        r.update_field(a, 0, Value::Int(9)).unwrap();
+        assert!(r.find_by_pk(&Value::Int(1)).is_none());
+        assert_eq!(r.find_by_pk(&Value::Int(9)), Some(a));
+        // Updating into an existing pk is rejected.
+        r.insert(tuple![1i64, "y", "O"]).unwrap();
+        assert!(matches!(
+            r.update_field(a, 0, Value::Int(1)),
+            Err(StorageError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn update_bad_column_or_type() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "x", "O"]).unwrap();
+        assert!(matches!(
+            r.update_field(a, 7, Value::Int(0)),
+            Err(StorageError::NoSuchColumn(7))
+        ));
+        assert!(matches!(
+            r.update_field(a, 1, Value::Int(0)),
+            Err(StorageError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn secondary_index_tracks_updates() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "IBM", "O"]).unwrap();
+        let b = r.insert(tuple![2i64, "IBM", "O"]).unwrap();
+        r.insert(tuple![3i64, "said", "O"]).unwrap();
+        r.create_index("string").unwrap();
+        let col = r.schema().index_of("string").unwrap();
+        assert!(r.has_index_on(col));
+
+        let hits = r.index_lookup(col, &Value::str("IBM")).unwrap();
+        let mut hits: Vec<_> = hits.to_vec();
+        hits.sort();
+        assert_eq!(hits, vec![a, b]);
+
+        r.update_field(a, col, Value::str("Apple")).unwrap();
+        assert_eq!(r.index_lookup(col, &Value::str("IBM")).unwrap(), &[b]);
+        assert_eq!(r.index_lookup(col, &Value::str("Apple")).unwrap(), &[a]);
+
+        r.delete(b).unwrap();
+        assert!(r.index_lookup(col, &Value::str("IBM")).unwrap().is_empty());
+        // No index on label → None signals "must scan".
+        assert!(r.index_lookup(2, &Value::str("O")).is_none());
+    }
+
+    #[test]
+    fn iter_skips_dead_slots() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "a", "O"]).unwrap();
+        r.insert(tuple![2i64, "b", "O"]).unwrap();
+        r.delete(a).unwrap();
+        let rows: Vec<_> = r.iter().map(|(_, t)| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(rows, vec![2]);
+    }
+}

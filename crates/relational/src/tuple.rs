@@ -1,0 +1,177 @@
+//! Tuples — deterministic rows of the single stored possible world.
+//!
+//! A [`Tuple`] is an immutable, cheaply clonable row. Interior `Arc` sharing
+//! matters because the sampling evaluators copy tuples into Δ⁻/Δ⁺ auxiliary
+//! tables and counted multisets on every MCMC step (§4.2).
+
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable row of values.
+///
+/// Cloning is O(1): the underlying buffer is shared. Mutation goes through
+/// [`Tuple::with_value`], which produces a new tuple (copy-on-write), because
+/// the delta machinery needs both the pre- and post-image of every update.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Builds a tuple from anything convertible to values.
+    pub fn from_iter_values<I, V>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple::new(iter.into_iter().map(Into::into).collect())
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Field accessor by position.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Checked field accessor.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Returns a new tuple with field `idx` replaced by `value`.
+    ///
+    /// This is the sole mutation path: the old tuple remains intact so the
+    /// storage layer can hand both images to the delta tracker.
+    pub fn with_value(&self, idx: usize, value: Value) -> Tuple {
+        let mut v: Vec<Value> = self.values.to_vec();
+        v[idx] = value;
+        Tuple::new(v)
+    }
+
+    /// Concatenates two tuples (used by products and joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Projects the tuple onto the given column positions.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values.iter()).finish()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple::new(v)
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, "IBM", true]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1i64, "IBM", "B-ORG"];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t.get(1).as_str(), Some("IBM"));
+        assert_eq!(t.try_get(5), None);
+    }
+
+    #[test]
+    fn clone_shares_buffer() {
+        let t = tuple![1i64, "x"];
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn with_value_is_copy_on_write() {
+        let t = tuple![1i64, "O"];
+        let u = t.with_value(1, Value::str("B-PER"));
+        assert_eq!(t.get(1).as_str(), Some("O")); // old image intact
+        assert_eq!(u.get(1).as_str(), Some("B-PER"));
+        assert_eq!(u.get(0), t.get(0));
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = tuple![1i64, "x"];
+        let b = tuple![2i64, "y"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 4);
+        assert_eq!(c.get(2), &Value::Int(2));
+        let p = c.project(&[3, 0]);
+        assert_eq!(p, tuple!["y", 1i64]);
+    }
+
+    #[test]
+    fn hash_eq_consistency_for_multiset_keys() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Tuple, i64> = HashMap::new();
+        *m.entry(tuple!["a", 1i64]).or_insert(0) += 1;
+        *m.entry(tuple!["a", 1i64]).or_insert(0) += 1;
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&tuple!["a", 1i64]], 2);
+    }
+
+    #[test]
+    fn display_formats_row() {
+        assert_eq!(tuple![1i64, "x"].to_string(), "(1, x)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(tuple![1i64, "a"] < tuple![1i64, "b"]);
+        assert!(tuple![0i64, "z"] < tuple![1i64, "a"]);
+    }
+}

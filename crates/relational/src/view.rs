@@ -1,0 +1,1061 @@
+//! Incrementally maintained materialized views — Algorithm 1's engine.
+//!
+//! §4.2 of the paper: rather than re-running the query over each sampled
+//! world, the answer is maintained under the world deltas produced by MCMC,
+//! following Blakeley et al.'s view maintenance with multiset (counted)
+//! semantics:
+//!
+//! ```text
+//! Q(w') = Q(w) − Q'(w, Δ⁻) ∪ Q'(w, Δ⁺)                 (Eq. 6)
+//! σ(w')   ≡ σ(w) − σ(Δ⁻) ∪ σ(Δ⁺)
+//! w'.R₁ × w'.R₂ ≡ w.R₁ × w.R₂ − w.R₁ × Δ⁻.R₂ ∪ w.R₁ × Δ⁺.R₂
+//! ```
+//!
+//! A [`MaterializedView`] compiles a [`Plan`] into a tree of stateful
+//! operator nodes. Feeding it a [`DeltaSet`] propagates *signed counted
+//! deltas* bottom-up and returns the delta of the answer set; the cost is
+//! proportional to |Δ| (and the fan-out of joins touched), never to |w|.
+//!
+//! Supported operators: σ, π (multiset), ×, equi-⋈, γ (COUNT / filtered
+//! COUNT / SUM / MIN / MAX, grouped or global), δ (distinct), ∪ (bag
+//! union), ∖ (monus difference), ∩ (bag intersection). This covers all four
+//! evaluation queries of §5 — including the aggregate queries the paper
+//! highlights as trivially handled by sampling evaluation — and the full
+//! algebra beyond them.
+
+use crate::algebra::{Plan, PlanError};
+use crate::counted::CountedSet;
+use crate::database::Database;
+use crate::delta::DeltaSet;
+use crate::exec::{bind_aggs, join_key_indices, AggAcc, AggSpec, ExecError};
+use crate::expr::{resolve_column, BoundExpr};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Work counters for view maintenance (the |Δ|-proportional analogue of
+/// [`crate::exec::ExecStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Delta batches applied.
+    pub deltas_applied: u64,
+    /// Delta rows processed across all operator nodes.
+    pub delta_rows_processed: u64,
+    /// Base tuples read during initialization (one full evaluation).
+    pub init_tuples_scanned: u64,
+}
+
+/// A query answer maintained incrementally under world deltas.
+pub struct MaterializedView {
+    root: Node,
+    result: CountedSet,
+    columns: Vec<Arc<str>>,
+    stats: ViewStats,
+}
+
+impl MaterializedView {
+    /// Compiles `plan` and runs the one-time full evaluation over the
+    /// initial world `w₀` (Algorithm 1 line 2: "run full query to get
+    /// initial results").
+    pub fn new(plan: &Plan, db: &Database) -> Result<Self, ExecError> {
+        let columns = plan.output_columns(db)?;
+        let mut root = compile(plan, db)?;
+        let mut stats = ViewStats::default();
+        let result = root.init(db, &mut stats)?;
+        Ok(MaterializedView {
+            root,
+            result,
+            columns,
+            stats,
+        })
+    }
+
+    /// Applies a world delta, updating the maintained answer and returning
+    /// the answer's own signed delta (what Algorithm 1 line 5 consumes).
+    pub fn apply_delta(&mut self, deltas: &DeltaSet) -> CountedSet {
+        self.stats.deltas_applied += 1;
+        let out = self
+            .root
+            .apply(deltas, &mut self.stats.delta_rows_processed);
+        self.result.merge(&out);
+        out
+    }
+
+    /// The current maintained answer multiset.
+    pub fn result(&self) -> &CountedSet {
+        &self.result
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[Arc<str>] {
+        &self.columns
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> ViewStats {
+        self.stats
+    }
+}
+
+/// Stateful operator node.
+enum Node {
+    Scan {
+        relation: Arc<str>,
+    },
+    Select {
+        child: Box<Node>,
+        pred: BoundExpr,
+    },
+    Project {
+        child: Box<Node>,
+        indices: Vec<usize>,
+    },
+    Product {
+        left: Box<Node>,
+        right: Box<Node>,
+        left_state: CountedSet,
+        right_state: CountedSet,
+    },
+    Join {
+        left: Box<Node>,
+        right: Box<Node>,
+        lk: Vec<usize>,
+        rk: Vec<usize>,
+        /// Join key → multiset of left tuples with that key.
+        left_state: HashMap<Tuple, CountedSet>,
+        right_state: HashMap<Tuple, CountedSet>,
+    },
+    Aggregate {
+        child: Box<Node>,
+        group_idx: Vec<usize>,
+        specs: Vec<AggSpec>,
+        groups: HashMap<Tuple, GroupState>,
+    },
+    Distinct {
+        child: Box<Node>,
+        state: CountedSet,
+    },
+    /// UNION ALL: multiplicities add — linear, stateless.
+    Union {
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    /// Bag difference/intersection are *not* linear (monus/min), so both
+    /// input multisets are retained and touched tuples re-derived.
+    SetOp {
+        left: Box<Node>,
+        right: Box<Node>,
+        kind: SetOpKind,
+        left_state: CountedSet,
+        right_state: CountedSet,
+    },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SetOpKind {
+    Difference,
+    Intersect,
+}
+
+impl SetOpKind {
+    /// Output multiplicity of a tuple given its input multiplicities.
+    fn out_count(self, l: i64, r: i64) -> i64 {
+        match self {
+            SetOpKind::Difference => (l - r).max(0),
+            SetOpKind::Intersect => l.min(r).max(0),
+        }
+    }
+}
+
+struct GroupState {
+    /// Total input multiplicity in the group (existence test: n > 0, except
+    /// the global group which always exists).
+    n: i64,
+    accs: Vec<AggAcc>,
+}
+
+impl GroupState {
+    fn new(specs: &[AggSpec]) -> Self {
+        GroupState {
+            n: 0,
+            accs: specs.iter().map(AggAcc::new).collect(),
+        }
+    }
+
+    fn output(&self, key: &Tuple) -> Tuple {
+        let mut vals: Vec<Value> = key.values().to_vec();
+        vals.extend(self.accs.iter().map(AggAcc::finish));
+        Tuple::new(vals)
+    }
+}
+
+fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
+    Ok(match plan {
+        Plan::Scan { relation, .. } => {
+            // Verify the relation exists up front.
+            db.relation(relation)
+                .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
+            Node::Scan {
+                relation: Arc::clone(relation),
+            }
+        }
+        Plan::Select { input, predicate } => {
+            let cols = input.output_columns(db)?;
+            let pred = predicate
+                .bind(&cols)
+                .map_err(|c| ExecError::Plan(PlanError::UnknownColumn(c)))?;
+            Node::Select {
+                child: Box::new(compile(input, db)?),
+                pred,
+            }
+        }
+        Plan::Project { input, columns } => {
+            let cols = input.output_columns(db)?;
+            let indices = columns
+                .iter()
+                .map(|c| {
+                    resolve_column(&cols, c)
+                        .ok_or_else(|| ExecError::Plan(PlanError::UnknownColumn(c.to_string())))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Node::Project {
+                child: Box::new(compile(input, db)?),
+                indices,
+            }
+        }
+        Plan::Product { left, right } => Node::Product {
+            left: Box::new(compile(left, db)?),
+            right: Box::new(compile(right, db)?),
+            left_state: CountedSet::new(),
+            right_state: CountedSet::new(),
+        },
+        Plan::Join { left, right, on } => {
+            let l_cols = left.output_columns(db)?;
+            let r_cols = right.output_columns(db)?;
+            let (lk, rk) = join_key_indices(on, &l_cols, &r_cols)?;
+            Node::Join {
+                left: Box::new(compile(left, db)?),
+                right: Box::new(compile(right, db)?),
+                lk,
+                rk,
+                left_state: HashMap::new(),
+                right_state: HashMap::new(),
+            }
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let cols = input.output_columns(db)?;
+            let group_idx = group_by
+                .iter()
+                .map(|c| {
+                    resolve_column(&cols, c)
+                        .ok_or_else(|| ExecError::Plan(PlanError::UnknownColumn(c.to_string())))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let specs = bind_aggs(aggs, &cols)?;
+            Node::Aggregate {
+                child: Box::new(compile(input, db)?),
+                group_idx,
+                specs,
+                groups: HashMap::new(),
+            }
+        }
+        Plan::Distinct { input } => Node::Distinct {
+            child: Box::new(compile(input, db)?),
+            state: CountedSet::new(),
+        },
+        Plan::Union { left, right } => {
+            // Validate arity agreement up front.
+            plan.output_columns(db)?;
+            Node::Union {
+                left: Box::new(compile(left, db)?),
+                right: Box::new(compile(right, db)?),
+            }
+        }
+        Plan::Difference { left, right } => {
+            plan.output_columns(db)?;
+            Node::SetOp {
+                left: Box::new(compile(left, db)?),
+                right: Box::new(compile(right, db)?),
+                kind: SetOpKind::Difference,
+                left_state: CountedSet::new(),
+                right_state: CountedSet::new(),
+            }
+        }
+        Plan::Intersect { left, right } => {
+            plan.output_columns(db)?;
+            Node::SetOp {
+                left: Box::new(compile(left, db)?),
+                right: Box::new(compile(right, db)?),
+                kind: SetOpKind::Intersect,
+                left_state: CountedSet::new(),
+                right_state: CountedSet::new(),
+            }
+        }
+    })
+}
+
+impl Node {
+    /// Full evaluation over the current database, populating operator state.
+    fn init(&mut self, db: &Database, stats: &mut ViewStats) -> Result<CountedSet, ExecError> {
+        Ok(match self {
+            Node::Scan { relation } => {
+                let rel = db
+                    .relation(relation)
+                    .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
+                stats.init_tuples_scanned += rel.len() as u64;
+                CountedSet::from_tuples(rel.iter().map(|(_, t)| t.clone()))
+            }
+            Node::Select { child, pred } => {
+                let rows = child.init(db, stats)?;
+                let mut out = CountedSet::new();
+                for (t, c) in rows.iter() {
+                    if pred.matches(t) {
+                        out.add(t.clone(), c);
+                    }
+                }
+                out
+            }
+            Node::Project { child, indices } => {
+                let rows = child.init(db, stats)?;
+                let mut out = CountedSet::new();
+                for (t, c) in rows.iter() {
+                    out.add(t.project(indices), c);
+                }
+                out
+            }
+            Node::Product {
+                left,
+                right,
+                left_state,
+                right_state,
+            } => {
+                *left_state = left.init(db, stats)?;
+                *right_state = right.init(db, stats)?;
+                let mut out = CountedSet::new();
+                for (lt, lc) in left_state.iter() {
+                    for (rt, rc) in right_state.iter() {
+                        out.add(lt.concat(rt), lc * rc);
+                    }
+                }
+                out
+            }
+            Node::Join {
+                left,
+                right,
+                lk,
+                rk,
+                left_state,
+                right_state,
+            } => {
+                let l = left.init(db, stats)?;
+                let r = right.init(db, stats)?;
+                left_state.clear();
+                right_state.clear();
+                for (t, c) in l.iter() {
+                    insert_keyed(left_state, lk, t, c);
+                }
+                for (t, c) in r.iter() {
+                    insert_keyed(right_state, rk, t, c);
+                }
+                let mut out = CountedSet::new();
+                for (key, lts) in left_state.iter() {
+                    if let Some(rts) = right_state.get(key) {
+                        for (lt, lc) in lts.iter() {
+                            for (rt, rc) in rts.iter() {
+                                out.add(lt.concat(rt), lc * rc);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Node::Aggregate {
+                child,
+                group_idx,
+                specs,
+                groups,
+            } => {
+                let rows = child.init(db, stats)?;
+                groups.clear();
+                for (t, c) in rows.iter() {
+                    let key = t.project(group_idx);
+                    let g = groups.entry(key).or_insert_with(|| GroupState::new(specs));
+                    g.n += c;
+                    for (acc, spec) in g.accs.iter_mut().zip(specs.iter()) {
+                        acc.update(spec, t, c);
+                    }
+                }
+                // The global group always exists, even over an empty input.
+                if group_idx.is_empty() && groups.is_empty() {
+                    groups.insert(Tuple::new(vec![]), GroupState::new(specs));
+                }
+                let mut out = CountedSet::new();
+                for (key, g) in groups.iter() {
+                    out.add(g.output(key), 1);
+                }
+                out
+            }
+            Node::Distinct { child, state } => {
+                *state = child.init(db, stats)?;
+                let mut out = CountedSet::new();
+                for t in state.support() {
+                    out.add(t.clone(), 1);
+                }
+                out
+            }
+            Node::Union { left, right } => {
+                let mut l = left.init(db, stats)?;
+                l.merge_owned(right.init(db, stats)?);
+                l
+            }
+            Node::SetOp {
+                left,
+                right,
+                kind,
+                left_state,
+                right_state,
+            } => {
+                *left_state = left.init(db, stats)?;
+                *right_state = right.init(db, stats)?;
+                let mut out = CountedSet::new();
+                for (t, lc) in left_state.iter() {
+                    out.add(t.clone(), kind.out_count(lc, right_state.count(t)));
+                }
+                out
+            }
+        })
+    }
+
+    /// Propagates a base-relation delta batch, returning this node's output
+    /// delta and updating internal state.
+    fn apply(&mut self, deltas: &DeltaSet, work: &mut u64) -> CountedSet {
+        match self {
+            Node::Scan { relation } => match deltas.for_relation(relation) {
+                Some(set) => {
+                    *work += set.distinct_len() as u64;
+                    set.clone()
+                }
+                None => CountedSet::new(),
+            },
+            Node::Select { child, pred } => {
+                let d = child.apply(deltas, work);
+                let mut out = CountedSet::new();
+                for (t, c) in d.iter() {
+                    *work += 1;
+                    if pred.matches(t) {
+                        out.add(t.clone(), c);
+                    }
+                }
+                out
+            }
+            Node::Project { child, indices } => {
+                let d = child.apply(deltas, work);
+                let mut out = CountedSet::new();
+                for (t, c) in d.iter() {
+                    *work += 1;
+                    out.add(t.project(indices), c);
+                }
+                out
+            }
+            Node::Product {
+                left,
+                right,
+                left_state,
+                right_state,
+            } => {
+                let dl = left.apply(deltas, work);
+                let dr = right.apply(deltas, work);
+                let mut out = CountedSet::new();
+                // ΔL × R_old
+                for (lt, lc) in dl.iter() {
+                    for (rt, rc) in right_state.iter() {
+                        *work += 1;
+                        out.add(lt.concat(rt), lc * rc);
+                    }
+                }
+                left_state.merge(&dl); // left is now L_new
+                // L_new × ΔR = (L_old + ΔL) × ΔR — supplies both remaining terms.
+                for (rt, rc) in dr.iter() {
+                    for (lt, lc) in left_state.iter() {
+                        *work += 1;
+                        out.add(lt.concat(rt), lc * rc);
+                    }
+                }
+                right_state.merge(&dr);
+                out
+            }
+            Node::Join {
+                left,
+                right,
+                lk,
+                rk,
+                left_state,
+                right_state,
+            } => {
+                let dl = left.apply(deltas, work);
+                let dr = right.apply(deltas, work);
+                let mut out = CountedSet::new();
+                // ΔL ⋈ R_old
+                for (lt, lc) in dl.iter() {
+                    *work += 1;
+                    let key = lt.project(lk);
+                    if key.values().iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(rts) = right_state.get(&key) {
+                        for (rt, rc) in rts.iter() {
+                            *work += 1;
+                            out.add(lt.concat(rt), lc * rc);
+                        }
+                    }
+                }
+                // Fold ΔL into the left state, then join L_new ⋈ ΔR.
+                for (lt, lc) in dl.iter() {
+                    insert_keyed(left_state, lk, lt, lc);
+                }
+                for (rt, rc) in dr.iter() {
+                    *work += 1;
+                    let key = rt.project(rk);
+                    if key.values().iter().any(Value::is_null) {
+                        continue;
+                    }
+                    if let Some(lts) = left_state.get(&key) {
+                        for (lt, lc) in lts.iter() {
+                            *work += 1;
+                            out.add(lt.concat(rt), lc * rc);
+                        }
+                    }
+                }
+                for (rt, rc) in dr.iter() {
+                    insert_keyed(right_state, rk, rt, rc);
+                }
+                out
+            }
+            Node::Aggregate {
+                child,
+                group_idx,
+                specs,
+                groups,
+            } => {
+                let d = child.apply(deltas, work);
+                let global = group_idx.is_empty();
+                // Phase 1: snapshot the pre-batch output of every touched group.
+                let mut touched: HashMap<Tuple, Option<Tuple>> = HashMap::new();
+                for (t, _) in d.iter() {
+                    let key = t.project(group_idx);
+                    touched.entry(key.clone()).or_insert_with(|| {
+                        groups.get(&key).map(|g| g.output(&key)).or_else(|| {
+                            // The global group exists implicitly with zero state.
+                            global.then(|| GroupState::new(specs).output(&key))
+                        })
+                    });
+                }
+                // Phase 2: apply all updates.
+                for (t, c) in d.iter() {
+                    *work += 1;
+                    let key = t.project(group_idx);
+                    let g = groups.entry(key).or_insert_with(|| GroupState::new(specs));
+                    g.n += c;
+                    for (acc, spec) in g.accs.iter_mut().zip(specs.iter()) {
+                        acc.update(spec, t, c);
+                    }
+                }
+                // Phase 3: diff old vs new output per touched group.
+                let mut out = CountedSet::new();
+                for (key, old) in touched {
+                    let new = match groups.get(&key) {
+                        Some(g) if g.n > 0 || global => Some(g.output(&key)),
+                        _ => None,
+                    };
+                    // Drop groups whose support vanished (non-global only).
+                    if groups.get(&key).is_some_and(|g| g.n <= 0) && !global {
+                        groups.remove(&key);
+                    }
+                    match (old, new) {
+                        (Some(o), Some(n)) if o == n => {}
+                        (o, n) => {
+                            if let Some(o) = o {
+                                out.add(o, -1);
+                            }
+                            if let Some(n) = n {
+                                out.add(n, 1);
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Node::Distinct { child, state } => {
+                let d = child.apply(deltas, work);
+                let mut out = CountedSet::new();
+                for (t, c) in d.iter() {
+                    *work += 1;
+                    let old = state.count(t);
+                    let new = state.add(t.clone(), c);
+                    if old <= 0 && new > 0 {
+                        out.add(t.clone(), 1);
+                    } else if old > 0 && new <= 0 {
+                        out.add(t.clone(), -1);
+                    }
+                }
+                out
+            }
+            Node::Union { left, right } => {
+                let mut dl = left.apply(deltas, work);
+                let dr = right.apply(deltas, work);
+                *work += dr.distinct_len() as u64;
+                dl.merge_owned(dr);
+                dl
+            }
+            Node::SetOp {
+                left,
+                right,
+                kind,
+                left_state,
+                right_state,
+            } => {
+                let dl = left.apply(deltas, work);
+                let dr = right.apply(deltas, work);
+                let mut out = CountedSet::new();
+                // Re-derive the output count of every touched tuple.
+                for t in dl.iter().map(|(t, _)| t).chain(dr.iter().map(|(t, _)| t)) {
+                    *work += 1;
+                    if out.count(t) != 0 {
+                        continue; // handled from the other delta already
+                    }
+                    let old = kind.out_count(left_state.count(t), right_state.count(t));
+                    let new = kind.out_count(
+                        left_state.count(t) + dl.count(t),
+                        right_state.count(t) + dr.count(t),
+                    );
+                    out.add(t.clone(), new - old);
+                }
+                left_state.merge(&dl);
+                right_state.merge(&dr);
+                out
+            }
+        }
+    }
+}
+
+fn insert_keyed(state: &mut HashMap<Tuple, CountedSet>, keys: &[usize], t: &Tuple, c: i64) {
+    let key = t.project(keys);
+    if key.values().iter().any(Value::is_null) {
+        return; // NULL keys never participate in equi-joins
+    }
+    let set = state.entry(key.clone()).or_default();
+    set.add(t.clone(), c);
+    if set.is_empty() {
+        state.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::{paper_queries, AggExpr, AggFunc};
+    use crate::exec::execute_simple;
+    use crate::expr::Expr;
+    use crate::schema::Schema;
+    use crate::storage::RowId;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn token_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("tok_id", ValueType::Int),
+            ("doc_id", ValueType::Int),
+            ("string", ValueType::Str),
+            ("label", ValueType::Str),
+            ("truth", ValueType::Str),
+        ])
+        .unwrap()
+        .with_primary_key("tok_id")
+        .unwrap()
+    }
+
+    fn token_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("TOKEN", token_schema()).unwrap();
+        let rows = vec![
+            (1, 1, "Bill", "B-PER"),
+            (2, 1, "said", "O"),
+            (3, 1, "Boston", "B-ORG"),
+            (4, 2, "Boston", "B-LOC"),
+            (5, 2, "hired", "O"),
+            (6, 2, "Ann", "B-PER"),
+            (7, 3, "IBM", "B-ORG"),
+            (8, 3, "Ann", "B-PER"),
+        ];
+        let rel = db.relation_mut("TOKEN").unwrap();
+        for (id, doc, s, l) in rows {
+            rel.insert(tuple![id as i64, doc as i64, s, l, l]).unwrap();
+        }
+        db
+    }
+
+    /// Updates the label of `tok_id`, recording the delta.
+    fn relabel(db: &mut Database, deltas: &mut DeltaSet, tok_id: i64, label: &str) {
+        let rel = db.relation_mut("TOKEN").unwrap();
+        let rid = rel.find_by_pk(&Value::Int(tok_id)).unwrap();
+        let col = rel.schema().index_of("label").unwrap();
+        let (old, new) = rel.update_field(rid, col, Value::str(label)).unwrap();
+        let name = Arc::clone(rel.name());
+        deltas.record_update(&name, old, new);
+    }
+
+    /// The central invariant: after any delta stream, the maintained view
+    /// equals a from-scratch execution (Eq. 6 of the paper).
+    fn assert_view_matches_exec(view: &MaterializedView, plan: &Plan, db: &Database) {
+        let fresh = execute_simple(plan, db).unwrap();
+        assert_eq!(
+            view.result().sorted_entries(),
+            fresh.rows.sorted_entries(),
+            "maintained view diverged from recomputation"
+        );
+    }
+
+    #[test]
+    fn query1_view_tracks_relabels() {
+        let mut db = token_db();
+        let plan = paper_queries::query1("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_view_matches_exec(&view, &plan, &db);
+        assert_eq!(view.result().count(&tuple!["Ann"]), 2);
+
+        // Relabel "said" → B-PER, "Ann"(6) → O, within one batch.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 2, "B-PER");
+        relabel(&mut db, &mut d, 6, "O");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple!["said"]), 1);
+        assert_eq!(out.count(&tuple!["Ann"]), -1);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn cancelled_delta_produces_no_output() {
+        let mut db = token_db();
+        let plan = paper_queries::query1("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 2, "B-PER");
+        relabel(&mut db, &mut d, 2, "O"); // restore
+        assert!(d.is_empty());
+        let out = view.apply_delta(&d);
+        assert!(out.is_empty());
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn global_aggregate_view_query2() {
+        let mut db = token_db();
+        let plan = paper_queries::query2("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_eq!(view.result().sorted_support(), vec![tuple![3i64]]);
+
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 2, "B-PER");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple![3i64]), -1);
+        assert_eq!(out.count(&tuple![4i64]), 1);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn global_aggregate_survives_reaching_zero() {
+        let mut db = token_db();
+        let plan = paper_queries::query2("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let mut d = DeltaSet::new();
+        for tok in [1, 6, 8] {
+            relabel(&mut db, &mut d, tok, "O");
+        }
+        view.apply_delta(&d);
+        // COUNT drops to 0 but the row persists (global groups always exist).
+        assert_eq!(view.result().sorted_support(), vec![tuple![0i64]]);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn grouped_aggregate_view_query3() {
+        let mut db = token_db();
+        let plan = paper_queries::query3("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_eq!(
+            view.result().sorted_support(),
+            vec![tuple![1i64], tuple![3i64]]
+        );
+
+        // Make doc 2 balanced by labelling "Boston"(4) B-ORG.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 4, "B-ORG");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple![2i64]), 1);
+        assert_view_matches_exec(&view, &plan, &db);
+
+        // Unbalance doc 1 by adding another person.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 2, "B-PER");
+        view.apply_delta(&d);
+        assert!(!view.result().contains(&tuple![1i64]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn join_view_query4() {
+        let mut db = token_db();
+        let plan = paper_queries::query4("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_eq!(view.result().sorted_support(), vec![tuple!["Bill"]]);
+
+        // Relabel doc-2 "Boston"(4) to B-ORG → Ann co-occurs.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 4, "B-ORG");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple!["Ann"]), 1);
+        assert_view_matches_exec(&view, &plan, &db);
+
+        // Remove doc-1 Boston's ORG label → Bill leaves the answer.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 3, "B-LOC");
+        view.apply_delta(&d);
+        assert!(!view.result().contains(&tuple!["Bill"]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn distinct_view_tracks_support_crossings() {
+        let mut db = token_db();
+        let plan = paper_queries::query1("TOKEN").distinct();
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_eq!(view.result().count(&tuple!["Ann"]), 1);
+
+        // Remove one of the two Ann mentions: distinct count unchanged.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 6, "O");
+        let out = view.apply_delta(&d);
+        assert!(out.is_empty());
+        // Remove the second: Ann leaves.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 8, "O");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple!["Ann"]), -1);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn product_view_maintenance() {
+        let mut db = token_db();
+        let plan = Plan::scan_as("TOKEN", "A")
+            .filter(Expr::col("A.label").eq(Expr::lit("B-ORG")))
+            .project(&["A.string"])
+            .product(
+                Plan::scan_as("TOKEN", "B")
+                    .filter(Expr::col("B.label").eq(Expr::lit("B-LOC")))
+                    .project(&["B.string"]),
+            );
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_view_matches_exec(&view, &plan, &db);
+
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 4, "B-ORG"); // moves a tuple across both sides
+        view.apply_delta(&d);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn insert_and_delete_tuples_through_view() {
+        let mut db = token_db();
+        let plan = paper_queries::query1("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+
+        let mut d = DeltaSet::new();
+        let t = tuple![9i64, 3i64, "Grace", "B-PER", "B-PER"];
+        db.relation_mut("TOKEN").unwrap().insert(t.clone()).unwrap();
+        d.record_insert(&Arc::from("TOKEN"), t);
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple!["Grace"]), 1);
+        assert_view_matches_exec(&view, &plan, &db);
+
+        let mut d = DeltaSet::new();
+        let rel = db.relation_mut("TOKEN").unwrap();
+        let rid = rel.find_by_pk(&Value::Int(9)).unwrap();
+        let gone = rel.delete(rid).unwrap();
+        d.record_delete(&Arc::from("TOKEN"), gone);
+        view.apply_delta(&d);
+        assert!(!view.result().contains(&tuple!["Grace"]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn min_max_aggregates_survive_deletion_of_extremum() {
+        let mut db = token_db();
+        let plan = Plan::scan("TOKEN").aggregate(
+            &["doc_id"],
+            vec![
+                AggExpr::new(AggFunc::Min(Arc::from("tok_id")), "lo"),
+                AggExpr::new(AggFunc::Max(Arc::from("tok_id")), "hi"),
+            ],
+        );
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert!(view.result().contains(&tuple![1i64, 1i64, 3i64]));
+
+        // Delete tok 3 (the max of doc 1); view must fall back to tok 2.
+        let mut d = DeltaSet::new();
+        let rel = db.relation_mut("TOKEN").unwrap();
+        let rid = rel.find_by_pk(&Value::Int(3)).unwrap();
+        let gone = rel.delete(rid).unwrap();
+        d.record_delete(&Arc::from("TOKEN"), gone);
+        view.apply_delta(&d);
+        assert!(view.result().contains(&tuple![1i64, 1i64, 2i64]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn group_disappears_when_last_row_leaves() {
+        let mut db = token_db();
+        let plan = Plan::scan("TOKEN")
+            .filter(Expr::col("label").eq(Expr::lit("B-PER")))
+            .aggregate(&["doc_id"], vec![AggExpr::new(AggFunc::Count, "n")]);
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert!(view.result().contains(&tuple![2i64, 1i64]));
+
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 6, "O");
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple![2i64, 1i64]), -1);
+        assert!(!view.result().contains(&tuple![2i64, 1i64]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn empty_delta_is_cheap_noop() {
+        let db = token_db();
+        let plan = paper_queries::query4("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let before = view.stats();
+        let out = view.apply_delta(&DeltaSet::new());
+        assert!(out.is_empty());
+        let after = view.stats();
+        assert_eq!(after.delta_rows_processed, before.delta_rows_processed);
+        assert_eq!(after.deltas_applied, before.deltas_applied + 1);
+    }
+
+    #[test]
+    fn delta_work_is_independent_of_db_size() {
+        // The heart of Fig. 4(a): delta application work must not scale with
+        // the relation size for selection/projection queries.
+        let mut work_small = 0;
+        let mut work_large = 0;
+        for (n, work) in [(50usize, &mut work_small), (5000usize, &mut work_large)] {
+            let mut db = Database::new();
+            db.create_relation("TOKEN", token_schema()).unwrap();
+            {
+                let rel = db.relation_mut("TOKEN").unwrap();
+                for i in 0..n {
+                    rel.insert(tuple![i as i64, (i / 10) as i64, format!("w{i}"), "O", "O"])
+                        .unwrap();
+                }
+            }
+            let plan = paper_queries::query1("TOKEN");
+            let mut view = MaterializedView::new(&plan, &db).unwrap();
+            let mut d = DeltaSet::new();
+            let rel = db.relation_mut("TOKEN").unwrap();
+            let rid = rel.find_by_pk(&Value::Int(7)).unwrap();
+            let col = rel.schema().index_of("label").unwrap();
+            let (old, new) = rel.update_field(rid, col, Value::str("B-PER")).unwrap();
+            d.record_update(&Arc::from("TOKEN"), old, new);
+            view.apply_delta(&d);
+            *work = view.stats().delta_rows_processed;
+        }
+        assert_eq!(work_small, work_large);
+    }
+
+    #[test]
+    fn compile_rejects_unknown_relation() {
+        let db = token_db();
+        let plan = Plan::scan("MISSING");
+        assert!(MaterializedView::new(&plan, &db).is_err());
+    }
+
+    #[test]
+    fn row_id_type_is_reexported_in_tests() {
+        // RowId participates in the relabel helper path; keep it referenced.
+        let _ = RowId(0);
+    }
+
+    #[test]
+    fn union_view_adds_multiplicities() {
+        let mut db = token_db();
+        let plan = paper_queries::query1("TOKEN").union(
+            Plan::scan("TOKEN")
+                .filter(Expr::col("label").eq(Expr::lit("B-ORG")))
+                .project(&["string"]),
+        );
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_view_matches_exec(&view, &plan, &db);
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 2, "B-ORG"); // "said" enters via the right arm
+        let out = view.apply_delta(&d);
+        assert_eq!(out.count(&tuple!["said"]), 1);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn difference_view_monus_semantics() {
+        let mut db = token_db();
+        // Strings of non-O tokens minus strings of B-PER tokens.
+        let plan = Plan::scan("TOKEN")
+            .filter(Expr::col("label").ne(Expr::lit("O")))
+            .project(&["string"])
+            .difference(paper_queries::query1("TOKEN"));
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_view_matches_exec(&view, &plan, &db);
+        // "Ann"(6) flips to O: leaves the left side AND the subtrahend.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 6, "O");
+        view.apply_delta(&d);
+        assert_view_matches_exec(&view, &plan, &db);
+        // Flip "Boston"(4) to B-PER: both sides change for one tuple.
+        let mut d = DeltaSet::new();
+        relabel(&mut db, &mut d, 4, "B-PER");
+        view.apply_delta(&d);
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn intersect_view_min_semantics() {
+        let mut db = token_db();
+        let plan = Plan::scan("TOKEN")
+            .filter(Expr::col("label").ne(Expr::lit("O")))
+            .project(&["string"])
+            .intersect(
+                Plan::scan("TOKEN")
+                    .filter(Expr::col("doc_id").le(Expr::lit(2i64)))
+                    .project(&["string"]),
+            );
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        assert_view_matches_exec(&view, &plan, &db);
+        for (tok, label) in [(7, "O"), (1, "O"), (5, "B-LOC")] {
+            let mut d = DeltaSet::new();
+            relabel(&mut db, &mut d, tok, label);
+            view.apply_delta(&d);
+            assert_view_matches_exec(&view, &plan, &db);
+        }
+    }
+
+    #[test]
+    fn set_op_arity_mismatch_rejected() {
+        let db = token_db();
+        let plan = Plan::scan("TOKEN")
+            .project(&["string"])
+            .union(Plan::scan_as("TOKEN", "B").project(&["B.string", "B.doc_id"]));
+        assert!(MaterializedView::new(&plan, &db).is_err());
+    }
+}

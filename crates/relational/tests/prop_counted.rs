@@ -1,0 +1,111 @@
+//! Property tests for counted-multiset algebra — the foundation of the
+//! multiset semantics the paper's §4.2 Remark requires under projection.
+
+use fgdb_relational::{CountedSet, Tuple, Value};
+use proptest::prelude::*;
+
+fn tuple_strategy() -> impl Strategy<Value = Tuple> {
+    (0i64..5, 0i64..3)
+        .prop_map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+}
+
+fn entries_strategy() -> impl Strategy<Value = Vec<(Tuple, i64)>> {
+    prop::collection::vec((tuple_strategy(), -4i64..5), 0..24)
+}
+
+fn build(entries: &[(Tuple, i64)]) -> CountedSet {
+    let mut s = CountedSet::new();
+    for (t, c) in entries {
+        s.add(t.clone(), *c);
+    }
+    s
+}
+
+proptest! {
+    /// No zero-multiplicity entries survive any construction.
+    #[test]
+    fn no_zero_entries(entries in entries_strategy()) {
+        let s = build(&entries);
+        for (_, c) in s.iter() {
+            prop_assert_ne!(c, 0);
+        }
+    }
+
+    /// `merge` behaves as pointwise addition of multiplicities.
+    #[test]
+    fn merge_is_pointwise_addition(a in entries_strategy(), b in entries_strategy()) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        // Check over the union of supports.
+        for (t, _) in sa.iter().chain(sb.iter()) {
+            prop_assert_eq!(merged.count(t), sa.count(t) + sb.count(t));
+        }
+        prop_assert_eq!(merged.total(), sa.total() + sb.total());
+    }
+
+    /// Merge is commutative.
+    #[test]
+    fn merge_commutative(a in entries_strategy(), b in entries_strategy()) {
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(ab.sorted_entries(), ba.sorted_entries());
+    }
+
+    /// `minus` then `merge` round-trips: (a − b) + b == a.
+    #[test]
+    fn minus_merge_round_trip(a in entries_strategy(), b in entries_strategy()) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let mut back = sa.minus(&sb);
+        back.merge(&sb);
+        prop_assert_eq!(back.sorted_entries(), sa.sorted_entries());
+    }
+
+    /// Double negation is identity; x + (−x) is empty.
+    #[test]
+    fn negation_laws(a in entries_strategy()) {
+        let sa = build(&a);
+        prop_assert_eq!(sa.negated().negated().sorted_entries(), sa.sorted_entries());
+        let mut zero = sa.clone();
+        zero.merge(&sa.negated());
+        prop_assert!(zero.is_empty());
+    }
+
+    /// `merge_owned` agrees with `merge`.
+    #[test]
+    fn merge_owned_agrees(a in entries_strategy(), b in entries_strategy()) {
+        let mut by_ref = build(&a);
+        by_ref.merge(&build(&b));
+        let mut by_val = build(&a);
+        by_val.merge_owned(build(&b));
+        prop_assert_eq!(by_ref.sorted_entries(), by_val.sorted_entries());
+    }
+
+    /// Support contains exactly the positive entries.
+    #[test]
+    fn support_is_positive_part(a in entries_strategy()) {
+        let sa = build(&a);
+        let support: Vec<Tuple> = sa.sorted_support();
+        for t in &support {
+            prop_assert!(sa.count(t) > 0);
+        }
+        let n_positive = sa.iter().filter(|(_, c)| *c > 0).count();
+        prop_assert_eq!(support.len(), n_positive);
+    }
+
+    /// `from_tuples` counts duplicates.
+    #[test]
+    fn from_tuples_counts(ts in prop::collection::vec(tuple_strategy(), 0..30)) {
+        let s = CountedSet::from_tuples(ts.clone());
+        prop_assert_eq!(s.total(), ts.len() as i64);
+        for t in &ts {
+            let expected = ts.iter().filter(|u| *u == t).count() as i64;
+            prop_assert_eq!(s.count(t), expected);
+        }
+        prop_assert!(s.check_is_state().is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Property tests for the paper's central systems invariant (Eq. 6):
+//! an incrementally maintained view equals a from-scratch recomputation
+//! after *any* stream of base-table updates, for plans covering every
+//! operator (σ, π, ×, ⋈, γ with filtered aggregates, δ).
+
+use fgdb_relational::algebra::{AggExpr, AggFunc};
+use fgdb_relational::{
+    execute_simple, Database, DeltaSet, Expr, MaterializedView, Plan, Schema, Tuple, Value,
+    ValueType,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LABELS: [&str; 4] = ["O", "B-PER", "B-ORG", "B-LOC"];
+const STRINGS: [&str; 5] = ["alpha", "beta", "gamma", "Boston", "delta"];
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("id", ValueType::Int),
+        ("doc", ValueType::Int),
+        ("s", ValueType::Str),
+        ("label", ValueType::Str),
+    ])
+    .unwrap()
+    .with_primary_key("id")
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Row {
+    id: i64,
+    doc: i64,
+    s: usize,
+    label: usize,
+}
+
+fn row_tuple(r: &Row) -> Tuple {
+    Tuple::new(vec![
+        Value::Int(r.id),
+        Value::Int(r.doc),
+        Value::str(STRINGS[r.s]),
+        Value::str(LABELS[r.label]),
+    ])
+}
+
+/// One mutation of the base table.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Relabel row at index (mod live rows).
+    Relabel { row: usize, label: usize },
+    /// Insert a fresh row into a document.
+    Insert { doc: i64, s: usize, label: usize },
+    /// Delete row at index (mod live rows).
+    Delete { row: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64, 0usize..4).prop_map(|(row, label)| Op::Relabel { row, label }),
+        (0i64..6, 0usize..5, 0usize..4).prop_map(|(doc, s, label)| Op::Insert { doc, s, label }),
+        (0usize..64).prop_map(|row| Op::Delete { row }),
+    ]
+}
+
+/// The plan zoo: one representative per operator combination.
+fn plan(kind: u8) -> Plan {
+    match kind % 10 {
+        0 => Plan::scan("T")
+            .filter(Expr::col("label").eq(Expr::lit("B-PER")))
+            .project(&["s"]),
+        1 => Plan::scan("T").aggregate(
+            &[],
+            vec![AggExpr::count_if(
+                Expr::col("label").eq(Expr::lit("B-PER")),
+                "n",
+            )],
+        ),
+        2 => Plan::scan("T")
+            .aggregate(
+                &["doc"],
+                vec![
+                    AggExpr::count_if(Expr::col("label").eq(Expr::lit("B-PER")), "np"),
+                    AggExpr::count_if(Expr::col("label").eq(Expr::lit("B-ORG")), "no"),
+                ],
+            )
+            .filter(Expr::col("np").eq(Expr::col("no")))
+            .project(&["doc"]),
+        3 => {
+            let t1 = Plan::scan_as("T", "A").filter(
+                Expr::col("A.s")
+                    .eq(Expr::lit("Boston"))
+                    .and(Expr::col("A.label").eq(Expr::lit("B-ORG"))),
+            );
+            let t2 =
+                Plan::scan_as("T", "B").filter(Expr::col("B.label").eq(Expr::lit("B-PER")));
+            t1.join_on(t2, &[("A.doc", "B.doc")]).project(&["B.s"])
+        }
+        4 => Plan::scan("T")
+            .filter(Expr::col("label").ne(Expr::lit("O")))
+            .project(&["s"])
+            .distinct(),
+        5 => Plan::scan("T").aggregate(
+            &["doc"],
+            vec![
+                AggExpr::new(AggFunc::Min(Arc::from("id")), "lo"),
+                AggExpr::new(AggFunc::Max(Arc::from("id")), "hi"),
+                AggExpr::new(AggFunc::Sum(Arc::from("id")), "sum"),
+            ],
+        ),
+        6 => Plan::scan_as("T", "A")
+            .filter(Expr::col("A.label").eq(Expr::lit("B-LOC")))
+            .project(&["A.doc"])
+            .product(
+                Plan::scan_as("T", "B")
+                    .filter(Expr::col("B.label").eq(Expr::lit("B-ORG")))
+                    .project(&["B.s"]),
+            ),
+        7 => Plan::scan("T")
+            .filter(Expr::col("label").eq(Expr::lit("B-PER")))
+            .project(&["s"])
+            .union(
+                Plan::scan("T")
+                    .filter(Expr::col("label").eq(Expr::lit("B-ORG")))
+                    .project(&["s"]),
+            ),
+        8 => Plan::scan("T")
+            .project(&["s"])
+            .difference(
+                Plan::scan("T")
+                    .filter(Expr::col("label").eq(Expr::lit("O")))
+                    .project(&["s"]),
+            ),
+        _ => Plan::scan("T")
+            .filter(Expr::col("label").ne(Expr::lit("O")))
+            .project(&["s"])
+            .intersect(
+                Plan::scan("T")
+                    .filter(Expr::col("doc").le(Expr::lit(2i64)))
+                    .project(&["s"]),
+            ),
+    }
+}
+
+fn build_db(rows: &[Row]) -> Database {
+    let mut db = Database::new();
+    db.create_relation("T", schema()).unwrap();
+    let rel = db.relation_mut("T").unwrap();
+    for r in rows {
+        rel.insert(row_tuple(r)).unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Maintained view == recomputation after every update batch.
+    #[test]
+    fn view_equals_recomputation_under_any_update_stream(
+        kind in 0u8..10,
+        n_rows in 3usize..24,
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        batch in 1usize..6,
+    ) {
+        // Deterministic initial table.
+        let rows: Vec<Row> = (0..n_rows as i64)
+            .map(|i| Row { id: i, doc: i % 4, s: (i as usize) % 5, label: (i as usize) % 4 })
+            .collect();
+        let mut db = build_db(&rows);
+        let plan = plan(kind);
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let mut next_id = n_rows as i64;
+        let rel_name: Arc<str> = Arc::from("T");
+
+        let mut deltas = DeltaSet::new();
+        for (i, op) in ops.iter().enumerate() {
+            let rel = db.relation_mut("T").unwrap();
+            match op {
+                Op::Relabel { row, label } => {
+                    let live: Vec<_> = rel.iter().map(|(rid, _)| rid).collect();
+                    if live.is_empty() { continue; }
+                    let rid = live[row % live.len()];
+                    let (old, new) = rel
+                        .update_field(rid, 3, Value::str(LABELS[*label]))
+                        .unwrap();
+                    deltas.record_update(&rel_name, old, new);
+                }
+                Op::Insert { doc, s, label } => {
+                    let r = Row { id: next_id, doc: *doc, s: *s, label: *label };
+                    next_id += 1;
+                    let t = row_tuple(&r);
+                    rel.insert(t.clone()).unwrap();
+                    deltas.record_insert(&rel_name, t);
+                }
+                Op::Delete { row } => {
+                    let live: Vec<_> = rel.iter().map(|(rid, _)| rid).collect();
+                    if live.is_empty() { continue; }
+                    let rid = live[row % live.len()];
+                    let gone = rel.delete(rid).unwrap();
+                    deltas.record_delete(&rel_name, gone);
+                }
+            }
+            // Apply in batches (like k MCMC steps between query evaluations).
+            if (i + 1) % batch == 0 {
+                view.apply_delta(&std::mem::take(&mut deltas));
+                let fresh = execute_simple(&plan, &db).unwrap();
+                prop_assert_eq!(
+                    view.result().sorted_entries(),
+                    fresh.rows.sorted_entries(),
+                    "divergence after batch ending at op {}", i
+                );
+            }
+        }
+        // Flush the tail.
+        view.apply_delta(&deltas);
+        let fresh = execute_simple(&plan, &db).unwrap();
+        prop_assert_eq!(view.result().sorted_entries(), fresh.rows.sorted_entries());
+    }
+
+    /// Delta compaction: an update stream that returns every field to its
+    /// original value produces an empty DeltaSet and no view output delta.
+    #[test]
+    fn round_trip_updates_cancel(
+        rows in 2usize..10,
+        flips in prop::collection::vec((0usize..10, 1usize..4), 1..12),
+    ) {
+        let init: Vec<Row> = (0..rows as i64)
+            .map(|i| Row { id: i, doc: 0, s: 0, label: 0 })
+            .collect();
+        let mut db = build_db(&init);
+        let plan = plan(0);
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let rel_name: Arc<str> = Arc::from("T");
+        let mut deltas = DeltaSet::new();
+        let rel = db.relation_mut("T").unwrap();
+        // Flip labels away and back.
+        for (row, label) in &flips {
+            let live: Vec<_> = rel.iter().map(|(rid, _)| rid).collect();
+            let rid = live[row % live.len()];
+            let (old, new) = rel.update_field(rid, 3, Value::str(LABELS[*label])).unwrap();
+            deltas.record_update(&rel_name, old, new);
+            let (old, new) = rel.update_field(rid, 3, Value::str(LABELS[0])).unwrap();
+            deltas.record_update(&rel_name, old, new);
+        }
+        prop_assert!(deltas.is_empty());
+        let out = view.apply_delta(&deltas);
+        prop_assert!(out.is_empty());
+    }
+}

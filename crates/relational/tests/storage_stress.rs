@@ -1,0 +1,139 @@
+//! Stress and edge-case tests for the storage layer: slot reuse under heavy
+//! insert/delete churn, index consistency across mixed workloads, and the
+//! algebra-level validation of the set operators.
+
+use fgdb_relational::{
+    execute_simple, Database, Expr, Plan, Schema, Tuple, Value, ValueType,
+};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("id", ValueType::Int), ("s", ValueType::Str)])
+        .unwrap()
+        .with_primary_key("id")
+        .unwrap()
+}
+
+proptest! {
+    /// Random interleavings of insert/delete/update keep the relation, its
+    /// primary-key index, and its secondary index mutually consistent.
+    #[test]
+    fn mixed_churn_keeps_indexes_consistent(
+        ops in prop::collection::vec((0u8..3, 0i64..24, 0usize..4), 1..120),
+    ) {
+        const STRINGS: [&str; 4] = ["a", "b", "c", "d"];
+        let mut db = Database::new();
+        db.create_relation("T", schema()).unwrap();
+        let rel = db.relation_mut("T").unwrap();
+        rel.create_index("s").unwrap();
+        let mut live: std::collections::HashMap<i64, usize> = Default::default();
+
+        for (op, id, si) in ops {
+            match op {
+                0 => {
+                    // Insert if absent.
+                    if let std::collections::hash_map::Entry::Vacant(e) = live.entry(id) {
+                        rel.insert(Tuple::new(vec![
+                            Value::Int(id),
+                            Value::str(STRINGS[si]),
+                        ]))
+                        .unwrap();
+                        e.insert(si);
+                    } else {
+                        prop_assert!(rel
+                            .insert(Tuple::new(vec![Value::Int(id), Value::str("x")]))
+                            .is_err());
+                    }
+                }
+                1 => {
+                    // Delete if present.
+                    if live.remove(&id).is_some() {
+                        let rid = rel.find_by_pk(&Value::Int(id)).unwrap();
+                        rel.delete(rid).unwrap();
+                    } else {
+                        prop_assert!(rel.find_by_pk(&Value::Int(id)).is_none());
+                    }
+                }
+                _ => {
+                    // Update string if present.
+                    if let Some(cur) = live.get_mut(&id) {
+                        let rid = rel.find_by_pk(&Value::Int(id)).unwrap();
+                        rel.update_field(rid, 1, Value::str(STRINGS[si])).unwrap();
+                        *cur = si;
+                    }
+                }
+            }
+            // Cross-check invariants after every operation.
+            prop_assert_eq!(rel.len(), live.len());
+        }
+        // Secondary index agrees with a scan for every string value.
+        for (i, s) in STRINGS.iter().enumerate() {
+            let via_index: usize = rel
+                .index_lookup(1, &Value::str(*s))
+                .map(|r| r.len())
+                .unwrap_or(0);
+            let via_model = live.values().filter(|&&v| v == i).count();
+            prop_assert_eq!(via_index, via_model, "index drift for {}", s);
+        }
+        // Every live row is reachable by primary key.
+        for (&id, &si) in &live {
+            let rid = rel.find_by_pk(&Value::Int(id)).unwrap();
+            prop_assert_eq!(
+                rel.get(rid).unwrap().get(1).as_str().unwrap(),
+                STRINGS[si]
+            );
+        }
+    }
+}
+
+#[test]
+fn set_operation_arity_validation() {
+    let mut db = Database::new();
+    db.create_relation("T", schema()).unwrap();
+    db.relation_mut("T")
+        .unwrap()
+        .insert(Tuple::new(vec![Value::Int(1), Value::str("x")]))
+        .unwrap();
+    // Compatible arity works…
+    let ok = Plan::scan("T")
+        .project(&["s"])
+        .union(Plan::scan_as("T", "B").project(&["B.s"]));
+    assert!(execute_simple(&ok, &db).is_ok());
+    // …mismatched arity does not.
+    let bad = Plan::scan("T")
+        .project(&["s"])
+        .union(Plan::scan_as("T", "B"));
+    assert!(bad.output_columns(&db).is_err());
+    assert!(execute_simple(&bad, &db).is_err());
+}
+
+#[test]
+fn set_operation_display_and_base_relations() {
+    let p = Plan::scan("A")
+        .difference(Plan::scan("B"))
+        .intersect(Plan::scan("C"));
+    assert_eq!(p.to_string(), "((Scan(A) ∖ Scan(B)) ∩ Scan(C))");
+    let rels: Vec<String> = p.base_relations().iter().map(|r| r.to_string()).collect();
+    assert_eq!(rels, vec!["A", "B", "C"]);
+}
+
+#[test]
+fn self_difference_is_empty_and_self_intersect_is_identity() {
+    let mut db = Database::new();
+    db.create_relation("T", schema()).unwrap();
+    let rel = db.relation_mut("T").unwrap();
+    for i in 0..10i64 {
+        rel.insert(Tuple::new(vec![Value::Int(i), Value::str("dup")]))
+            .unwrap();
+    }
+    let proj = Plan::scan("T").project(&["s"]); // multiset of 10 × ("dup")
+    let diff = execute_simple(&proj.clone().difference(proj.clone()), &db).unwrap();
+    assert!(diff.rows.is_empty());
+    let inter = execute_simple(&proj.clone().intersect(proj.clone()), &db).unwrap();
+    assert_eq!(inter.rows.count(&Tuple::new(vec![Value::str("dup")])), 10);
+    let filtered = Plan::scan("T")
+        .filter(Expr::col("id").lt(Expr::lit(3i64)))
+        .project(&["s"]);
+    let partial = execute_simple(&proj.intersect(filtered), &db).unwrap();
+    assert_eq!(partial.rows.count(&Tuple::new(vec![Value::str("dup")])), 3);
+}

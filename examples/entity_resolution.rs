@@ -1,0 +1,85 @@
+//! Entity resolution with split-merge MCMC (Fig. 1 bottom row, §3.4).
+//!
+//! Clusters noisy mentions into entities, comparing the paper's
+//! constraint-preserving split-merge proposer against a naive single-mention
+//! mover, and prints posterior pair probabilities for an ambiguous instance.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example entity_resolution
+//! ```
+
+use fgdb::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn run_sampler(
+    data: &Arc<MentionData>,
+    use_split_merge: bool,
+    steps: usize,
+    seed: u64,
+) -> (f64, Vec<f64>) {
+    let n = data.num_mentions();
+    let model = CorefModel::new(Arc::clone(data));
+    let mut world = model.singleton_world();
+    let proposer: Box<dyn Proposer> = if use_split_merge {
+        Box::new(SplitMergeProposer::new(n))
+    } else {
+        Box::new(MentionMoveProposer::new(n))
+    };
+    let mut kernel = MetropolisHastings::new(&model, proposer);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DynRng::from(&mut rng);
+
+    let mut together = vec![0u64; n * n];
+    for _ in 0..steps {
+        kernel.step(&mut world, &mut rng);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if world.get(VariableId(i as u32)) == world.get(VariableId(j as u32)) {
+                    together[i * n + j] += 1;
+                }
+            }
+        }
+    }
+    let pair_probs: Vec<f64> = together.iter().map(|&c| c as f64 / steps as f64).collect();
+    let f1 = pairwise_scores(&world, data).f1;
+    (f1, pair_probs)
+}
+
+fn main() {
+    // 3 entities × 4 mentions, noisy affinities.
+    let data = MentionData::generate(3, 4, 1.5, 1.5, 0.8, 2024);
+    let n = data.num_mentions();
+    println!("{n} mentions of 3 true entities, noisy pairwise affinities\n");
+
+    let steps = 40_000;
+    for (name, sm) in [("split-merge", true), ("mention-move", false)] {
+        let t0 = std::time::Instant::now();
+        let (f1, _) = run_sampler(&data, sm, steps, 7);
+        println!(
+            "{name:>13}: pairwise F1 of final clustering = {f1:.3}  ({steps} steps, {:?})",
+            t0.elapsed()
+        );
+    }
+
+    // Posterior pair probabilities on a small ambiguous instance, against
+    // exact partition enumeration.
+    println!("\nposterior P(i ~ j) on a 4-mention ambiguous instance:");
+    let small = MentionData::generate(2, 2, 0.9, 0.9, 0.5, 5);
+    let exact = fgdb::ie::exact_pair_probabilities(&small);
+    let (_, sampled) = run_sampler(&small, true, 200_000, 9);
+    println!("  pair   sampled   exact");
+    for i in 0..4usize {
+        for j in (i + 1)..4 {
+            println!(
+                "  ({i},{j})   {:.3}     {:.3}",
+                sampled[i * 4 + j],
+                exact[i * 4 + j]
+            );
+        }
+    }
+    println!("\n(no transitivity factors needed: cluster-id representation keeps");
+    println!(" every sampled world a valid partition, per §3.4 of the paper)");
+}

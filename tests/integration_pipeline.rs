@@ -1,0 +1,273 @@
+//! Cross-crate integration tests: the full paper pipeline at test scale.
+//!
+//! corpus → TOKEN relation → trained skip-chain CRF → probabilistic DB →
+//! Queries 1–4 through both evaluators, with the central cross-checks:
+//! evaluators agree with each other sample-for-sample, the maintained view
+//! always equals a fresh execution, and marginals converge to exact
+//! enumeration on a tiny instance.
+
+use fgdb::prelude::*;
+use std::sync::Arc;
+
+fn tiny_setup(seed: u64) -> (Corpus, Arc<Crf>) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 10,
+        mean_doc_len: 50,
+        common_vocab: 80,
+        entities_per_type: 10,
+        entity_rate: 0.2,
+        repeat_rate: 0.5,
+        cue_rate: 0.3,
+        seed,
+    });
+    let data = TokenSeqData::from_corpus(&corpus, 8);
+    let mut model = Crf::skip_chain(data);
+    model.seed_from_truth(&corpus, 2.0);
+    train_ner_model(&corpus, &mut model, 20_000, seed ^ 1);
+    (corpus, Arc::new(model))
+}
+
+#[test]
+fn evaluators_agree_on_all_four_paper_queries() {
+    let (corpus, model) = tiny_setup(3);
+    for (qname, plan) in [
+        ("q1", paper_queries::query1("TOKEN")),
+        ("q2", paper_queries::query2("TOKEN")),
+        ("q3", paper_queries::query3("TOKEN")),
+        ("q4", paper_queries::query4("TOKEN")),
+    ] {
+        let k = 200;
+        let n = 40;
+        let mut pdb_a = build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 77);
+        let mut naive = QueryEvaluator::naive(plan.clone(), &pdb_a, k).unwrap();
+        naive.run(&mut pdb_a, n).unwrap();
+
+        let mut pdb_b = build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 77);
+        let mut mat = QueryEvaluator::materialized(plan.clone(), &pdb_b, k).unwrap();
+        mat.run(&mut pdb_b, n).unwrap();
+
+        // Same seed ⇒ same sampled worlds ⇒ identical per-sample counts
+        // (the materialized table contains one extra init sample).
+        let zn = naive.marginals().samples() as f64;
+        let zm = mat.marginals().samples() as f64;
+        assert_eq!(zn as u64 + 1, zm as u64, "{qname}: z mismatch");
+        // Reconstruct raw counts and compare, accounting for the init
+        // sample's contribution to the materialized counts.
+        let init_answer = {
+            let pdb = build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 1);
+            execute_simple(&plan, pdb.database()).unwrap().rows
+        };
+        let mut all: Vec<Tuple> = naive
+            .marginals()
+            .probabilities()
+            .into_iter()
+            .map(|(t, _)| t)
+            .chain(mat.marginals().probabilities().into_iter().map(|(t, _)| t))
+            .collect();
+        all.sort();
+        all.dedup();
+        for t in all {
+            let cn = (naive.marginals().probability(&t) * zn).round() as i64;
+            let cm = (mat.marginals().probability(&t) * zm).round() as i64;
+            let init = i64::from(init_answer.contains(&t));
+            assert_eq!(cn + init, cm, "{qname}: count mismatch for {t}");
+        }
+
+        // The maintained answer equals a from-scratch execution at the end.
+        let fresh = execute_simple(&plan, pdb_b.database()).unwrap();
+        assert_eq!(
+            mat.current_answer().unwrap().sorted_entries(),
+            fresh.rows.sorted_entries(),
+            "{qname}: view drifted from recomputation"
+        );
+        // Both PDBs stayed world/store synchronized.
+        pdb_a.check_synchronized().unwrap();
+        pdb_b.check_synchronized().unwrap();
+    }
+}
+
+#[test]
+fn query1_marginals_match_exact_enumeration_on_micro_world() {
+    // A corpus small enough to enumerate: limit hidden variables by fixing
+    // all but one document via a restricted proposer support.
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 1,
+        mean_doc_len: 7,
+        common_vocab: 10,
+        entities_per_type: 3,
+        entity_rate: 0.4,
+        repeat_rate: 0.5,
+        cue_rate: 0.3,
+        seed: 5,
+    });
+    let n = corpus.num_tokens();
+    assert!(n <= 11, "need a tiny document, got {n}");
+    let data = TokenSeqData::from_corpus(&corpus, 4);
+    let mut model = Crf::skip_chain(data);
+    model.seed_from_truth(&corpus, 1.0);
+    let model = Arc::new(model);
+
+    // Exact probability that each string appears with B-PER somewhere.
+    let vars: Vec<VariableId> = (0..n as u32).map(VariableId).collect();
+    let mut world = model.new_world();
+    let b_per = Label::B(EntityType::Per).index();
+    let strings: std::collections::HashSet<&str> =
+        corpus.tokens.iter().map(|t| &*t.string).collect();
+    let mut exact: std::collections::HashMap<String, f64> = Default::default();
+    for s in strings {
+        let p = fgdb::graph::enumerate::exact_event_probability(
+            &*model,
+            &mut world,
+            &vars,
+            |w| {
+                corpus
+                    .tokens
+                    .iter()
+                    .enumerate()
+                    .any(|(i, t)| &*t.string == s && w.get(VariableId(i as u32)) == b_per)
+            },
+        );
+        exact.insert(s.to_string(), p);
+    }
+
+    // Sampled marginals via the full PDB stack.
+    let mut pdb = build_ner_pdb(
+        &corpus,
+        Arc::clone(&model),
+        &NerProposerConfig {
+            uniform: true,
+            ..Default::default()
+        },
+        13,
+    );
+    let plan = paper_queries::query1("TOKEN");
+    let mut eval = QueryEvaluator::materialized(plan, &pdb, 20).unwrap();
+    eval.run(&mut pdb, 30_000).unwrap();
+
+    for (s, p_exact) in &exact {
+        let p_est = eval
+            .marginals()
+            .probability(&Tuple::from_iter_values([s.as_str()]));
+        assert!(
+            (p_est - p_exact).abs() < 0.02,
+            "string {s}: sampled {p_est:.4} vs exact {p_exact:.4}"
+        );
+    }
+}
+
+#[test]
+fn aggregate_count_marginal_matches_expectation() {
+    // Query 2's distribution mean should match the sum of per-token B-PER
+    // marginals (linearity of expectation) on a micro world.
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 1,
+        mean_doc_len: 6,
+        common_vocab: 8,
+        entities_per_type: 3,
+        entity_rate: 0.4,
+        repeat_rate: 0.4,
+        cue_rate: 0.3,
+        seed: 9,
+    });
+    let n = corpus.num_tokens();
+    assert!(n <= 10);
+    let data = TokenSeqData::from_corpus(&corpus, 4);
+    let mut model = Crf::skip_chain(data);
+    model.seed_from_truth(&corpus, 1.0);
+    let model = Arc::new(model);
+
+    let vars: Vec<VariableId> = (0..n as u32).map(VariableId).collect();
+    let mut world = model.new_world();
+    let b_per = Label::B(EntityType::Per).index();
+    let exact_marg = fgdb::graph::enumerate::exact_marginals(&*model, &mut world, &vars);
+    let expected_count: f64 = exact_marg.iter().map(|m| m[b_per]).sum();
+
+    let mut pdb = build_ner_pdb(
+        &corpus,
+        Arc::clone(&model),
+        &NerProposerConfig {
+            uniform: true,
+            ..Default::default()
+        },
+        31,
+    );
+    let mut eval =
+        QueryEvaluator::materialized(paper_queries::query2("TOKEN"), &pdb, 20).unwrap();
+    eval.run(&mut pdb, 30_000).unwrap();
+    let dist = ValueDistribution::from_table(eval.marginals());
+    assert!(
+        (dist.mean() - expected_count).abs() < 0.05,
+        "sampled mean {:.3} vs exact expectation {expected_count:.3}",
+        dist.mean()
+    );
+}
+
+#[test]
+fn parallel_chains_reduce_error() {
+    let (corpus, model) = tiny_setup(8);
+    let plan = paper_queries::query1("TOKEN");
+    // Ground truth by a long single-chain run.
+    let mut pdb = build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 999);
+    let mut truth_eval = QueryEvaluator::materialized(plan.clone(), &pdb, 100).unwrap();
+    truth_eval.run(&mut pdb, 3_000).unwrap();
+    let truth = truth_eval.marginals().as_map();
+
+    let corpus = Arc::new(corpus);
+    let err_for = |chains: usize| {
+        let avg = evaluate_parallel(
+            chains,
+            |c| build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 50 + c as u64),
+            &plan,
+            40,
+            100,
+        )
+        .unwrap();
+        squared_error(&avg, &truth)
+    };
+    let e1 = err_for(1);
+    let e4 = err_for(4);
+    assert!(
+        e4 < e1,
+        "4 chains ({e4:.4}) should beat 1 chain ({e1:.4})"
+    );
+}
+
+#[test]
+fn training_beats_untrained_model_on_truth_query() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        num_docs: 12,
+        mean_doc_len: 60,
+        seed: 77,
+        ..Default::default()
+    });
+    let data = TokenSeqData::from_corpus(&corpus, 8);
+    // Untrained: zero weights → ~uniform labels.
+    let untrained = Arc::new(Crf::skip_chain(Arc::clone(&data)));
+    // Trained.
+    let mut trained = Crf::skip_chain(Arc::clone(&data));
+    train_ner_model(&corpus, &mut trained, 40_000, 2);
+    let trained = Arc::new(trained);
+
+    // Deterministic truth answer of Query 1.
+    let truth_db = truth_database(&corpus);
+    let plan = paper_queries::query1("TOKEN");
+    let truth_answer = execute_simple(&plan, &truth_db).unwrap();
+    let truth_map: std::collections::HashMap<Tuple, f64> = truth_answer
+        .rows
+        .support()
+        .map(|t| (t.clone(), 1.0))
+        .collect();
+
+    let loss_of = |model: Arc<Crf>| {
+        let mut pdb = build_ner_pdb(&corpus, model, &Default::default(), 5);
+        let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, 500).unwrap();
+        eval.run(&mut pdb, 100).unwrap();
+        squared_error(&eval.marginals().as_map(), &truth_map)
+    };
+    let loss_untrained = loss_of(untrained);
+    let loss_trained = loss_of(trained);
+    assert!(
+        loss_trained < loss_untrained * 0.8,
+        "trained loss {loss_trained:.2} vs untrained {loss_untrained:.2}"
+    );
+}
