@@ -16,13 +16,9 @@ fn bench_generate(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("to_database", tokens), &(), |b, ()| {
             b.iter(|| corpus.to_database("TOKEN"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("token_seq_data", tokens),
-            &(),
-            |b, ()| {
-                b.iter(|| TokenSeqData::from_corpus(&corpus, 8));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("token_seq_data", tokens), &(), |b, ()| {
+            b.iter(|| TokenSeqData::from_corpus(&corpus, 8));
+        });
     }
     group.finish();
 }

@@ -33,13 +33,9 @@ fn bench_mh_step(c: &mut Criterion) {
             );
             let name = if skip { "skip_chain" } else { "linear_chain" };
             group.throughput(Throughput::Elements(1_000));
-            group.bench_with_input(
-                BenchmarkId::new(name, corpus.num_tokens()),
-                &(),
-                |b, ()| {
-                    b.iter(|| chain.run(1_000));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, corpus.num_tokens()), &(), |b, ()| {
+                b.iter(|| chain.run(1_000));
+            });
         }
     }
     group.finish();

@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fgdb_relational::algebra::paper_queries;
-use fgdb_relational::{
-    execute_simple, Database, Expr, Plan, Schema, Tuple, Value, ValueType,
-};
+use fgdb_relational::{execute_simple, Database, Expr, Plan, Schema, Tuple, Value, ValueType};
 
 const LABELS: [&str; 4] = ["O", "B-PER", "B-ORG", "B-LOC"];
 

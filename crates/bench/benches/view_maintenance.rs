@@ -29,7 +29,11 @@ fn build_token_db(n: usize) -> Database {
     let rel = db.relation_mut("TOKEN").unwrap();
     for i in 0..n {
         let label = LABELS[i % 4];
-        let string = if i % 97 == 0 { "Boston".to_string() } else { format!("w{}", i % 500) };
+        let string = if i % 97 == 0 {
+            "Boston".to_string()
+        } else {
+            format!("w{}", i % 500)
+        };
         rel.insert(Tuple::new(vec![
             Value::Int(i as i64),
             Value::Int((i / 50) as i64),

@@ -82,7 +82,11 @@ fn main() {
         &["steps", "split-merge", "mention-move"],
         &rows,
     );
-    print_csv("coref_small", "steps,split_merge_err,mention_move_err", &csv);
+    print_csv(
+        "coref_small",
+        "steps,split_merge_err,mention_move_err",
+        &csv,
+    );
 
     // (b) Steps and accepted moves to assemble large clusters. Mention-move
     // must build each k-mention cluster from ≥ k−1 accepted single moves;
@@ -125,7 +129,11 @@ fn main() {
             }
             (reached, pairwise_scores(&world, &data).f1)
         });
-        let name = if use_sm { "split-merge" } else { "mention-move" };
+        let name = if use_sm {
+            "split-merge"
+        } else {
+            "mention-move"
+        };
         let accepted = kernel.stats().accepted;
         let steps_str = steps_to_target
             .map(|s| s.to_string())
@@ -147,7 +155,11 @@ fn main() {
         &["proposer", "steps", "accepted moves", "final F1"],
         &rows,
     );
-    print_csv("coref_large", "proposer,steps_to_f1_95,accepted,final_f1", &csv);
+    print_csv(
+        "coref_large",
+        "proposer,steps_to_f1_95,accepted,final_f1",
+        &csv,
+    );
     println!(
         "\nExpected shape: both proposers are valid MH kernels and converge \
          to the same posterior; the block split-merge proposer needs far \

@@ -28,11 +28,7 @@ use fgdb_relational::Value;
 use std::sync::Arc;
 
 /// Builds a PDB with an arbitrary proposer (mirrors `build_ner_pdb`).
-fn pdb_with(
-    setup: &NerSetup,
-    proposer: Box<dyn Proposer>,
-    seed: u64,
-) -> ProbabilisticDB<Arc<Crf>> {
+fn pdb_with(setup: &NerSetup, proposer: Box<dyn Proposer>, seed: u64) -> ProbabilisticDB<Arc<Crf>> {
     let db = setup.corpus.to_database("TOKEN");
     let rel = db.relation("TOKEN").expect("fresh");
     let rows: Vec<_> = (0..setup.corpus.num_tokens())
@@ -48,9 +44,7 @@ fn main() {
     let tokens = scaled(20_000);
     let k = 2_000;
     let samples = 150;
-    println!(
-        "E11: jump functions on Query 4, ~{tokens} tuples, {samples} samples, k={k}"
-    );
+    println!("E11: jump functions on Query 4, ~{tokens} tuples, {samples} samples, k={k}");
 
     let setup = NerSetup::build(tokens, 61);
     let plan = paper_queries::query4("TOKEN");
@@ -85,18 +79,13 @@ fn main() {
                     ..Default::default()
                 },
             ),
-            "targeted" => Box::new(TargetedProposer::new(
-                target.clone(),
-                all.clone(),
-                0.1,
-            )),
+            "targeted" => Box::new(TargetedProposer::new(target.clone(), all.clone(), 0.1)),
             _ => Box::new(GibbsRelabel::new(Arc::clone(&setup.model), all.clone())),
         };
         let mut pdb = pdb_with(&setup, proposer, 55);
         // Equal burn-in in proposals.
         pdb.step(setup.corpus.num_tokens() * 5).expect("burn");
-        let mut eval =
-            QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan");
+        let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan");
         let t0 = std::time::Instant::now();
         eval.run(&mut pdb, samples).expect("run");
         let secs = t0.elapsed().as_secs_f64();
@@ -116,7 +105,11 @@ fn main() {
         &["proposer", "sq_error", "seconds", "accept_rate"],
         &rows,
     );
-    print_csv("jump_functions", "proposer,sq_error,seconds,accept_rate", &csv);
+    print_csv(
+        "jump_functions",
+        "proposer,sq_error,seconds,accept_rate",
+        &csv,
+    );
     let mut report = Report::new(
         "jump_functions",
         &["proposer", "sq_error", "seconds", "accept_rate"],

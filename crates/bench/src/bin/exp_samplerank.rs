@@ -87,8 +87,7 @@ fn main() {
         use rand::SeedableRng;
         let vars = model.variables();
         let mut world = model.new_world();
-        let mut kernel =
-            MetropolisHastings::new(model, Box::new(UniformRelabel::new(vars)));
+        let mut kernel = MetropolisHastings::new(model, Box::new(UniformRelabel::new(vars)));
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         let mut rng = DynRng::from(&mut rng);
         for _ in 0..steps {
@@ -99,9 +98,7 @@ fn main() {
             .tokens
             .iter()
             .enumerate()
-            .filter(|(i, _)| {
-                world.get(fgdb_graph::VariableId(*i as u32)) == truth[*i] as usize
-            })
+            .filter(|(i, _)| world.get(fgdb_graph::VariableId(*i as u32)) == truth[*i] as usize)
             .count() as f64
             / corpus.num_tokens() as f64;
         // Uncued ambiguous tokens: the string is truth-ambiguous and no cue

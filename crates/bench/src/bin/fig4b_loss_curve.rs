@@ -95,8 +95,8 @@ fn main() {
             &rows,
         );
     }
-    let ratio = naive_curve.final_loss().unwrap_or(f64::NAN)
-        / mat_curve.final_loss().unwrap_or(f64::NAN);
+    let ratio =
+        naive_curve.final_loss().unwrap_or(f64::NAN) / mat_curve.final_loss().unwrap_or(f64::NAN);
     println!(
         "\nloss ratio at budget end (naive / materialized): {ratio:.1}x\n\
          Expected shape (paper): the materialized curve sits far below the \

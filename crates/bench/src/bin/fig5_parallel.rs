@@ -11,9 +11,7 @@
 //! chains reduce it "by slightly more than a factor of eight" (super-linear,
 //! because cross-chain samples are more independent than within-chain).
 
-use fgdb_bench::{
-    estimate_ground_truth_multichain, print_csv, print_table, scaled, NerSetup,
-};
+use fgdb_bench::{estimate_ground_truth_multichain, print_csv, print_table, scaled, NerSetup};
 use fgdb_core::{evaluate_parallel, squared_error, QueryEvaluator};
 use fgdb_relational::algebra::paper_queries;
 
@@ -29,8 +27,7 @@ fn main() {
 
     let setup = NerSetup::build_soft(tokens, 5);
     let plan = paper_queries::query1("TOKEN");
-    let truth =
-        estimate_ground_truth_multichain(&setup, &plan, 8, 1_500, k, 90_000);
+    let truth = estimate_ground_truth_multichain(&setup, &plan, 8, 1_500, k, 90_000);
     let burn = setup.default_burn();
 
     let mut rows = Vec::new();
@@ -40,8 +37,7 @@ fn main() {
         // Average the marginals of `chains` burned-in evaluators.
         let tables = fgdb_mcmc::run_chains(chains, |c| {
             let mut pdb = setup.pdb_burned(1_000 + c as u64, burn);
-            let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k)
-                .expect("plan");
+            let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan");
             eval.run(&mut pdb, samples_per_chain).expect("chain run");
             eval.marginals().clone()
         });

@@ -53,14 +53,7 @@ fn main() {
         let rows: Vec<String> = norm
             .points()
             .iter()
-            .map(|p| {
-                format!(
-                    "{:.4},{},{:.6}",
-                    p.elapsed.as_secs_f64(),
-                    p.samples,
-                    p.loss
-                )
-            })
+            .map(|p| format!("{:.4},{},{:.6}", p.elapsed.as_secs_f64(), p.samples, p.loss))
             .collect();
         print_csv(
             &format!("fig6_{name}"),

@@ -24,8 +24,10 @@ fn main() {
     let dist = ValueDistribution::from_table(eval.marginals());
     let mean = dist.mean();
     let std = dist.variance().sqrt();
-    println!("mean {mean:.1}, std {std:.2}, mode {}",
-        dist.mode().map(|t| t.to_string()).unwrap_or_default());
+    println!(
+        "mean {mean:.1}, std {std:.2}, mode {}",
+        dist.mode().map(|t| t.to_string()).unwrap_or_default()
+    );
 
     // Concentration check: the ±2σ window should hold ~95% of the mass if
     // the distribution is normal-like.

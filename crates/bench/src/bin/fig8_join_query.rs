@@ -30,7 +30,10 @@ fn main() {
                     .and(fgdb_relational::Expr::col("label").eq(fgdb_relational::Expr::lit(label))),
             )
             .project(&["tok_id"]);
-        let n = execute_simple(&q, &truth_db).expect("truth query").rows.total();
+        let n = execute_simple(&q, &truth_db)
+            .expect("truth query")
+            .rows
+            .total();
         println!("  truth: Boston as {label}: {n} tokens");
     }
 

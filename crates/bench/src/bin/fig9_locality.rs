@@ -46,12 +46,23 @@ fn main() {
         &["tuples", "factors/proposal", "ns/step", "accept_rate"],
         &rows,
     );
-    print_csv("fig9", "tuples,factors_per_proposal,ns_per_step,accept_rate", &csv);
+    print_csv(
+        "fig9",
+        "tuples,factors_per_proposal,ns_per_step,accept_rate",
+        &csv,
+    );
     let mut report = Report::new(
         "fig9",
-        &["tuples", "factors_per_proposal", "ns_per_step", "accept_rate"],
+        &[
+            "tuples",
+            "factors_per_proposal",
+            "ns_per_step",
+            "accept_rate",
+        ],
     );
-    report.param("steps", steps).param("scale", fgdb_bench::scale_factor());
+    report
+        .param("steps", steps)
+        .param("scale", fgdb_bench::scale_factor());
     for row in &rows {
         report.row(row.clone());
     }

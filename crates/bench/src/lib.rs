@@ -123,8 +123,7 @@ pub fn estimate_ground_truth(
     seed: u64,
 ) -> HashMap<Tuple, f64> {
     let mut pdb = setup.pdb_burned(seed, setup.default_burn());
-    let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k)
-        .expect("plan validates");
+    let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan validates");
     eval.run(&mut pdb, samples).expect("ground truth run");
     eval.marginals().as_map()
 }
@@ -141,8 +140,7 @@ pub fn estimate_ground_truth_multichain(
 ) -> HashMap<Tuple, f64> {
     let tables: Vec<MarginalTable> = fgdb_mcmc::run_chains(chains, |c| {
         let mut pdb = setup.pdb_burned(seed + c as u64, setup.default_burn());
-        let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k)
-            .expect("plan validates");
+        let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k).expect("plan validates");
         eval.run(&mut pdb, samples_per_chain).expect("truth chain");
         eval.marginals().clone()
     });

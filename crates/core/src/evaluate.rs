@@ -223,15 +223,14 @@ where
     M: Model,
     F: Fn(usize) -> ProbabilisticDB<M> + Sync,
 {
-    let tables: Vec<Result<MarginalTable, String>> =
-        fgdb_mcmc::run_chains(n_chains, |chain| {
-            let mut pdb = make_pdb(chain);
-            let mut eval = QueryEvaluator::materialized(plan.clone(), &pdb, k)
-                .map_err(|e| e.to_string())?;
-            eval.run(&mut pdb, samples_per_chain)
-                .map_err(|e| e.to_string())?;
-            Ok(eval.marginals().clone())
-        });
+    let tables: Vec<Result<MarginalTable, String>> = fgdb_mcmc::run_chains(n_chains, |chain| {
+        let mut pdb = make_pdb(chain);
+        let mut eval =
+            QueryEvaluator::materialized(plan.clone(), &pdb, k).map_err(|e| e.to_string())?;
+        eval.run(&mut pdb, samples_per_chain)
+            .map_err(|e| e.to_string())?;
+        Ok(eval.marginals().clone())
+    });
     let mut ok = Vec::with_capacity(tables.len());
     for t in tables {
         ok.push(t?);
@@ -333,8 +332,7 @@ mod tests {
         assert_eq!(mat.marginals().samples(), 61);
         for (t, p_naive) in naive.marginals().probabilities() {
             let count_naive = (p_naive * 60.0).round() as u64;
-            let count_mat =
-                (mat.marginals().probability(&t) * 61.0).round() as u64;
+            let count_mat = (mat.marginals().probability(&t) * 61.0).round() as u64;
             assert_eq!(count_naive, count_mat, "counts differ for {t}");
         }
         // And the maintained answer equals a fresh execution at the end.
@@ -348,8 +346,7 @@ mod tests {
     #[test]
     fn marginals_converge_to_exact_probabilities() {
         let (mut pdb, world) = build_pdb(5);
-        let mut eval =
-            QueryEvaluator::materialized(on_items_query(), &pdb, 5).unwrap();
+        let mut eval = QueryEvaluator::materialized(on_items_query(), &pdb, 5).unwrap();
         eval.run(&mut pdb, 8000).unwrap();
 
         // Exact: P(item i on) from enumeration of the factor graph.
@@ -378,9 +375,8 @@ mod tests {
         let vars: Vec<_> = (0..4).map(VariableId).collect();
         let mut w = world.clone();
         for i in 0..4u32 {
-            let exact = exact_event_probability(&model, &mut w, &vars, |wd| {
-                wd.get(VariableId(i)) == 1
-            });
+            let exact =
+                exact_event_probability(&model, &mut w, &vars, |wd| wd.get(VariableId(i)) == 1);
             let est = eval.marginals().probability(&tuple![i as i64]);
             assert!(
                 (est - exact).abs() < 0.03,
@@ -421,14 +417,8 @@ mod tests {
     #[test]
     fn parallel_evaluation_averages_chains() {
         let plan = on_items_query();
-        let avg = evaluate_parallel(
-            4,
-            |chain| build_pdb(1000 + chain as u64).0,
-            &plan,
-            500,
-            5,
-        )
-        .unwrap();
+        let avg =
+            evaluate_parallel(4, |chain| build_pdb(1000 + chain as u64).0, &plan, 500, 5).unwrap();
         // P(item 2 on) = σ(1.2) ≈ 0.769 — item 2 is uncoupled.
         let exact = 1.2f64.exp() / (1.0 + 1.2f64.exp());
         let est = avg.get(&tuple![2i64]).copied().unwrap_or(0.0);

@@ -212,7 +212,11 @@ mod tests {
     #[test]
     fn top_k_ranks_by_probability_then_tuple() {
         let mut m = MarginalTable::new();
-        m.record(&CountedSet::from_tuples(vec![tuple!["a"], tuple!["b"], tuple!["c"]]));
+        m.record(&CountedSet::from_tuples(vec![
+            tuple!["a"],
+            tuple!["b"],
+            tuple!["c"],
+        ]));
         m.record(&CountedSet::from_tuples(vec![tuple!["b"], tuple!["c"]]));
         m.record(&CountedSet::from_tuples(vec![tuple!["c"]]));
         let top = m.top_k(2);

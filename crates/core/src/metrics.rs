@@ -79,11 +79,7 @@ impl LossCurve {
     /// Normalizes losses so the maximum point is 1 (the paper's "normalized
     /// squared loss"). No-op on empty or all-zero curves.
     pub fn normalized(&self) -> LossCurve {
-        let max = self
-            .points
-            .iter()
-            .map(|p| p.loss)
-            .fold(0.0f64, f64::max);
+        let max = self.points.iter().map(|p| p.loss).fold(0.0f64, f64::max);
         if max == 0.0 {
             return self.clone();
         }
@@ -180,10 +176,7 @@ mod tests {
         assert_eq!(c.initial_loss(), Some(8.0));
         assert_eq!(c.final_loss(), Some(1.0));
         assert_eq!(c.time_to_half_loss(), Some(Duration::from_secs(2)));
-        assert_eq!(
-            c.time_to_fraction(0.125),
-            Some(Duration::from_secs(3))
-        );
+        assert_eq!(c.time_to_fraction(0.125), Some(Duration::from_secs(3)));
         assert_eq!(c.time_to_fraction(0.01), None);
         assert_eq!(time_to_half_loss(&c), Some(Duration::from_secs(2)));
     }

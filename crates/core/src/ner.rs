@@ -46,7 +46,11 @@ pub fn ner_proposer(data: &TokenSeqData, cfg: &NerProposerConfig) -> Box<dyn Pro
         let groups: Vec<Vec<fgdb_graph::VariableId>> = data
             .doc_ranges()
             .iter()
-            .map(|r| r.clone().map(|t| fgdb_graph::VariableId(t as u32)).collect())
+            .map(|r| {
+                r.clone()
+                    .map(|t| fgdb_graph::VariableId(t as u32))
+                    .collect()
+            })
             .collect();
         Box::new(LocalityProposer::new(
             groups,
@@ -58,12 +62,7 @@ pub fn ner_proposer(data: &TokenSeqData, cfg: &NerProposerConfig) -> Box<dyn Pro
 
 /// Trains a CRF on the corpus truth with SampleRank (§5.2). Returns training
 /// counters; the model is updated in place.
-pub fn train_ner_model(
-    corpus: &Corpus,
-    model: &mut Crf,
-    steps: usize,
-    seed: u64,
-) -> TrainStats {
+pub fn train_ner_model(corpus: &Corpus, model: &mut Crf, steps: usize, seed: u64) -> TrainStats {
     let objective = HammingObjective::new(corpus.truth_indexes());
     let mut world = model.new_world();
     let proposer_cfg = NerProposerConfig {
@@ -104,8 +103,7 @@ pub fn build_ner_pdb(
                 .expect("token row exists")
         })
         .collect();
-    let binding =
-        FieldBinding::new(&db, "TOKEN", "label", rows).expect("schema has label column");
+    let binding = FieldBinding::new(&db, "TOKEN", "label", rows).expect("schema has label column");
     let world = model.new_world();
     let proposer = ner_proposer(model.data(), proposer_cfg);
     ProbabilisticDB::new(db, model, proposer, world, binding, seed)
@@ -120,9 +118,13 @@ pub fn truth_database(corpus: &Corpus) -> Database {
     let rel = db.relation_mut("TOKEN").expect("fresh");
     let label_col = rel.schema().index_of("label").expect("schema");
     let truth_col = rel.schema().index_of("truth").expect("schema");
-    let rows: Vec<_> = rel.iter().map(|(rid, t)| (rid, t.get(truth_col).clone())).collect();
+    let rows: Vec<_> = rel
+        .iter()
+        .map(|(rid, t)| (rid, t.get(truth_col).clone()))
+        .collect();
     for (rid, truth) in rows {
-        rel.update_field(rid, label_col, truth).expect("valid update");
+        rel.update_field(rid, label_col, truth)
+            .expect("valid update");
     }
     db
 }

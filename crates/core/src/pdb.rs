@@ -93,9 +93,7 @@ impl<M: Model> ProbabilisticDB<M> {
             ));
         }
         {
-            let rel = db
-                .relation(&binding.relation)
-                .map_err(|e| e.to_string())?;
+            let rel = db.relation(&binding.relation).map_err(|e| e.to_string())?;
             for v in world.variables() {
                 let stored = rel
                     .get(binding.rows[v.index()])

@@ -140,11 +140,7 @@ impl<F: Fn(&World) -> f64 + Send + Sync> Factor for FnFactor<F> {
 #[inline]
 pub fn log_linear(features: &[f64], weights: &[f64]) -> f64 {
     debug_assert_eq!(features.len(), weights.len());
-    features
-        .iter()
-        .zip(weights)
-        .map(|(f, w)| f * w)
-        .sum()
+    features.iter().zip(weights).map(|(f, w)| f * w).sum()
 }
 
 #[cfg(test)]

@@ -72,12 +72,7 @@ impl Model for FactorGraph {
         self.factors.iter().map(|f| f.log_score(world)).sum()
     }
 
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         stats.neighborhood_scores += 1;
         // Deduplicate factors shared between changed variables so each is
         // counted exactly once, as required by the MH ratio of Appendix 9.2.

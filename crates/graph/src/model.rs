@@ -51,12 +51,7 @@ pub trait Model: Send + Sync {
     /// for the changed set δ; correctness requires that factor *structure*
     /// adjacent to δ depends only on observed data and on the variables in
     /// δ themselves (true for the CRF and coreference models here).
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64;
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64;
 
     /// Neighborhood score of `var` *as if* it were set to `value`, without
     /// mutating the world — the primitive Gibbs full-conditional sampling
@@ -83,12 +78,7 @@ impl<M: Model + ?Sized> Model for &M {
     fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
         (**self).score_world(world, stats)
     }
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         (**self).score_neighborhood(world, vars, stats)
     }
     fn score_neighborhood_whatif(
@@ -106,12 +96,7 @@ impl<M: Model + ?Sized> Model for Box<M> {
     fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
         (**self).score_world(world, stats)
     }
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         (**self).score_neighborhood(world, vars, stats)
     }
     fn score_neighborhood_whatif(
@@ -129,12 +114,7 @@ impl<M: Model + ?Sized> Model for std::sync::Arc<M> {
     fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
         (**self).score_world(world, stats)
     }
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         (**self).score_neighborhood(world, vars, stats)
     }
     fn score_neighborhood_whatif(

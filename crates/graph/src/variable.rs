@@ -47,10 +47,7 @@ impl Domain {
     pub fn new(values: Vec<Value>) -> Arc<Self> {
         assert!(!values.is_empty(), "domain must be non-empty");
         for (i, v) in values.iter().enumerate() {
-            assert!(
-                !values[..i].contains(v),
-                "duplicate domain value {v}"
-            );
+            assert!(!values[..i].contains(v), "duplicate domain value {v}");
         }
         Arc::new(Domain { values })
     }

@@ -18,15 +18,24 @@ const CARD: usize = 3;
 fn factor_strategy() -> impl Strategy<Value = RandomFactor> {
     // Unary or binary factors over 5 ternary variables.
     prop_oneof![
-        (0u8..NUM_VARS as u8, prop::collection::vec(-2.0f64..2.0, CARD))
-            .prop_map(|(v, table)| RandomFactor { vars: vec![v], table }),
+        (
+            0u8..NUM_VARS as u8,
+            prop::collection::vec(-2.0f64..2.0, CARD)
+        )
+            .prop_map(|(v, table)| RandomFactor {
+                vars: vec![v],
+                table
+            }),
         (
             0u8..NUM_VARS as u8,
             0u8..NUM_VARS as u8,
             prop::collection::vec(-2.0f64..2.0, CARD * CARD)
         )
             .prop_filter("distinct vars", |(a, b, _)| a != b)
-            .prop_map(|(a, b, table)| RandomFactor { vars: vec![a, b], table }),
+            .prop_map(|(a, b, table)| RandomFactor {
+                vars: vec![a, b],
+                table
+            }),
     ]
 }
 

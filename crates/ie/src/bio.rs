@@ -261,8 +261,16 @@ mod tests {
         assert_eq!(
             mentions,
             vec![
-                Mention { start: 0, end: 1, ty: Per },
-                Mention { start: 2, end: 4, ty: Per },
+                Mention {
+                    start: 0,
+                    end: 1,
+                    ty: Per
+                },
+                Mention {
+                    start: 2,
+                    end: 4,
+                    ty: Per
+                },
             ]
         );
         assert!(is_valid_sequence(&labels));
@@ -281,7 +289,14 @@ mod tests {
         let labels = vec![Label::O, Label::I(Loc), Label::I(Loc)];
         assert!(!is_valid_sequence(&labels));
         let m = decode_mentions(&labels);
-        assert_eq!(m, vec![Mention { start: 1, end: 3, ty: Loc }]);
+        assert_eq!(
+            m,
+            vec![Mention {
+                start: 1,
+                end: 3,
+                ty: Loc
+            }]
+        );
     }
 
     #[test]
@@ -298,8 +313,16 @@ mod tests {
     fn encode_decode_round_trip() {
         use EntityType::*;
         let mentions = vec![
-            Mention { start: 1, end: 3, ty: Org },
-            Mention { start: 5, end: 6, ty: Per },
+            Mention {
+                start: 1,
+                end: 3,
+                ty: Org,
+            },
+            Mention {
+                start: 5,
+                end: 6,
+                ty: Per,
+            },
         ];
         let labels = encode_mentions(8, &mentions);
         assert!(is_valid_sequence(&labels));
@@ -311,6 +334,13 @@ mod tests {
         use EntityType::*;
         let labels = vec![Label::O, Label::B(Misc), Label::I(Misc)];
         let m = decode_mentions(&labels);
-        assert_eq!(m, vec![Mention { start: 1, end: 3, ty: Misc }]);
+        assert_eq!(
+            m,
+            vec![Mention {
+                start: 1,
+                end: 3,
+                ty: Misc
+            }]
+        );
     }
 }

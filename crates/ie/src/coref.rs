@@ -70,7 +70,11 @@ impl MentionData {
         let mut affinity = vec![0.0; n * n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let base = if truth[i] == truth[j] { cohesion } else { -repulsion };
+                let base = if truth[i] == truth[j] {
+                    cohesion
+                } else {
+                    -repulsion
+                };
                 let eps = rng.gen_range(-noise..=noise);
                 affinity[i * n + j] = base + eps;
                 affinity[j * n + i] = base + eps;
@@ -161,12 +165,7 @@ impl Model for CorefModel {
         sum
     }
 
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         stats.neighborhood_scores += 1;
         let n = self.data.n;
         let in_vars = |m: usize| vars.iter().any(|v| v.index() == m);
@@ -219,7 +218,9 @@ impl Model for CorefModel {
 fn clusters_of(world: &World, n: usize) -> std::collections::HashMap<usize, Vec<usize>> {
     let mut map: std::collections::HashMap<usize, Vec<usize>> = Default::default();
     for m in 0..n {
-        map.entry(world.get(VariableId(m as u32))).or_default().push(m);
+        map.entry(world.get(VariableId(m as u32)))
+            .or_default()
+            .push(m);
     }
     map
 }
@@ -430,14 +431,26 @@ pub fn pairwise_scores(world: &World, data: &MentionData) -> PairwiseScores {
             }
         }
     }
-    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
-    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let precision = if tp + fp == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        1.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PairwiseScores { precision, recall, f1 }
+    PairwiseScores {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 /// Exact partition inference for small instances: enumerates all set
@@ -654,8 +667,7 @@ mod tests {
         let exact = exact_pair_probabilities(&d);
         let model = CorefModel::new(Arc::clone(&d));
         let mut world = model.singleton_world();
-        let mut kernel =
-            MetropolisHastings::new(&model, Box::new(MentionMoveProposer::new(4)));
+        let mut kernel = MetropolisHastings::new(&model, Box::new(MentionMoveProposer::new(4)));
         let mut rng = StdRng::seed_from_u64(23);
         let mut rng = DynRng::from(&mut rng);
         let n_samples = 200_000;

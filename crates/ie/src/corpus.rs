@@ -105,7 +105,9 @@ pub struct Corpus {
 const AMBIGUOUS: &[&str] = &["Boston", "Chicago", "Dallas", "Houston"];
 
 /// A few concrete person strings, echoing Fig. 8's answer set.
-const PERSON_SEEDS: &[&str] = &["Bill", "Ann", "Manny", "Theo", "Ramirez", "Beltran", "Jason"];
+const PERSON_SEEDS: &[&str] = &[
+    "Bill", "Ann", "Manny", "Theo", "Ramirez", "Beltran", "Jason",
+];
 
 /// Type-revealing cue words emitted (with probability `cue_rate`) just
 /// before a mention: "Mr Smith", "spokesman for IBM", "in Boston",
@@ -183,7 +185,14 @@ fn build_lexicons(cfg: &CorpusConfig) -> (Lexicons, Vec<Arc<str>>) {
     let mut seen: std::collections::HashMap<Arc<str>, ()> = Default::default();
     vocab.retain(|s| seen.insert(Arc::clone(s), ()).is_none());
 
-    (Lexicons { common, entities, cues }, vocab)
+    (
+        Lexicons {
+            common,
+            entities,
+            cues,
+        },
+        vocab,
+    )
 }
 
 impl Corpus {
@@ -243,11 +252,10 @@ impl Corpus {
             while pos < len {
                 if rng.gen::<f64>() < cfg.entity_rate {
                     // Start a mention: repeat an earlier entity or draw fresh.
-                    let (ty, ei) = if !mentioned.is_empty() && rng.gen::<f64>() < cfg.repeat_rate
-                    {
+                    let (ty, ei) = if !mentioned.is_empty() && rng.gen::<f64>() < cfg.repeat_rate {
                         mentioned[rng.gen_range(0..mentioned.len())]
                     } else {
-                        let ty = EntityType::ALL[rng.gen_range(0..4)];
+                        let ty = EntityType::ALL[rng.gen_range(0..EntityType::ALL.len())];
                         let ei = draw(&entity_cum[ty as usize], &mut rng);
                         let head = id_of[&*lex.entities[ty as usize][ei][0]];
                         // Defer to the document's established sense, if any.
@@ -325,8 +333,7 @@ impl Corpus {
 
     /// Document index of a token (binary search over ranges).
     pub fn doc_of(&self, token: usize) -> usize {
-        self.documents
-            .partition_point(|r| r.end <= token)
+        self.documents.partition_point(|r| r.end <= token)
     }
 
     /// Materializes the paper's TOKEN relation
@@ -347,8 +354,7 @@ impl Corpus {
         db.create_relation(relation, schema).expect("fresh db");
         let o: Arc<str> = Arc::from("O");
         // One shared Arc per label string.
-        let label_strs: Vec<Arc<str>> =
-            Label::ALL.iter().map(|l| Arc::from(l.as_str())).collect();
+        let label_strs: Vec<Arc<str>> = Label::ALL.iter().map(|l| Arc::from(l.as_str())).collect();
         let rel = db.relation_mut(relation).expect("created above");
         for (doc_id, range) in self.documents.iter().enumerate() {
             for tok_id in range.clone() {
@@ -400,7 +406,10 @@ mod tests {
         });
         assert!(
             a.num_tokens() != c.num_tokens()
-                || a.tokens.iter().zip(&c.tokens).any(|(x, y)| x.string != y.string)
+                || a.tokens
+                    .iter()
+                    .zip(&c.tokens)
+                    .any(|(x, y)| x.string != y.string)
         );
     }
 

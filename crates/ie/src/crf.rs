@@ -425,12 +425,7 @@ impl Model for Crf {
         sum
     }
 
-    fn score_neighborhood(
-        &self,
-        world: &World,
-        vars: &[VariableId],
-        stats: &mut EvalStats,
-    ) -> f64 {
+    fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         stats.neighborhood_scores += 1;
         let mut sum = 0.0;
         self.for_each_neighborhood_factor(world, vars, |_, w| {
@@ -451,7 +446,13 @@ impl Model for Crf {
         let mut sum = 0.0;
         let target = var.index();
         self.for_each_neighborhood_factor_with(
-            |t| if t == target { value } else { world.get(VariableId(t as u32)) },
+            |t| {
+                if t == target {
+                    value
+                } else {
+                    world.get(VariableId(t as u32))
+                }
+            },
             &[var],
             |_, w| {
                 sum += w;

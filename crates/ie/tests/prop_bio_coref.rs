@@ -16,26 +16,24 @@ use std::sync::Arc;
 
 fn mention_list(n_tokens: usize) -> impl Strategy<Value = Vec<Mention>> {
     // Non-overlapping sorted spans with types.
-    prop::collection::vec((0usize..n_tokens, 1usize..3, 0usize..4), 0..4).prop_map(
-        move |raw| {
-            let mut out: Vec<Mention> = Vec::new();
-            let mut cursor = 0usize;
-            for (start, len, ty) in raw {
-                let s = start.max(cursor);
-                let e = (s + len).min(n_tokens);
-                if s >= e {
-                    continue;
-                }
-                out.push(Mention {
-                    start: s,
-                    end: e,
-                    ty: EntityType::ALL[ty],
-                });
-                cursor = e;
+    prop::collection::vec((0usize..n_tokens, 1usize..3, 0usize..4), 0..4).prop_map(move |raw| {
+        let mut out: Vec<Mention> = Vec::new();
+        let mut cursor = 0usize;
+        for (start, len, ty) in raw {
+            let s = start.max(cursor);
+            let e = (s + len).min(n_tokens);
+            if s >= e {
+                continue;
             }
-            out
-        },
-    )
+            out.push(Mention {
+                start: s,
+                end: e,
+                ty: EntityType::ALL[ty],
+            });
+            cursor = e;
+        }
+        out
+    })
 }
 
 proptest! {

@@ -216,10 +216,7 @@ mod tests {
     impl Model for Unigram {
         fn score_world(&self, world: &World, stats: &mut EvalStats) -> f64 {
             stats.factors_evaluated += world.num_variables() as u64;
-            world
-                .variables()
-                .map(|v| self.weights[world.get(v)])
-                .sum()
+            world.variables().map(|v| self.weights[world.get(v)]).sum()
         }
         fn score_neighborhood(
             &self,
@@ -255,7 +252,13 @@ mod tests {
         let w = World::new(vec![d; n]);
         // Truth: everything labelled index 1.
         let obj = HammingObjective::new(vec![1; n]);
-        (Unigram { weights: vec![0.0; 3] }, w, obj)
+        (
+            Unigram {
+                weights: vec![0.0; 3],
+            },
+            w,
+            obj,
+        )
     }
 
     #[test]
@@ -269,7 +272,10 @@ mod tests {
             ..Default::default()
         };
         let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg);
-        assert!(stats.updates > 0, "ranking disagreements must trigger updates");
+        assert!(
+            stats.updates > 0,
+            "ranking disagreements must trigger updates"
+        );
         // The "right" label's weight must dominate.
         assert!(
             model.weight(1) > model.weight(0) && model.weight(1) > model.weight(2),

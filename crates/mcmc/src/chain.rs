@@ -78,19 +78,20 @@ impl<M: Model> Chain<M> {
         self.steps_taken += k as u64;
         let mut rng = DynRng::new(&mut self.rng);
         let pending = &mut self.pending;
-        self.kernel.walk(&mut self.world, k, &mut rng, |v, old, new| {
-            match pending.entry(v) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    e.get_mut().1 = new;
-                    if e.get().0 == e.get().1 {
-                        e.remove();
+        self.kernel
+            .walk(&mut self.world, k, &mut rng, |v, old, new| {
+                match pending.entry(v) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().1 = new;
+                        if e.get().0 == e.get().1 {
+                            e.remove();
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((old, new));
                     }
                 }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert((old, new));
-                }
-            }
-        });
+            });
     }
 
     /// Net changes since the last call, compacted and sorted by variable.

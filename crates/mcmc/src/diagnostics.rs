@@ -39,10 +39,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     if denom == 0.0 {
         return 0.0;
     }
-    let num: f64 = xs
-        .windows(lag + 1)
-        .map(|w| (w[0] - m) * (w[lag] - m))
-        .sum();
+    let num: f64 = xs.windows(lag + 1).map(|w| (w[0] - m) * (w[lag] - m)).sum();
     num / denom
 }
 

@@ -42,7 +42,10 @@ impl<M: Model> GibbsRelabel<M> {
     /// # Panics
     /// Panics when `vars` is empty.
     pub fn new(model: Arc<M>, vars: Vec<VariableId>) -> Self {
-        assert!(!vars.is_empty(), "Gibbs proposer needs at least one variable");
+        assert!(
+            !vars.is_empty(),
+            "Gibbs proposer needs at least one variable"
+        );
         GibbsRelabel {
             model,
             vars,
@@ -67,8 +70,10 @@ impl<M: Model> Proposer for GibbsRelabel<M> {
         // what-if overlay — no world mutation or clone.
         self.scores.clear();
         for d in 0..card {
-            self.scores
-                .push(self.model.score_neighborhood_whatif(world, v, d, &mut self.stats));
+            self.scores.push(
+                self.model
+                    .score_neighborhood_whatif(world, v, d, &mut self.stats),
+            );
         }
         let logz = log_sum_exp(&self.scores);
         // Sample d ∝ exp(score_d).

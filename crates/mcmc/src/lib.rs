@@ -11,16 +11,16 @@
 pub mod chain;
 pub mod diagnostics;
 pub mod gibbs;
-pub mod targeted;
 pub mod kernel;
 pub mod parallel;
 pub mod proposal;
 pub mod rng;
+pub mod targeted;
 
 pub use chain::{Chain, NetChange};
 pub use gibbs::GibbsRelabel;
-pub use targeted::{document_closure, TargetedProposer};
 pub use kernel::{KernelStats, MetropolisHastings, StepOutcome};
 pub use parallel::{average_estimates, run_chains};
 pub use proposal::{LocalityProposer, Proposal, Proposer, UniformRelabel};
 pub use rng::DynRng;
+pub use targeted::{document_closure, TargetedProposer};

@@ -108,8 +108,12 @@ mod tests {
                 vec![0.0, 1.0],
                 "bias",
             )));
-            let mut chain =
-                Chain::new(g, Box::new(UniformRelabel::new(vec![VariableId(0)])), w, seed);
+            let mut chain = Chain::new(
+                g,
+                Box::new(UniformRelabel::new(vec![VariableId(0)])),
+                w,
+                seed,
+            );
             let n = 20_000;
             let mut ones = 0u64;
             for _ in 0..n {
@@ -118,8 +122,7 @@ mod tests {
             }
             ones as f64 / n as f64
         };
-        let per_chain: Vec<Vec<f64>> =
-            run_chains(4, |i| vec![estimate(1000 + i as u64)]);
+        let per_chain: Vec<Vec<f64>> = run_chains(4, |i| vec![estimate(1000 + i as u64)]);
         let avg = average_estimates(&per_chain)[0];
         let exact = 1f64.exp() / (1.0 + 1f64.exp());
         assert!(

@@ -112,9 +112,16 @@ impl LocalityProposer {
     /// # Panics
     /// Panics when there are no groups, or any group is empty, or the batch
     /// parameters are zero.
-    pub fn new(groups: Vec<Vec<VariableId>>, groups_per_batch: usize, steps_per_batch: usize) -> Self {
+    pub fn new(
+        groups: Vec<Vec<VariableId>>,
+        groups_per_batch: usize,
+        steps_per_batch: usize,
+    ) -> Self {
         assert!(!groups.is_empty(), "need at least one group");
-        assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+        assert!(
+            groups.iter().all(|g| !g.is_empty()),
+            "groups must be non-empty"
+        );
         assert!(groups_per_batch > 0 && steps_per_batch > 0);
         let mut all: Vec<VariableId> = groups.iter().flatten().copied().collect();
         all.sort();
@@ -252,7 +259,11 @@ mod tests {
 
     #[test]
     fn locality_support_is_union() {
-        let groups = vec![vec![VariableId(0)], vec![VariableId(5)], vec![VariableId(0)]];
+        let groups = vec![
+            vec![VariableId(0)],
+            vec![VariableId(5)],
+            vec![VariableId(0)],
+        ];
         let p = LocalityProposer::new(groups, 2, 10);
         assert_eq!(p.support(), &[VariableId(0), VariableId(5)]);
     }

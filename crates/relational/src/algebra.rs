@@ -454,8 +454,7 @@ pub mod paper_queries {
                 .eq(Expr::lit("Boston"))
                 .and(Expr::col("T1.label").eq(Expr::lit("B-ORG"))),
         );
-        let t2 = Plan::scan_as(token, "T2")
-            .filter(Expr::col("T2.label").eq(Expr::lit("B-PER")));
+        let t2 = Plan::scan_as(token, "T2").filter(Expr::col("T2.label").eq(Expr::lit("B-PER")));
         t1.join_on(t2, &[("T1.doc_id", "T2.doc_id")])
             .project(&["T2.string"])
     }

@@ -99,10 +99,7 @@ impl CountedSet {
     /// Iterates only tuples with positive multiplicity — the answer-set view
     /// used when reporting marginals (the paper's `count(mᵢ) > 0` test).
     pub fn support(&self) -> impl Iterator<Item = &Tuple> {
-        self.counts
-            .iter()
-            .filter(|(_, &c)| c > 0)
-            .map(|(t, _)| t)
+        self.counts.iter().filter(|(_, &c)| c > 0).map(|(t, _)| t)
     }
 
     /// Merges another counted set into this one (signed union).
@@ -157,7 +154,10 @@ impl CountedSet {
     /// Asserts the state invariant: all multiplicities strictly positive.
     /// Returns the first offending entry, if any.
     pub fn check_is_state(&self) -> Option<(&Tuple, i64)> {
-        self.counts.iter().find(|(_, &c)| c <= 0).map(|(t, &c)| (t, c))
+        self.counts
+            .iter()
+            .find(|(_, &c)| c <= 0)
+            .map(|(t, &c)| (t, c))
     }
 }
 
@@ -265,9 +265,6 @@ mod tests {
         let mut s = CountedSet::new();
         s.add(tuple!["b"], 1);
         s.add(tuple!["a"], 2);
-        assert_eq!(
-            s.sorted_entries(),
-            vec![(tuple!["a"], 2), (tuple!["b"], 1)]
-        );
+        assert_eq!(s.sorted_entries(), vec![(tuple!["a"], 2), (tuple!["b"], 1)]);
     }
 }

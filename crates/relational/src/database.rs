@@ -152,9 +152,18 @@ mod tests {
         let mut db = Database::new();
         db.create_relation("A", schema()).unwrap();
         db.create_relation("B", schema()).unwrap();
-        db.relation_mut("A").unwrap().insert(tuple![1i64, "x"]).unwrap();
-        db.relation_mut("B").unwrap().insert(tuple![1i64, "y"]).unwrap();
-        db.relation_mut("B").unwrap().insert(tuple![2i64, "z"]).unwrap();
+        db.relation_mut("A")
+            .unwrap()
+            .insert(tuple![1i64, "x"])
+            .unwrap();
+        db.relation_mut("B")
+            .unwrap()
+            .insert(tuple![1i64, "y"])
+            .unwrap();
+        db.relation_mut("B")
+            .unwrap()
+            .insert(tuple![2i64, "z"])
+            .unwrap();
         assert_eq!(db.total_tuples(), 3);
     }
 

@@ -54,9 +54,7 @@ impl DeltaSet {
     }
 
     fn entry(&mut self, relation: &Arc<str>) -> &mut CountedSet {
-        self.per_relation
-            .entry(Arc::clone(relation))
-            .or_default()
+        self.per_relation.entry(Arc::clone(relation)).or_default()
     }
 
     fn prune(&mut self, relation: &Arc<str>) {
@@ -113,7 +111,10 @@ impl DeltaSet {
     /// Total number of distinct changed tuples across relations — the |Δ| the
     /// paper's cost analysis compares to |w|.
     pub fn magnitude(&self) -> usize {
-        self.per_relation.values().map(CountedSet::distinct_len).sum()
+        self.per_relation
+            .values()
+            .map(CountedSet::distinct_len)
+            .sum()
     }
 
     /// Merges another delta set into this one (composition of world changes:

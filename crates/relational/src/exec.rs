@@ -208,10 +208,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             }
             // A global aggregate over an empty input still emits one row.
             if group_idx.is_empty() && groups.is_empty() {
-                groups.insert(
-                    Tuple::new(vec![]),
-                    specs.iter().map(AggAcc::new).collect(),
-                );
+                groups.insert(Tuple::new(vec![]), specs.iter().map(AggAcc::new).collect());
             }
             let mut out = CountedSet::new();
             for (key, accs) in groups {
@@ -348,7 +345,10 @@ pub(crate) fn bind_aggs(aggs: &[AggExpr], cols: &[Arc<str>]) -> Result<Vec<AggSp
 #[derive(Clone, Debug)]
 pub(crate) enum AggAcc {
     Count(i64),
-    Sum { sum: f64, n: i64 },
+    Sum {
+        sum: f64,
+        n: i64,
+    },
     /// Min/Max keep a multiset of values so deletions can be undone.
     Extremum {
         values: std::collections::BTreeMap<Value, i64>,
@@ -451,7 +451,9 @@ fn try_index_probe(
     };
     let cols = scan.output_columns(db)?;
     let Some(idx) = resolve_column(&cols, &col_name) else {
-        return Err(ExecError::Plan(PlanError::UnknownColumn(col_name.to_string())));
+        return Err(ExecError::Plan(PlanError::UnknownColumn(
+            col_name.to_string(),
+        )));
     };
     let Some(rows) = rel.index_lookup(idx, &lit) else {
         return Ok(None);
@@ -548,10 +550,7 @@ mod tests {
         // doc 1: 1 PER, 1 ORG → balanced. doc 2: 1 PER, 0 ORG → no.
         // doc 3: 1 PER, 1 ORG → balanced.
         let res = execute_simple(&paper_queries::query3("TOKEN"), &db).unwrap();
-        assert_eq!(
-            res.rows.sorted_support(),
-            vec![tuple![1i64], tuple![3i64]]
-        );
+        assert_eq!(res.rows.sorted_support(), vec![tuple![1i64], tuple![3i64]]);
     }
 
     #[test]
@@ -605,7 +604,10 @@ mod tests {
     #[test]
     fn index_probe_short_circuits_scan() {
         let mut db = token_db();
-        db.relation_mut("TOKEN").unwrap().create_index("string").unwrap();
+        db.relation_mut("TOKEN")
+            .unwrap()
+            .create_index("string")
+            .unwrap();
         let p = Plan::scan("TOKEN").filter(Expr::col("string").eq(Expr::lit("Ann")));
         let (res, stats) = execute(&p, &db).unwrap();
         assert_eq!(res.rows.total(), 2);
@@ -616,8 +618,7 @@ mod tests {
     #[test]
     fn join_skips_null_keys() {
         let mut db = Database::new();
-        let schema =
-            Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Str)]).unwrap();
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Str)]).unwrap();
         db.create_relation("L", schema.clone()).unwrap();
         db.create_relation("R", schema).unwrap();
         db.relation_mut("L")

@@ -151,9 +151,7 @@ impl Expr {
             Expr::And(a, b) => {
                 BoundExpr::And(Box::new(a.bind(columns)?), Box::new(b.bind(columns)?))
             }
-            Expr::Or(a, b) => {
-                BoundExpr::Or(Box::new(a.bind(columns)?), Box::new(b.bind(columns)?))
-            }
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(columns)?), Box::new(b.bind(columns)?)),
             Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(columns)?)),
             Expr::IsNull(a) => BoundExpr::IsNull(Box::new(a.bind(columns)?)),
         })
@@ -225,12 +223,10 @@ impl BoundExpr {
         match self {
             BoundExpr::Column(i) => tuple.get(*i).clone(),
             BoundExpr::Literal(v) => v.clone(),
-            BoundExpr::Cmp(op, a, b) => {
-                match a.eval(tuple).sql_cmp(&b.eval(tuple)) {
-                    Some(ord) => Value::Bool(op.apply(ord)),
-                    None => Value::Null,
-                }
-            }
+            BoundExpr::Cmp(op, a, b) => match a.eval(tuple).sql_cmp(&b.eval(tuple)) {
+                Some(ord) => Value::Bool(op.apply(ord)),
+                None => Value::Null,
+            },
             BoundExpr::And(a, b) => match (a.eval_truth(tuple), b.eval_truth(tuple)) {
                 (Some(false), _) | (_, Some(false)) => Value::Bool(false),
                 (Some(true), Some(true)) => Value::Bool(true),
@@ -310,11 +306,15 @@ mod tests {
         assert!(!b.matches(&tuple![Value::Null]));
 
         // NULL AND false = false; NULL OR true = true.
-        let and = Expr::col("x").eq(Expr::lit(1i64)).and(Expr::lit(false).eq(Expr::lit(true)));
+        let and = Expr::col("x")
+            .eq(Expr::lit(1i64))
+            .and(Expr::lit(false).eq(Expr::lit(true)));
         let and = and.bind(&columns).unwrap();
         assert_eq!(and.eval_truth(&tuple![Value::Null]), Some(false));
 
-        let or = Expr::col("x").eq(Expr::lit(1i64)).or(Expr::lit(1i64).eq(Expr::lit(1i64)));
+        let or = Expr::col("x")
+            .eq(Expr::lit(1i64))
+            .or(Expr::lit(1i64).eq(Expr::lit(1i64)));
         let or = or.bind(&columns).unwrap();
         assert_eq!(or.eval_truth(&tuple![Value::Null]), Some(true));
     }
@@ -354,7 +354,11 @@ mod tests {
 
     #[test]
     fn not_inverts() {
-        let b = Expr::col("x").eq(Expr::lit(1i64)).not().bind(&cols(&["x"])).unwrap();
+        let b = Expr::col("x")
+            .eq(Expr::lit(1i64))
+            .not()
+            .bind(&cols(&["x"]))
+            .unwrap();
         assert!(!b.matches(&tuple![1i64]));
         assert!(b.matches(&tuple![2i64]));
         assert_eq!(b.eval_truth(&tuple![Value::Null]), None);
@@ -362,7 +366,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_collects_names() {
-        let p = Expr::col("a").eq(Expr::lit(1i64)).and(Expr::col("b").lt(Expr::col("c")));
+        let p = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").lt(Expr::col("c")));
         let mut out = Vec::new();
         p.referenced_columns(&mut out);
         let names: Vec<_> = out.iter().map(|s| s.to_string()).collect();

@@ -72,7 +72,10 @@ impl fmt::Display for SchemaError {
                 found,
             } => write!(f, "column `{column}` expects {expected}, got {found}"),
             SchemaError::ArityMismatch { expected, found } => {
-                write!(f, "tuple arity {found} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple arity {found} does not match schema arity {expected}"
+                )
             }
         }
     }

@@ -72,7 +72,10 @@ struct HashIndex {
 
 impl HashIndex {
     fn insert(&mut self, row: RowId, t: &Tuple) {
-        self.map.entry(t.get(self.column).clone()).or_default().push(row);
+        self.map
+            .entry(t.get(self.column).clone())
+            .or_default()
+            .push(row);
     }
 
     fn remove(&mut self, row: RowId, t: &Tuple) {
@@ -277,7 +280,11 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation {} {} [{} rows]", self.name, self.schema, self.live)
+        write!(
+            f,
+            "Relation {} {} [{} rows]",
+            self.name, self.schema, self.live
+        )
     }
 }
 

@@ -479,7 +479,7 @@ impl Node {
                     }
                 }
                 left_state.merge(&dl); // left is now L_new
-                // L_new × ΔR = (L_old + ΔL) × ΔR — supplies both remaining terms.
+                                       // L_new × ΔR = (L_old + ΔL) × ΔR — supplies both remaining terms.
                 for (rt, rc) in dr.iter() {
                     for (lt, lc) in left_state.iter() {
                         *work += 1;

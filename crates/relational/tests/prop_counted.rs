@@ -5,8 +5,7 @@ use fgdb_relational::{CountedSet, Tuple, Value};
 use proptest::prelude::*;
 
 fn tuple_strategy() -> impl Strategy<Value = Tuple> {
-    (0i64..5, 0i64..3)
-        .prop_map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+    (0i64..5, 0i64..3).prop_map(|(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
 }
 
 fn entries_strategy() -> impl Strategy<Value = Vec<(Tuple, i64)>> {

@@ -91,8 +91,7 @@ fn plan(kind: u8) -> Plan {
                     .eq(Expr::lit("Boston"))
                     .and(Expr::col("A.label").eq(Expr::lit("B-ORG"))),
             );
-            let t2 =
-                Plan::scan_as("T", "B").filter(Expr::col("B.label").eq(Expr::lit("B-PER")));
+            let t2 = Plan::scan_as("T", "B").filter(Expr::col("B.label").eq(Expr::lit("B-PER")));
             t1.join_on(t2, &[("A.doc", "B.doc")]).project(&["B.s"])
         }
         4 => Plan::scan("T")
@@ -123,13 +122,11 @@ fn plan(kind: u8) -> Plan {
                     .filter(Expr::col("label").eq(Expr::lit("B-ORG")))
                     .project(&["s"]),
             ),
-        8 => Plan::scan("T")
-            .project(&["s"])
-            .difference(
-                Plan::scan("T")
-                    .filter(Expr::col("label").eq(Expr::lit("O")))
-                    .project(&["s"]),
-            ),
+        8 => Plan::scan("T").project(&["s"]).difference(
+            Plan::scan("T")
+                .filter(Expr::col("label").eq(Expr::lit("O")))
+                .project(&["s"]),
+        ),
         _ => Plan::scan("T")
             .filter(Expr::col("label").ne(Expr::lit("O")))
             .project(&["s"])

@@ -2,9 +2,7 @@
 //! insert/delete churn, index consistency across mixed workloads, and the
 //! algebra-level validation of the set operators.
 
-use fgdb_relational::{
-    execute_simple, Database, Expr, Plan, Schema, Tuple, Value, ValueType,
-};
+use fgdb_relational::{execute_simple, Database, Expr, Plan, Schema, Tuple, Value, ValueType};
 use proptest::prelude::*;
 
 fn schema() -> Schema {

@@ -57,14 +57,14 @@ fn main() {
     eval3.run(&mut pdb, 400).expect("run");
 
     println!("\nQuery 3: P(doc has #B-PER = #B-ORG), first 10 documents");
+    let truth_db = truth_database(&corpus);
+    let truth = execute_simple(&q3, &truth_db).expect("truth");
     for doc in 0..10i64 {
-        let p = eval3.marginals().probability(&Tuple::from_iter_values([doc]));
-        let truth_db = truth_database(&corpus);
-        let truth = execute_simple(&q3, &truth_db).expect("truth");
+        let p = eval3
+            .marginals()
+            .probability(&Tuple::from_iter_values([doc]));
         let in_truth = truth.rows.contains(&Tuple::from_iter_values([doc]));
-        println!(
-            "  doc {doc:>2}: {p:5.3}   (balanced under perfect extraction: {in_truth})"
-        );
+        println!("  doc {doc:>2}: {p:5.3}   (balanced under perfect extraction: {in_truth})");
     }
 
     // --- Query 4: join — persons co-occurring with Boston/B-ORG ------------

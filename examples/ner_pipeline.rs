@@ -88,7 +88,5 @@ fn main() {
             hits += 1;
         }
     }
-    println!(
-        "true person strings recovered with p > 0.3: {hits}/{total}"
-    );
+    println!("true person strings recovered with p > 0.3: {hits}/{total}");
 }

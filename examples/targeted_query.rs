@@ -85,7 +85,10 @@ fn main() {
             Box::new(TargetedProposer::new(target.clone(), all.clone(), 0.1)),
             "targeted",
         ),
-        run_with(Box::new(GibbsRelabel::new(Arc::clone(&model), all)), "gibbs"),
+        run_with(
+            Box::new(GibbsRelabel::new(Arc::clone(&model), all)),
+            "gibbs",
+        ),
     ];
 
     let best = results

@@ -1,0 +1,323 @@
+//! Offline drop-in shim for the slice of [criterion](https://docs.rs/criterion)
+//! that this workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_with_input`/`bench_function`,
+//! `BenchmarkId`, `Throughput`, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery it runs a simple wall-clock
+//! protocol per benchmark — warm-up, automatic per-sample iteration
+//! calibration, `sample_size` samples — and prints min/median/mean per
+//! iteration (plus throughput when declared). Good enough to compare
+//! implementations on one machine; not a statistics engine. The CLI accepts
+//! and ignores cargo-bench flags, and treats the first free argument as a
+//! substring filter, like the real crate.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time for one measured sample; iterations per sample are
+/// calibrated so a sample takes roughly this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+/// Wall-time budget for the warm-up/calibration phase.
+const WARM_UP: Duration = Duration::from_millis(150);
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Reads the benchmark filter from the command line (flags that cargo
+    /// passes, like `--bench`, are ignored; the first free argument is a
+    /// substring filter on benchmark ids).
+    pub fn configure_from_args(mut self) -> Self {
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Work-unit declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f`, handing it the input by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        if self
+            .criterion
+            .filter
+            .as_ref()
+            .is_some_and(|flt| !full.contains(flt.as_str()))
+        {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        bencher.report(&full, self.throughput);
+        self
+    }
+
+    /// Benches `f` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (prints nothing extra in the shim).
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-sample mean iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count per sample that
+        // lands near TARGET_SAMPLE.
+        let mut iters_per_sample = 1u64;
+        let warm_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || warm_start.elapsed() >= WARM_UP {
+                if elapsed < TARGET_SAMPLE {
+                    let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+                    iters_per_sample = ((iters_per_sample as f64 * scale).ceil() as u64).max(1);
+                }
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let per_iter = t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples.push(per_iter);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<60} (no measurement: Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12} elem/s", human(n as f64 / (median * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12} B/s", human(n as f64 / (median * 1e-9)))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{id:<60} min {:>10}  median {:>10}  mean {:>10}{rate}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.0}")
+    } else if x < 1e6 {
+        format!("{:.1}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.1}M", x / 1e6)
+    } else {
+        format!("{:.2}G", x / 1e9)
+    }
+}
+
+/// Declares a named group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let criterion: $crate::Criterion = $cfg;
+            let mut criterion = criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(n: u64) -> u64 {
+        (0..n).fold(0, |acc, x| acc ^ x.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    fn bench_demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("xor_fold", 64), &64u64, |b, &n| {
+            b.iter(|| work(n));
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(128), &(), |b, ()| {
+            b.iter(|| work(128));
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = demo_benches;
+        config = Criterion::default().sample_size(3);
+        targets = bench_demo
+    }
+
+    #[test]
+    fn group_macro_and_runner_execute() {
+        // The group fn is what criterion_main! would call.
+        demo_benches();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("scan").id, "scan");
+    }
+}

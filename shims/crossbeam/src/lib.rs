@@ -1,0 +1,99 @@
+//! Offline drop-in shim for the slice of the `crossbeam` API this workspace
+//! uses: `crossbeam::thread::scope` / `Scope::spawn` / join. Implemented on
+//! `std::thread::scope` (stable since 1.63), which provides the same borrow
+//! guarantees, so the shim is a thin adapter matching crossbeam's signatures.
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` calling convention.
+
+    use std::any::Any;
+
+    /// Payload of a panicked scoped thread.
+    pub type BoxedPanic = Box<dyn Any + Send + 'static>;
+
+    /// Result alias matching `crossbeam::thread::Result`.
+    pub type Result<T> = std::result::Result<T, BoxedPanic>;
+
+    /// A scope handle; crossbeam passes it both to the outer closure and to
+    /// every spawned thread (enabling nested spawns).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope
+        /// again, like crossbeam's `Scope::spawn`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread, returning its result or its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope whose spawned threads may borrow from the enclosing
+    /// stack frame; all threads are joined before `scope` returns.
+    ///
+    /// Matching crossbeam's contract: the `Err` variant reports panics of
+    /// *unjoined* child threads. With `std::thread::scope` underneath, an
+    /// unjoined panicked child aborts the scope by panicking, so this
+    /// adapter converts that panic into the `Err` return instead.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn spawn_join_and_borrow() {
+        let data = [1, 2, 3, 4];
+        let total: i32 = thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn joined_panic_surfaces_through_join() {
+        let r = thread::scope(|s| s.spawn(|_| -> i32 { panic!("boom") }).join());
+        let inner = r.unwrap();
+        assert!(inner.is_err());
+    }
+}

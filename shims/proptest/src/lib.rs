@@ -1,0 +1,258 @@
+//! Offline drop-in shim for the subset of [proptest](https://docs.rs/proptest)
+//! that this workspace's property suites use (see `shims/README.md`).
+//!
+//! Supported surface: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, `prop_oneof!`, `Just`, range and tuple
+//! strategies, `prop::collection::vec`, `any::<T>()`, `prop_map`,
+//! `prop_filter`, `prop_flat_map`, and `ProptestConfig::with_cases`.
+//!
+//! Deliberate differences from the real crate:
+//!
+//! * **No shrinking.** A failing case prints the exact generated inputs and
+//!   the deterministic runner seed instead of a minimized counterexample.
+//! * **Deterministic by construction.** The per-test RNG seed derives from
+//!   the test name (override with `PROPTEST_SEED`); reruns are identical.
+//! * **`PROPTEST_CASES` is a global cap.** It bounds both the default case
+//!   budget and explicit `with_cases` requests, so CI can force short runs.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// `proptest::prelude` re-exports the crate itself as `prop`, enabling
+    /// `prop::collection::vec(..)` paths; so does the shim.
+    pub use crate as prop;
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn my_property(x in 0i64..10, ys in prop::collection::vec(any::<bool>(), 0..4)) {
+///         prop_assert!(x >= 0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            (<$crate::test_runner::Config as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let strategy = ($($strat,)+);
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            runner.run_named(stringify!($name), &strategy, |($($arg,)+)| {
+                {
+                    $body
+                }
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Like `assert!`, but fails only the current proptest case, reporting the
+/// generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Like `assert_ne!`, for proptest cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+                    l,
+                    r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l != *r,
+                    "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                    l,
+                    r,
+                    format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Discards the current case (without counting it) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in -5i64..5,
+            v in prop::collection::vec(0usize..3, 0..6),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&e| e < 3));
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Mapped + filtered + oneof strategies compose.
+        #[test]
+        fn combinators_compose(
+            pair in prop_oneof![
+                (0u8..4, 0u8..4).prop_filter("distinct", |(a, b)| a != b)
+                    .prop_map(|(a, b)| (a as u16, b as u16)),
+                (4u8..8, 0u8..4).prop_map(|(a, b)| (a as u16, b as u16)),
+            ],
+            fixed in prop::collection::vec(-1.0f64..1.0, 3),
+        ) {
+            let (a, b) = pair;
+            prop_assert_ne!(a, b);
+            prop_assert_eq!(fixed.len(), 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let collect = || {
+            let mut out = Vec::new();
+            let mut runner = TestRunner::new(ProptestConfig::with_cases(20));
+            runner.run_named("stable_name", &(0u64..1000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_report_inputs() {
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(50));
+        runner.run_named("always_fails", &(0u64..10,), |(x,)| {
+            prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn rejection_retries_other_cases() {
+        let mut even_seen = 0u32;
+        let mut runner = TestRunner::new(ProptestConfig::with_cases(10));
+        runner.run_named("assume_even", &(0u64..100,), |(x,)| {
+            prop_assume!(x % 2 == 0);
+            even_seen += 1;
+            Ok(())
+        });
+        assert_eq!(even_seen, 10);
+    }
+}

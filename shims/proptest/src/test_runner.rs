@@ -1,0 +1,151 @@
+//! The case-running engine behind the `proptest!` macro.
+//!
+//! Determinism contract: the RNG seed is derived solely from the test-case
+//! name (FNV-1a), overridable with `PROPTEST_SEED`, so every run of a given
+//! suite draws identical inputs on every machine. The case budget defaults
+//! to 256 and is bounded by `PROPTEST_CASES` (the environment bound also
+//! caps explicit `with_cases` requests, so CI can globally shrink the
+//! suite; it never raises an explicit request).
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Outcome of one generated case: failure aborts the test, rejection
+/// (from `prop_assume!`) discards the case without counting it.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the message explains how.
+    Fail(String),
+    /// The inputs were rejected by an assumption.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-suite configuration (the shim models only the case budget).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+/// `proptest`'s name for [`Config`], kept for source compatibility.
+pub type ProptestConfig = Config;
+
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: env_cases().unwrap_or(256),
+        }
+    }
+}
+
+impl Config {
+    /// Requests an explicit case budget; `PROPTEST_CASES` may lower (never
+    /// raise) it.
+    pub fn with_cases(cases: u32) -> Self {
+        let cases = match env_cases() {
+            Some(bound) => cases.min(bound),
+            None => cases,
+        };
+        Config { cases }
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs generated cases against a property closure.
+pub struct TestRunner {
+    config: Config,
+}
+
+impl TestRunner {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: Config) -> Self {
+        TestRunner { config }
+    }
+
+    /// Runs `config.cases` successful cases of `property` on values drawn
+    /// from `strategy`, panicking (like `assert!`) on the first failure and
+    /// reporting the failing inputs and the runner seed.
+    pub fn run_named<S>(
+        &mut self,
+        name: &str,
+        strategy: &S,
+        mut property: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+    ) where
+        S: Strategy,
+        S::Value: Debug,
+    {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s
+                .trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}")),
+            Err(_) => fnv1a(name.as_bytes()),
+        };
+        let mut rng = TestRng::seed_from_u64(seed);
+        let max_rejects = self.config.cases as u64 * 16 + 256;
+        let mut rejects = 0u64;
+        let mut case = 0u32;
+        while case < self.config.cases {
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            let context = |kind: &str, detail: &str| {
+                format!(
+                    "proptest case {kind}\n  test: {name}\n  case: {case_no}/{total} \
+                     (seed {seed})\n  input: {repr}\n  {detail}",
+                    case_no = case + 1,
+                    total = self.config.cases,
+                )
+            };
+            match catch_unwind(AssertUnwindSafe(|| property(value))) {
+                Ok(Ok(())) => case += 1,
+                Ok(Err(TestCaseError::Reject(why))) => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "{}",
+                            context("gave up", &format!("{rejects} rejections; last: {why}"))
+                        );
+                    }
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("{}", context("failed", &msg));
+                }
+                Err(payload) => {
+                    eprintln!("{}", context("panicked", "payload follows"));
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API this workspace
+//! uses (see `shims/README.md` for the policy).
+//!
+//! The build environment has no access to crates.io, so the workspace wires
+//! this path crate wherever upstream code says `rand = "0.8"`. It keeps the
+//! exact item paths (`rand::Rng`, `rand::RngCore`, `rand::SeedableRng`,
+//! `rand::rngs::StdRng`, `rand::Error`) so switching back to the real crate
+//! is a one-line manifest change. The PRNG behind [`rngs::StdRng`] is
+//! xoshiro256++ seeded through SplitMix64 — statistically strong enough for
+//! the MCMC test suites, deterministic for a fixed seed, but **not**
+//! cryptographically secure and not stream-compatible with upstream
+//! `StdRng` (ChaCha12). Nothing in this workspace depends on the upstream
+//! stream: all seeds and golden values were produced against this shim.
+
+pub mod rngs;
+
+mod range;
+
+pub use range::SampleRange;
+
+use std::fmt;
+
+/// Error type mirroring `rand::Error`. The shim's RNGs are infallible, so
+/// this is only ever constructed by downstream code, never returned by us.
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static description.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rand shim error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core RNG abstraction, identical in shape to `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill; infallible for every RNG in this workspace.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Types that `Rng::gen` can produce from raw bits, mirroring the
+/// `Standard` distribution of upstream `rand`.
+pub trait StandardSample: Sized {
+    /// Draws one value from the RNG's bit stream.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),+ $(,)?) => {$(
+        impl StandardSample for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )+};
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+/// Convenience extension methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (uniform bits for integers, `[0, 1)` for floats, fair coin for bool).
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p not in [0, 1]: {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The fixed-size seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with SplitMix64 exactly
+    /// like `rand_core` does, so small seeds still yield well-mixed state.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 (Steele, Lea & Flood 2014).
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dst, src) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dst = src;
+            }
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Builds the RNG from OS-provided entropy (system clock + address
+    /// entropy here; good enough for the non-test paths that want a fresh
+    /// stream, which this workspace never relies on for quality).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED);
+        let stack_probe = 0u8;
+        Self::seed_from_u64(t ^ ((&stack_probe as *const u8 as u64) << 17))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_covers_and_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v = rng.gen_range(-3i64..3);
+            assert!((-3..3).contains(&v));
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let g = rng.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+        }
+        // Degenerate inclusive range is fine; u8 and u32 paths compile.
+        assert_eq!(rng.gen_range(0.0f64..=0.0), 0.0);
+        let _ = rng.gen_range(0u8..4);
+        let _ = rng.gen_range(0u32..4);
+        assert_eq!(rng.gen_range(9usize..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5i64..5);
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in 0..40 {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            let mut buf2 = vec![0u8; len];
+            rng.try_fill_bytes(&mut buf2).unwrap();
+            if len >= 16 {
+                assert_ne!(buf, vec![0u8; len]);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}

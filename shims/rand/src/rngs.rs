@@ -1,0 +1,99 @@
+//! Concrete RNGs — the shim ships a single general-purpose generator,
+//! [`StdRng`], backed by xoshiro256++ (Blackman & Vigna 2019).
+
+use crate::{RngCore, SeedableRng};
+
+/// Deterministic, seedable, fast PRNG standing in for `rand::rngs::StdRng`.
+///
+/// Not cryptographically secure, and not bit-compatible with the upstream
+/// ChaCha12-based `StdRng`; every seed/golden value in this workspace was
+/// produced against this implementation.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn next(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // The all-zero state is the one fixed point of xoshiro; nudge it.
+        if s == [0; 4] {
+            s = [0x9E37_79B9_7F4A_7C15, 0xD1B5_4A32_D192_ED03, 1, 2];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next().to_le_bytes();
+            rem.copy_from_slice(&last[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_seed_does_not_stick_at_zero() {
+        let mut rng = StdRng::from_seed([0; 32]);
+        assert!((0..8).map(|_| rng.next_u64()).any(|x| x != 0));
+    }
+
+    #[test]
+    fn known_xoshiro_stream() {
+        // Reference vector computed from the published xoshiro256++ C code
+        // with state {1, 2, 3, 4}.
+        let mut seed = [0u8; 32];
+        seed[0] = 1;
+        seed[8] = 2;
+        seed[16] = 3;
+        seed[24] = 4;
+        let mut rng = StdRng::from_seed(seed);
+        assert_eq!(rng.next_u64(), 41943041);
+        assert_eq!(rng.next_u64(), 58720359);
+        assert_eq!(rng.next_u64(), 3588806011781223);
+    }
+}

@@ -1,0 +1,51 @@
+//! Offline shim for `serde_derive`: emits marker impls of the shim `serde`
+//! traits. The shim traits carry no methods (this workspace hand-rolls its
+//! one JSON emitter), so the derive only has to name the type — no full
+//! `syn` parse needed. Generic types are not supported; deriving on one
+//! fails loudly rather than emitting a wrong impl.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type identifier following `struct`/`enum`/`union`, skipping
+/// attributes and doc comments.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde_derive shim: expected type name, got {other:?}"),
+                };
+                if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!(
+                        "serde_derive shim: generic type `{name}` is not supported; \
+                         write the marker impl by hand"
+                    );
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive shim: no struct/enum/union in derive input");
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("serde_derive shim: generated impl parses")
+}
+
+/// Marker derive for the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// Marker derive for the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}

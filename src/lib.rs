@@ -66,12 +66,12 @@ pub use fgdb_relational as relational;
 pub mod prelude {
     pub use fgdb_core::{
         build_ner_pdb, evaluate_parallel, ner_proposer, squared_error, train_ner_model,
-        truth_database, FieldBinding, LossCurve, MarginalTable, NerProposerConfig,
-        ProbabilisticDB, QueryEvaluator, ValueDistribution,
+        truth_database, FieldBinding, LossCurve, MarginalTable, NerProposerConfig, ProbabilisticDB,
+        QueryEvaluator, ValueDistribution,
     };
     pub use fgdb_graph::{
-        Domain, EvalStats, FactorGraph, FeatureVector, Learnable, Model, TableFactor,
-        VariableId, World,
+        Domain, EvalStats, FactorGraph, FeatureVector, Learnable, Model, TableFactor, VariableId,
+        World,
     };
     pub use fgdb_ie::{
         label_domain, pairwise_scores, CorefModel, Corpus, CorpusConfig, Crf, EntityType, Label,

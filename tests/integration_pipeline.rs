@@ -88,8 +88,9 @@ fn evaluators_agree_on_all_four_paper_queries() {
 
 #[test]
 fn query1_marginals_match_exact_enumeration_on_micro_world() {
-    // A corpus small enough to enumerate: limit hidden variables by fixing
-    // all but one document via a restricted proposer support.
+    // A corpus small enough to enumerate exactly: with the nine-label BIO
+    // domain the 20M-assignment enumeration cap allows at most 7 tokens
+    // (9^7 ≈ 4.8M), and this seed yields a 6-token document.
     let corpus = Corpus::generate(&CorpusConfig {
         num_docs: 1,
         mean_doc_len: 7,
@@ -98,10 +99,10 @@ fn query1_marginals_match_exact_enumeration_on_micro_world() {
         entity_rate: 0.4,
         repeat_rate: 0.5,
         cue_rate: 0.3,
-        seed: 5,
+        seed: 1,
     });
     let n = corpus.num_tokens();
-    assert!(n <= 11, "need a tiny document, got {n}");
+    assert!(n <= 7, "need an enumerable document (9^n <= 20M), got {n}");
     let data = TokenSeqData::from_corpus(&corpus, 4);
     let mut model = Crf::skip_chain(data);
     model.seed_from_truth(&corpus, 1.0);
@@ -115,18 +116,13 @@ fn query1_marginals_match_exact_enumeration_on_micro_world() {
         corpus.tokens.iter().map(|t| &*t.string).collect();
     let mut exact: std::collections::HashMap<String, f64> = Default::default();
     for s in strings {
-        let p = fgdb::graph::enumerate::exact_event_probability(
-            &*model,
-            &mut world,
-            &vars,
-            |w| {
-                corpus
-                    .tokens
-                    .iter()
-                    .enumerate()
-                    .any(|(i, t)| &*t.string == s && w.get(VariableId(i as u32)) == b_per)
-            },
-        );
+        let p = fgdb::graph::enumerate::exact_event_probability(&*model, &mut world, &vars, |w| {
+            corpus
+                .tokens
+                .iter()
+                .enumerate()
+                .any(|(i, t)| &*t.string == s && w.get(VariableId(i as u32)) == b_per)
+        });
         exact.insert(s.to_string(), p);
     }
 
@@ -191,8 +187,7 @@ fn aggregate_count_marginal_matches_expectation() {
         },
         31,
     );
-    let mut eval =
-        QueryEvaluator::materialized(paper_queries::query2("TOKEN"), &pdb, 20).unwrap();
+    let mut eval = QueryEvaluator::materialized(paper_queries::query2("TOKEN"), &pdb, 20).unwrap();
     eval.run(&mut pdb, 30_000).unwrap();
     let dist = ValueDistribution::from_table(eval.marginals());
     assert!(
@@ -213,10 +208,21 @@ fn parallel_chains_reduce_error() {
     let truth = truth_eval.marginals().as_map();
 
     let corpus = Arc::new(corpus);
-    let err_for = |chains: usize| {
+    // Error of a k-chain estimate against the long-run truth. A single
+    // 40-sample estimate is noisy enough to flip the comparison on an
+    // unlucky seed, so compare errors averaged over a few repetitions with
+    // disjoint seed bases (still fully deterministic).
+    let err_for = |chains: usize, seed_base: u64| {
         let avg = evaluate_parallel(
             chains,
-            |c| build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 50 + c as u64),
+            |c| {
+                build_ner_pdb(
+                    &corpus,
+                    Arc::clone(&model),
+                    &Default::default(),
+                    seed_base + c as u64,
+                )
+            },
             &plan,
             40,
             100,
@@ -224,12 +230,10 @@ fn parallel_chains_reduce_error() {
         .unwrap();
         squared_error(&avg, &truth)
     };
-    let e1 = err_for(1);
-    let e4 = err_for(4);
-    assert!(
-        e4 < e1,
-        "4 chains ({e4:.4}) should beat 1 chain ({e1:.4})"
-    );
+    let reps: [u64; 3] = [50, 450, 850];
+    let e1: f64 = reps.iter().map(|&s| err_for(1, s)).sum::<f64>() / reps.len() as f64;
+    let e4: f64 = reps.iter().map(|&s| err_for(4, s)).sum::<f64>() / reps.len() as f64;
+    assert!(e4 < e1, "4 chains ({e4:.4}) should beat 1 chain ({e1:.4})");
 }
 
 #[test]
@@ -270,4 +274,47 @@ fn training_beats_untrained_model_on_truth_query() {
         loss_trained < loss_untrained * 0.8,
         "trained loss {loss_trained:.2} vs untrained {loss_untrained:.2}"
     );
+}
+
+#[test]
+fn incremental_views_match_recomputation_on_the_pdb_delta_stream() {
+    // The paper's Algorithm 1 invariant, driven end-to-end through the PDB
+    // write path instead of synthetic table edits: every MCMC interval
+    // produces a Δ⁻/Δ⁺ set, and applying that *same* Δ sequence to
+    // materialized views of all four paper queries must leave each view
+    // identical to a from-scratch `execute_simple` of the stored world —
+    // after every interval, not just at the end.
+    let (corpus, model) = tiny_setup(21);
+    let mut pdb = build_ner_pdb(&corpus, Arc::clone(&model), &Default::default(), 4242);
+    let plans = [
+        ("q1", paper_queries::query1("TOKEN")),
+        ("q2", paper_queries::query2("TOKEN")),
+        ("q3", paper_queries::query3("TOKEN")),
+        ("q4", paper_queries::query4("TOKEN")),
+    ];
+    let mut views: Vec<MaterializedView> = plans
+        .iter()
+        .map(|(_, plan)| MaterializedView::new(plan, pdb.database()).unwrap())
+        .collect();
+
+    let mut accepted_any = false;
+    for interval in 0..60 {
+        // One interval = 25 MH steps; the returned DeltaSet is the compacted
+        // net change of the stored world over the interval.
+        let deltas = pdb.step(25).unwrap();
+        accepted_any |= !deltas.is_empty();
+        for ((qname, plan), view) in plans.iter().zip(views.iter_mut()) {
+            view.apply_delta(&deltas);
+            let fresh = execute_simple(plan, pdb.database()).unwrap();
+            assert_eq!(
+                view.result().sorted_entries(),
+                fresh.rows.sorted_entries(),
+                "{qname}: view drifted from recomputation at interval {interval}"
+            );
+        }
+    }
+    // The run must have exercised the maintenance path, not vacuously
+    // compared empty deltas.
+    assert!(accepted_any, "sampler accepted no proposals in 1500 steps");
+    pdb.check_synchronized().unwrap();
 }
