@@ -1,0 +1,179 @@
+//! Delta-pipeline cost breakdown: where does one MCMC→view interval go?
+//!
+//! Splits the `view_maintenance/delta_apply` benchmark's timed loop into its
+//! two halves — producing the interval delta (storage `update_field` +
+//! `DeltaSet::record_update`) and consuming it (`MaterializedView::
+//! apply_delta`) — per paper query, so regressions can be attributed to the
+//! write path or the view path without a profiler.
+
+use fgdb_bench::report::Report;
+use fgdb_relational::algebra::paper_queries;
+use fgdb_relational::{Database, DeltaSet, MaterializedView, Schema, Tuple, Value, ValueType};
+use std::sync::Arc;
+use std::time::Instant;
+
+const LABELS: [&str; 4] = ["O", "B-PER", "B-ORG", "B-LOC"];
+
+fn build_token_db(n: usize) -> Database {
+    let schema = Schema::from_pairs(&[
+        ("tok_id", ValueType::Int),
+        ("doc_id", ValueType::Int),
+        ("string", ValueType::Str),
+        ("label", ValueType::Str),
+        ("truth", ValueType::Str),
+    ])
+    .unwrap()
+    .with_primary_key("tok_id")
+    .unwrap();
+    let mut db = Database::new();
+    db.create_relation("TOKEN", schema).unwrap();
+    let rel = db.relation_mut("TOKEN").unwrap();
+    for i in 0..n {
+        let label = LABELS[i % 4];
+        let string = if i % 97 == 0 {
+            "Boston".to_string()
+        } else {
+            format!("w{}", i % 500)
+        };
+        rel.insert(Tuple::new(vec![
+            Value::Int(i as i64),
+            Value::Int((i / 50) as i64),
+            Value::str(string),
+            Value::str(label),
+            Value::str(label),
+        ]))
+        .unwrap();
+    }
+    db
+}
+
+fn make_delta(db: &mut Database, delta_size: usize, tick: &mut usize) -> DeltaSet {
+    let mut deltas = DeltaSet::new();
+    let name: Arc<str> = Arc::from("TOKEN");
+    let rel = db.relation_mut("TOKEN").unwrap();
+    let n = rel.len();
+    for j in 0..delta_size {
+        *tick += 1;
+        let rid = rel
+            .find_by_pk(&Value::Int(((*tick * 31 + j) % n) as i64))
+            .unwrap();
+        let new_label = LABELS[(*tick + j) % 4];
+        let (old, new) = rel.update_field(rid, 3, Value::str(new_label)).unwrap();
+        deltas.record_update(&name, old, new);
+    }
+    deltas
+}
+
+/// Sub-phase breakdown of the produce half: pk lookup vs field update vs
+/// delta recording, measured over the same access sequence.
+fn produce_breakdown(n: usize, delta_size: usize, rounds: usize) {
+    let mut db = build_token_db(n);
+    let name: Arc<str> = Arc::from("TOKEN");
+    let total = rounds * delta_size;
+
+    // Phase A: pk probes only.
+    let rel = db.relation_mut("TOKEN").unwrap();
+    let mut tick = 0usize;
+    let t = Instant::now();
+    let mut rids = Vec::with_capacity(total);
+    for _ in 0..rounds {
+        for j in 0..delta_size {
+            tick += 1;
+            rids.push(
+                rel.find_by_pk(&Value::Int(((tick * 31 + j) % n) as i64))
+                    .unwrap(),
+            );
+        }
+    }
+    let pk_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+    // Phase B: field updates only.
+    let t = Instant::now();
+    let mut images = Vec::with_capacity(total);
+    for (k, rid) in rids.iter().enumerate() {
+        let new_label = LABELS[k % 4];
+        images.push(rel.update_field(*rid, 3, Value::str(new_label)).unwrap());
+    }
+    let upd_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+    // Phase C: delta recording only.
+    let t = Instant::now();
+    let mut chunks = images.chunks(delta_size);
+    let mut sink = 0usize;
+    for _ in 0..rounds {
+        let mut d = DeltaSet::new();
+        for (old, new) in chunks.next().unwrap().iter().cloned() {
+            d.record_update(&name, old, new);
+        }
+        sink += d.magnitude();
+    }
+    let rec_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+    std::hint::black_box(sink);
+
+    // Phase D: raw copy-on-write tuple mutation (the alloc+fingerprint core
+    // of update_field) over one resident row.
+    let sample = rel.get(rids[0]).unwrap().clone();
+    let t = Instant::now();
+    for k in 0..total {
+        std::hint::black_box(sample.with_value(3, Value::str(LABELS[k % 4])));
+    }
+    let cow_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+    println!(
+        "produce breakdown @{n}: pk {pk_us:.2} µs  update_field {upd_us:.2} µs  (cow core {cow_us:.2} µs)  record {rec_us:.2} µs / interval"
+    );
+}
+
+fn main() {
+    let n: usize = std::env::var("FGDB_PROFILE_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let delta_size = 16;
+    let rounds = 2_000;
+    produce_breakdown(n, delta_size, rounds);
+    let mut report = Report::new(
+        "profile_delta",
+        &["query", "produce_us_per_interval", "apply_us_per_interval"],
+    );
+    report
+        .param("db_rows", n)
+        .param("delta_size", delta_size)
+        .param("rounds", rounds);
+    println!("delta pipeline split over {n} rows, |Δ|={delta_size}, {rounds} intervals\n");
+    for (qname, plan) in [
+        ("query1_select_project", paper_queries::query1("TOKEN")),
+        ("query3_grouped_counts", paper_queries::query3("TOKEN")),
+        ("query4_self_join", paper_queries::query4("TOKEN")),
+    ] {
+        let mut db = build_token_db(n);
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let mut tick = 0usize;
+
+        // Phase 1: produce all interval deltas (timed), db evolving as in
+        // the real pipeline.
+        let t = Instant::now();
+        let deltas: Vec<DeltaSet> = (0..rounds)
+            .map(|_| make_delta(&mut db, delta_size, &mut tick))
+            .collect();
+        let produce_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+        // Phase 2: apply them in order (timed) — identical state evolution
+        // to interleaved produce/apply.
+        let t = Instant::now();
+        for d in &deltas {
+            std::hint::black_box(view.apply_delta(d));
+        }
+        let apply_us = t.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+
+        println!("{qname:<28} produce {produce_us:>8.2} µs   apply {apply_us:>8.2} µs");
+        report.row(vec![
+            qname.to_string(),
+            format!("{produce_us:.3}"),
+            format!("{apply_us:.3}"),
+        ]);
+    }
+    if let Some(path) = report.write_if_configured() {
+        println!("\nwrote {}", path.display());
+    }
+}

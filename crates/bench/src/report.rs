@@ -1,9 +1,11 @@
 //! Machine-readable experiment reports.
 //!
-//! Every harness binary prints human tables and fenced CSV; when the
-//! `FGDB_JSON_OUT` environment variable names a directory, it additionally
-//! writes a structured JSON report there, so downstream plotting/regression
-//! tooling does not have to scrape stdout.
+//! Every harness binary prints human tables and fenced CSV, and by default
+//! additionally writes a structured `BENCH_<experiment>.json` report to the
+//! current directory (the repo root under `cargo run`/`cargo bench`), so
+//! perf numbers accrue per run without scraping stdout. Set the
+//! `FGDB_JSON_OUT` environment variable to redirect the output directory,
+//! or to the empty string to disable file output.
 
 use serde::Serialize;
 use std::path::PathBuf;
@@ -96,13 +98,15 @@ impl Report {
         )
     }
 
-    /// Writes `<FGDB_JSON_OUT>/<experiment>.json` when the environment
-    /// variable is set; silently no-ops otherwise. Returns the path written.
+    /// Writes `<dir>/BENCH_<experiment>.json`, where `dir` defaults to the
+    /// workspace root and can be redirected via the `FGDB_JSON_OUT`
+    /// environment variable (empty value disables file output) — the same
+    /// resolution the criterion shim uses, via [`criterion::json_out_dir`].
+    /// Returns the path written.
     pub fn write_if_configured(&self) -> Option<PathBuf> {
-        let dir = std::env::var("FGDB_JSON_OUT").ok()?;
-        let dir = PathBuf::from(dir);
+        let dir = criterion::json_out_dir()?;
         std::fs::create_dir_all(&dir).ok()?;
-        let path = dir.join(format!("{}.json", self.experiment));
+        let path = dir.join(format!("BENCH_{}.json", self.experiment));
         std::fs::write(&path, self.to_json()).ok()?;
         Some(path)
     }
@@ -132,12 +136,13 @@ mod tests {
     #[test]
     fn write_respects_env() {
         let dir = std::env::temp_dir().join("fgdb_report_test");
-        // Unset → None.
-        std::env::remove_var("FGDB_JSON_OUT");
+        // Empty value → explicit opt-out.
+        std::env::set_var("FGDB_JSON_OUT", "");
         assert!(sample().write_if_configured().is_none());
-        // Set → file written.
+        // Set → BENCH_-prefixed file written there.
         std::env::set_var("FGDB_JSON_OUT", &dir);
         let path = sample().write_if_configured().expect("written");
+        assert!(path.ends_with("BENCH_fig_test.json"));
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("fig_test"));
         std::env::remove_var("FGDB_JSON_OUT");

@@ -159,6 +159,11 @@ impl<M: Model> ProbabilisticDB<M> {
             let (old, new) = rel.update_field(row, self.binding.column, value)?;
             deltas.record_update(&self.binding.relation, old, new);
         }
+        // Interval-boundary compaction (the paper's "cleaning and refreshing
+        // of the tables ... between deterministic query executions"): record
+        // operations above are amortized O(1); empty per-relation entries
+        // left by exact ± cancellation are dropped once per interval here.
+        deltas.compact();
         Ok(deltas)
     }
 

@@ -13,13 +13,30 @@ use crate::factor::Factor;
 use crate::model::{EvalStats, Model};
 use crate::variable::VariableId;
 use crate::world::World;
+use std::sync::Mutex;
+
+/// Reusable dedup scratch for [`FactorGraph::score_neighborhood`]: a
+/// generation-stamped seen buffer. Marking a factor seen is one store;
+/// resetting between calls is one generation bump — no clearing, no
+/// per-step allocation, no O(d²) `Vec::contains` scans.
+#[derive(Default)]
+struct SeenScratch {
+    /// `stamp[f] == gen` ⇔ factor f already scored in the current call.
+    stamp: Vec<u32>,
+    gen: u32,
+}
 
 /// An explicit factor graph with adjacency indexing.
 #[derive(Default)]
 pub struct FactorGraph {
     factors: Vec<Box<dyn Factor>>,
-    /// `adjacency[v]` lists the factor indexes touching variable v.
+    /// `adjacency[v]` lists the factor indexes touching variable v, each
+    /// factor at most once (deduplicated at insertion).
     adjacency: Vec<Vec<u32>>,
+    /// Interior scratch shared by `score_neighborhood` calls. A `Mutex` so
+    /// the graph stays `Sync` (parallel chains share one model via `Arc`);
+    /// contended callers fall back to a local buffer rather than blocking.
+    seen: Mutex<SeenScratch>,
 }
 
 impl FactorGraph {
@@ -31,7 +48,13 @@ impl FactorGraph {
     /// Adds a factor, updating adjacency. Returns its index.
     pub fn add_factor(&mut self, factor: Box<dyn Factor>) -> usize {
         let idx = self.factors.len() as u32;
-        for v in factor.variables() {
+        let vars = factor.variables();
+        for (i, v) in vars.iter().enumerate() {
+            // A factor listing the same variable twice still appears once in
+            // that variable's adjacency (it must be scored exactly once).
+            if vars[..i].contains(v) {
+                continue;
+            }
             let vi = v.index();
             if self.adjacency.len() <= vi {
                 self.adjacency.resize_with(vi + 1, Vec::new);
@@ -74,16 +97,56 @@ impl Model for FactorGraph {
 
     fn score_neighborhood(&self, world: &World, vars: &[VariableId], stats: &mut EvalStats) -> f64 {
         stats.neighborhood_scores += 1;
+        let mut sum = 0.0;
+        // Single-variable fast path (the common MH proposal): one variable's
+        // adjacency never repeats a factor, so no dedup state is needed.
+        if let [v] = vars {
+            for &fi in self.factors_of(*v) {
+                stats.factors_evaluated += 1;
+                sum += self.factors[fi as usize].log_score(world);
+            }
+            return sum;
+        }
         // Deduplicate factors shared between changed variables so each is
         // counted exactly once, as required by the MH ratio of Appendix 9.2.
-        let mut seen: Vec<u32> = Vec::new();
-        let mut sum = 0.0;
+        // The generation-stamped scratch makes this O(Σ degree) with zero
+        // steady-state allocation. A contended lock (parallel chains sharing
+        // the model) degrades to the small seen-list scan rather than
+        // blocking — or allocating a graph-sized stamp buffer per call.
+        let mut guard = match self.seen.try_lock() {
+            Ok(g) => g,
+            Err(_) => {
+                let mut seen: Vec<u32> = Vec::with_capacity(vars.len() * 2);
+                for v in vars {
+                    for &fi in self.factors_of(*v) {
+                        if seen.contains(&fi) {
+                            continue;
+                        }
+                        seen.push(fi);
+                        stats.factors_evaluated += 1;
+                        sum += self.factors[fi as usize].log_score(world);
+                    }
+                }
+                return sum;
+            }
+        };
+        let scratch: &mut SeenScratch = &mut guard;
+        scratch.gen = scratch.gen.wrapping_add(1);
+        if scratch.gen == 0 {
+            // Generation counter wrapped: old stamps could alias. Reset.
+            scratch.stamp.iter_mut().for_each(|s| *s = 0);
+            scratch.gen = 1;
+        }
+        if scratch.stamp.len() < self.factors.len() {
+            scratch.stamp.resize(self.factors.len(), 0);
+        }
         for v in vars {
             for &fi in self.factors_of(*v) {
-                if seen.contains(&fi) {
+                let slot = &mut scratch.stamp[fi as usize];
+                if *slot == scratch.gen {
                     continue;
                 }
-                seen.push(fi);
+                *slot = scratch.gen;
                 stats.factors_evaluated += 1;
                 sum += self.factors[fi as usize].log_score(world);
             }
@@ -178,5 +241,35 @@ mod tests {
     fn factor_accessor() {
         let (g, _) = chain();
         assert_eq!(g.factor(2).name(), "bias0");
+    }
+
+    #[test]
+    fn neighborhood_scratch_is_reusable_across_calls() {
+        // Repeated multi-variable scorings must keep deduplicating correctly
+        // (each call bumps the generation instead of clearing the buffer).
+        let (g, w) = chain();
+        for _ in 0..100 {
+            let mut s = EvalStats::default();
+            let n = g.score_neighborhood(&w, &[VariableId(0), VariableId(1)], &mut s);
+            assert_eq!(s.factors_evaluated, 3);
+            assert_eq!(n, 2.0);
+        }
+    }
+
+    #[test]
+    fn factor_repeating_a_variable_is_scored_once() {
+        let d = Domain::of_labels(&["0", "1"]);
+        let w = World::new(vec![d]);
+        let mut g = FactorGraph::new();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(0), VariableId(0)],
+            vec![2, 2],
+            vec![1.0, 0.0, 0.0, 1.0],
+            "self_pair",
+        )));
+        assert_eq!(g.degree(VariableId(0)), 1); // deduplicated adjacency
+        let mut s = EvalStats::default();
+        g.score_neighborhood(&w, &[VariableId(0)], &mut s);
+        assert_eq!(s.factors_evaluated, 1);
     }
 }

@@ -7,17 +7,22 @@
 //! as counted sets with negative entries for removals, which makes delta
 //! propagation through the operator tree a sequence of signed merges.
 
+use crate::fasthash::FxHashMap;
 use crate::tuple::Tuple;
-use std::collections::{hash_map, HashMap};
+use std::collections::hash_map;
 
 /// A multiset of tuples with signed multiplicities.
 ///
 /// Invariant: no entry has multiplicity zero (entries cancel out on merge).
 /// A *relation state* has only positive multiplicities; a *delta* may have
 /// entries of either sign.
+///
+/// Backed by an [`FxHashMap`] keyed on the tuples' cached fingerprints:
+/// adding a tuple hashes one `u64`, not the row contents. An empty set
+/// performs no heap allocation.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CountedSet {
-    counts: HashMap<Tuple, i64>,
+    counts: FxHashMap<Tuple, i64>,
 }
 
 impl CountedSet {
@@ -29,7 +34,7 @@ impl CountedSet {
     /// Creates an empty multiset with capacity.
     pub fn with_capacity(n: usize) -> Self {
         CountedSet {
-            counts: HashMap::with_capacity(n),
+            counts: FxHashMap::with_capacity_and_hasher(n, Default::default()),
         }
     }
 

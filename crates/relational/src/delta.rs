@@ -17,6 +17,14 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Signed per-relation tuple deltas accumulated between query evaluations.
+///
+/// Record operations are amortized O(1): `CountedSet::add` already cancels
+/// ±pairs exactly as they are recorded, so no per-record scan is needed.
+/// A relation whose entries have all cancelled may linger as an *empty*
+/// per-relation set until [`DeltaSet::compact`] runs; every read accessor
+/// treats such entries as absent, and the MCMC bridge compacts once per
+/// thinning interval (the paper's "cleaning and refreshing of the tables
+/// ... between deterministic query executions", §4.2).
 #[derive(Clone, Debug, Default)]
 pub struct DeltaSet {
     per_relation: BTreeMap<Arc<str>, CountedSet>,
@@ -28,21 +36,19 @@ impl DeltaSet {
         Self::default()
     }
 
-    /// Records a tuple insertion into `relation` (a Δ⁺ entry).
+    /// Records a tuple insertion into `relation` (a Δ⁺ entry). Amortized O(1).
     pub fn record_insert(&mut self, relation: &Arc<str>, tuple: Tuple) {
         self.entry(relation).add(tuple, 1);
-        self.prune(relation);
     }
 
-    /// Records a tuple deletion from `relation` (a Δ⁻ entry).
+    /// Records a tuple deletion from `relation` (a Δ⁻ entry). Amortized O(1).
     pub fn record_delete(&mut self, relation: &Arc<str>, tuple: Tuple) {
         self.entry(relation).add(tuple, -1);
-        self.prune(relation);
     }
 
     /// Records an in-place update: the old image leaves the world (Δ⁻) and
     /// the new image enters it (Δ⁺). This is the path MCMC takes on every
-    /// accepted proposal.
+    /// accepted proposal. Amortized O(1).
     pub fn record_update(&mut self, relation: &Arc<str>, old: Tuple, new: Tuple) {
         if old == new {
             return;
@@ -50,26 +56,39 @@ impl DeltaSet {
         let set = self.entry(relation);
         set.add(old, -1);
         set.add(new, 1);
-        self.prune(relation);
     }
 
     fn entry(&mut self, relation: &Arc<str>) -> &mut CountedSet {
-        self.per_relation.entry(Arc::clone(relation)).or_default()
-    }
-
-    fn prune(&mut self, relation: &Arc<str>) {
-        if self
-            .per_relation
-            .get(relation)
-            .is_some_and(CountedSet::is_empty)
-        {
-            self.per_relation.remove(relation);
+        // Hot path: the relation is almost always present already (every
+        // MCMC step updates the same bound relation). Probing by reference
+        // first avoids the owned-key `Arc` clone (two atomic ops) that
+        // `BTreeMap::entry` would pay per recorded tuple.
+        if self.per_relation.contains_key(relation) {
+            return self
+                .per_relation
+                .get_mut(relation)
+                .expect("checked contains_key");
         }
+        // Pre-size for a typical thinning interval (tens of ± images) so
+        // accumulation does not pay repeated grow-and-rehash cycles.
+        self.per_relation
+            .entry(Arc::clone(relation))
+            .or_insert_with(|| CountedSet::with_capacity(32))
     }
 
-    /// Signed delta for one relation (empty when unchanged).
+    /// Drops per-relation entries whose tuples have all cancelled out.
+    /// Called once per thinning interval (not per recorded tuple), keeping
+    /// interval accumulation O(|Δ|) instead of O(|Δ|²).
+    pub fn compact(&mut self) {
+        self.per_relation.retain(|_, set| !set.is_empty());
+    }
+
+    /// Signed delta for one relation (`None` when unchanged, including when
+    /// all recorded changes for it have cancelled out).
     pub fn for_relation(&self, relation: &str) -> Option<&CountedSet> {
-        self.per_relation.get(relation)
+        self.per_relation
+            .get(relation)
+            .filter(|set| !set.is_empty())
     }
 
     /// The Δ⁻ view: tuples with negative net multiplicity, as positive counts.
@@ -100,12 +119,15 @@ impl DeltaSet {
 
     /// Relations with a nonempty delta.
     pub fn relations(&self) -> impl Iterator<Item = &Arc<str>> {
-        self.per_relation.keys()
+        self.per_relation
+            .iter()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(rel, _)| rel)
     }
 
     /// True when no net change is recorded.
     pub fn is_empty(&self) -> bool {
-        self.per_relation.is_empty()
+        self.per_relation.values().all(CountedSet::is_empty)
     }
 
     /// Total number of distinct changed tuples across relations — the |Δ| the
@@ -121,8 +143,10 @@ impl DeltaSet {
     /// `w →Δ₁→ w' →Δ₂→ w''` composes to `w →Δ₁+Δ₂→ w''`).
     pub fn merge(&mut self, other: &DeltaSet) {
         for (rel, set) in &other.per_relation {
+            if set.is_empty() {
+                continue;
+            }
             self.entry(rel).merge(set);
-            self.prune(rel);
         }
     }
 
@@ -132,8 +156,10 @@ impl DeltaSet {
         self.per_relation.clear();
     }
 
-    /// Consumes the delta, returning per-relation signed sets.
-    pub fn into_parts(self) -> BTreeMap<Arc<str>, CountedSet> {
+    /// Consumes the delta, returning per-relation signed sets (compacted:
+    /// relations whose changes fully cancelled are absent).
+    pub fn into_parts(mut self) -> BTreeMap<Arc<str>, CountedSet> {
+        self.compact();
         self.per_relation
     }
 }
@@ -243,5 +269,33 @@ mod tests {
         d.record_insert(&rel("T"), tuple![1i64]);
         d.clear();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cancelled_relation_is_invisible_before_and_after_compact() {
+        let mut d = DeltaSet::new();
+        let r = rel("T");
+        d.record_insert(&r, tuple![5i64]);
+        d.record_delete(&r, tuple![5i64]);
+        // All reads treat the cancelled relation as absent even though the
+        // empty per-relation entry may still be allocated pre-compaction.
+        assert!(d.is_empty());
+        assert!(d.for_relation("T").is_none());
+        assert_eq!(d.relations().count(), 0);
+        assert_eq!(d.magnitude(), 0);
+        d.compact();
+        assert!(d.is_empty());
+        assert!(d.into_parts().is_empty());
+    }
+
+    #[test]
+    fn into_parts_compacts() {
+        let mut d = DeltaSet::new();
+        d.record_insert(&rel("A"), tuple![1i64]);
+        d.record_insert(&rel("B"), tuple![2i64]);
+        d.record_delete(&rel("B"), tuple![2i64]);
+        let parts = d.into_parts();
+        assert_eq!(parts.len(), 1);
+        assert!(parts.contains_key("A"));
     }
 }

@@ -13,9 +13,9 @@ use crate::algebra::{AggExpr, AggFunc, Plan, PlanError};
 use crate::counted::CountedSet;
 use crate::database::Database;
 use crate::expr::{resolve_column, BoundExpr, Expr};
+use crate::fasthash::FxHashMap;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -113,7 +113,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 .relation(relation)
                 .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
             stats.tuples_scanned += rel.len() as u64;
-            Ok(CountedSet::from_tuples(rel.iter().map(|(_, t)| t.clone())))
+            Ok(CountedSet::from_tuples(rel.tuples().cloned()))
         }
         Plan::Select { input, predicate } => {
             // Index fast path: σ_{col = lit} directly over a scan probes the
@@ -165,8 +165,9 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             let (lk, rk) = join_key_indices(on, &l_cols, &r_cols)?;
             let l = eval(left, db, stats)?;
             let r = eval(right, db, stats)?;
-            // Hash join: build on the right, probe with the left.
-            let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+            // Hash join: build on the right, probe with the left. The table
+            // keys hash via the tuples' cached fingerprints (see fasthash).
+            let mut table: FxHashMap<Tuple, Vec<(&Tuple, i64)>> = FxHashMap::default();
             for (rt, rc) in r.iter() {
                 table.entry(rt.project(&rk)).or_default().push((rt, rc));
             }
@@ -195,7 +196,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             let group_idx = resolve_all(group_by, &in_cols)?;
             let specs = bind_aggs(aggs, &in_cols)?;
             let rows = eval(input, db, stats)?;
-            let mut groups: HashMap<Tuple, Vec<AggAcc>> = HashMap::new();
+            let mut groups: FxHashMap<Tuple, Vec<AggAcc>> = FxHashMap::default();
             for (t, c) in rows.iter() {
                 stats.rows_processed += 1;
                 let key = t.project(&group_idx);

@@ -245,12 +245,55 @@ impl BoundExpr {
         }
     }
 
-    /// Evaluates as a three-valued truth value.
-    pub fn eval_truth(&self, tuple: &Tuple) -> Option<bool> {
-        match self.eval(tuple) {
-            Value::Bool(b) => Some(b),
-            Value::Null => None,
+    /// Leaf access without cloning: columns and literals are read in place.
+    /// Predicate evaluation runs once per delta row per σ node, so the
+    /// common `col ⋈ lit` shape must not touch refcounts.
+    #[inline]
+    fn leaf<'a>(&'a self, tuple: &'a Tuple) -> Option<&'a Value> {
+        match self {
+            BoundExpr::Column(i) => Some(tuple.get(*i)),
+            BoundExpr::Literal(v) => Some(v),
             _ => None,
+        }
+    }
+
+    /// Evaluates as a three-valued truth value. Comparisons over leaf
+    /// operands (the overwhelmingly common case) are performed by reference
+    /// — no `Value` clones, no atomic refcount traffic.
+    pub fn eval_truth(&self, tuple: &Tuple) -> Option<bool> {
+        match self {
+            BoundExpr::Cmp(op, a, b) => {
+                let ord = match (a.leaf(tuple), b.leaf(tuple)) {
+                    (Some(va), Some(vb)) => va.sql_cmp(vb),
+                    _ => a.eval(tuple).sql_cmp(&b.eval(tuple)),
+                };
+                ord.map(|o| op.apply(o))
+            }
+            BoundExpr::And(a, b) => match (a.eval_truth(tuple), b.eval_truth(tuple)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BoundExpr::Or(a, b) => match (a.eval_truth(tuple), b.eval_truth(tuple)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            BoundExpr::Not(a) => a.eval_truth(tuple).map(|b| !b),
+            BoundExpr::IsNull(a) => Some(match a.leaf(tuple) {
+                Some(v) => v.is_null(),
+                None => a.eval(tuple).is_null(),
+            }),
+            other => {
+                let truth = |v: &Value| match v {
+                    Value::Bool(b) => Some(*b),
+                    _ => None,
+                };
+                match other.leaf(tuple) {
+                    Some(v) => truth(v),
+                    None => truth(&other.eval(tuple)),
+                }
+            }
         }
     }
 

@@ -25,6 +25,7 @@ pub mod database;
 pub mod delta;
 pub mod exec;
 pub mod expr;
+pub mod fasthash;
 pub mod schema;
 pub mod storage;
 pub mod tuple;
@@ -37,6 +38,7 @@ pub use database::{CatalogError, Database};
 pub use delta::DeltaSet;
 pub use exec::{execute, execute_simple, ExecError, ExecStats, QueryResult};
 pub use expr::{BoundExpr, CmpOp, Expr};
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, TupleMap};
 pub use schema::{Column, Schema, SchemaError};
 pub use storage::{Relation, RowId, StorageError};
 pub use tuple::Tuple;

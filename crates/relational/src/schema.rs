@@ -168,6 +168,26 @@ impl Schema {
         }
         Ok(())
     }
+
+    /// Type-checks a single column's value (NULL accepted everywhere) — the
+    /// field-granular fast path for `update_field`, which mutates one column
+    /// of an already-validated row and need not re-walk the whole tuple.
+    pub fn check_value(
+        &self,
+        column: usize,
+        value: &crate::value::Value,
+    ) -> Result<(), SchemaError> {
+        let c = &self.columns[column];
+        let ft = value.value_type();
+        if ft != ValueType::Null && ft != c.ty {
+            return Err(SchemaError::TypeMismatch {
+                column: c.name.to_string(),
+                expected: c.ty,
+                found: ft,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Schema {

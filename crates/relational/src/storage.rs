@@ -10,10 +10,10 @@
 //! row; the delta tracker (see [`crate::delta`]) turns these into the Δ⁻/Δ⁺
 //! auxiliary tables of §4.2.
 
+use crate::fasthash::FxHashMap;
 use crate::schema::{Schema, SchemaError};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -67,7 +67,7 @@ impl From<SchemaError> for StorageError {
 #[derive(Debug, Default)]
 struct HashIndex {
     column: usize,
-    map: HashMap<Value, Vec<RowId>>,
+    map: FxHashMap<Value, Vec<RowId>>,
 }
 
 impl HashIndex {
@@ -97,7 +97,9 @@ pub struct Relation {
     rows: Vec<Option<Tuple>>,
     free: Vec<u32>,
     live: usize,
-    pk_index: HashMap<Value, RowId>,
+    /// Primary-key lookup. FxHash-keyed: `find_by_pk` sits on the MCMC
+    /// write path (one probe per accepted proposal).
+    pk_index: FxHashMap<Value, RowId>,
     secondary: Vec<HashIndex>,
 }
 
@@ -110,7 +112,7 @@ impl Relation {
             rows: Vec::new(),
             free: Vec::new(),
             live: 0,
-            pk_index: HashMap::new(),
+            pk_index: FxHashMap::default(),
             secondary: Vec::new(),
         }
     }
@@ -144,7 +146,7 @@ impl Relation {
         }
         let mut ix = HashIndex {
             column: col,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         };
         for (rid, t) in self.iter() {
             ix.insert(rid, t);
@@ -233,18 +235,23 @@ impl Relation {
         if column >= self.schema.arity() {
             return Err(StorageError::NoSuchColumn(column));
         }
-        let old = self
+        // Field-granular validation: the stored row already satisfies the
+        // schema, so only the incoming value needs a type check.
+        self.schema.check_value(column, &value)?;
+        // Move the old image out of the slot (no refcount traffic — this is
+        // the per-accepted-proposal hot path) and restore it on error.
+        let slot = self
             .rows
-            .get(row.0 as usize)
-            .and_then(Option::as_ref)
-            .ok_or(StorageError::NoSuchRow(row))?
-            .clone();
+            .get_mut(row.0 as usize)
+            .ok_or(StorageError::NoSuchRow(row))?;
+        let old = slot.take().ok_or(StorageError::NoSuchRow(row))?;
         let new = old.with_value(column, value);
-        self.schema.check(new.values())?;
         if Some(column) == self.schema.primary_key() {
             let key = new.get(column);
             if key != old.get(column) && self.pk_index.contains_key(key) {
-                return Err(StorageError::DuplicateKey(key.to_string()));
+                let key = key.to_string();
+                self.rows[row.0 as usize] = Some(old);
+                return Err(StorageError::DuplicateKey(key));
             }
             self.pk_index.remove(old.get(column));
             self.pk_index.insert(key.clone(), row);
@@ -272,9 +279,11 @@ impl Relation {
             .filter_map(|(i, t)| t.as_ref().map(|t| (RowId(i as u32), t)))
     }
 
-    /// Snapshot of all live tuples (used to seed materialized views).
-    pub fn tuples(&self) -> Vec<Tuple> {
-        self.iter().map(|(_, t)| t.clone()).collect()
+    /// Iterates live tuples in slot order, borrowing — no snapshot `Vec`,
+    /// no per-tuple clone. Callers that genuinely need owned tuples (e.g.
+    /// seeding a materialized view) clone per element via `.cloned()`.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter().filter_map(Option::as_ref)
     }
 }
 
@@ -419,5 +428,19 @@ mod tests {
         r.delete(a).unwrap();
         let rows: Vec<_> = r.iter().map(|(_, t)| t.get(0).as_int().unwrap()).collect();
         assert_eq!(rows, vec![2]);
+    }
+
+    #[test]
+    fn tuples_borrows_live_rows() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "a", "O"]).unwrap();
+        r.insert(tuple![2i64, "b", "O"]).unwrap();
+        r.delete(a).unwrap();
+        let ids: Vec<i64> = r.tuples().map(|t| t.get(0).as_int().unwrap()).collect();
+        assert_eq!(ids, vec![2]);
+        // The iterator borrows: the same tuple address is observed twice.
+        let first = r.tuples().next().unwrap() as *const Tuple;
+        let again = r.tuples().next().unwrap() as *const Tuple;
+        assert_eq!(first, again);
     }
 }

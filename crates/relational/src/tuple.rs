@@ -4,26 +4,116 @@
 //! matters because the sampling evaluators copy tuples into Δ⁻/Δ⁺ auxiliary
 //! tables and counted multisets on every MCMC step (§4.2).
 
+use crate::fasthash::FxHasher;
 use crate::value::Value;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Computes the cached 64-bit fingerprint a [`Tuple`] over `values` carries.
+///
+/// The fingerprint is an FxHash fold over every value, computed once per
+/// tuple *construction*; all subsequent hash-map operations (counted
+/// multisets, join states, group-by maps) hash just this one `u64` instead
+/// of re-walking the values — strings included — on every probe.
+///
+/// The fold is hand-specialized per variant (scalar values fold their type
+/// tag into a single mixing step instead of hashing a discriminant
+/// separately) because tuple construction itself is on the per-proposal
+/// write path. A fingerprint collision is never a correctness hazard: every
+/// consumer (`CountedSet`, `TupleMap`, join/group maps) still compares full
+/// values on equality.
+pub fn fingerprint_values(values: &[Value]) -> u64 {
+    // Per-type tag constants folded into the value's own mixing step.
+    const TAG_INT: u64 = 0x9E37_79B9_7F4A_7C15;
+    const TAG_FLOAT: u64 = 0xC2B2_AE3D_27D4_EB4F;
+    let mut h = FxHasher::default();
+    for v in values {
+        match v {
+            Value::Null => h.write_u8(0xF0),
+            Value::Bool(b) => h.write_u8(0x01 | ((*b as u8) << 4)),
+            Value::Int(i) => h.write_u64(TAG_INT ^ (*i as u64)),
+            Value::Float(f) => h.write_u64(TAG_FLOAT ^ f.get().to_bits()),
+            Value::Str(s) => {
+                h.write(s.as_bytes());
+                h.write_u8(0xFF);
+            }
+        }
+    }
+    h.finish()
+}
 
 /// An immutable row of values.
 ///
 /// Cloning is O(1): the underlying buffer is shared. Mutation goes through
 /// [`Tuple::with_value`], which produces a new tuple (copy-on-write), because
 /// the delta machinery needs both the pre- and post-image of every update.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// Each tuple carries a cached [fingerprint](Tuple::fingerprint) computed at
+/// construction; `Hash` emits only that `u64`, so map probes in the delta
+/// hot path cost one multiply instead of a full SipHash over the row.
+/// Equality still compares values exactly (the fingerprint only serves as a
+/// cheap inequality fast path), and ordering is lexicographic over values.
+#[derive(Clone)]
 pub struct Tuple {
     values: Arc<[Value]>,
+    fp: u64,
+}
+
+impl PartialEq for Tuple {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.fp == other.fp && self.values == other.values
+    }
+}
+impl Eq for Tuple {}
+
+impl Hash for Tuple {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.fp);
+    }
+}
+
+impl PartialOrd for Tuple {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Tuple {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.values.cmp(&other.values)
+    }
 }
 
 impl Tuple {
     /// Builds a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
+        let fp = fingerprint_values(&values);
         Tuple {
             values: values.into(),
+            fp,
         }
+    }
+
+    /// Builds a tuple whose fingerprint was already computed (hot-path
+    /// constructor used by [`crate::fasthash::TupleMap`] when promoting a
+    /// scratch key buffer into an owned map key). The caller must pass the
+    /// fingerprint the key is addressed under — normally
+    /// [`fingerprint_values`] of the same buffer.
+    pub(crate) fn from_prehashed(values: Vec<Value>, fp: u64) -> Self {
+        Tuple {
+            values: values.into(),
+            fp,
+        }
+    }
+
+    /// The cached FxHash fingerprint of this row.
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fp
     }
 
     /// Builds a tuple from anything convertible to values.
@@ -58,11 +148,16 @@ impl Tuple {
     /// Returns a new tuple with field `idx` replaced by `value`.
     ///
     /// This is the sole mutation path: the old tuple remains intact so the
-    /// storage layer can hand both images to the delta tracker.
+    /// storage layer can hand both images to the delta tracker. It sits on
+    /// the MCMC write path (one call per accepted proposal), so the new
+    /// buffer is built in a single allocation: `Arc::from_iter` over a
+    /// `TrustedLen` iterator writes elements straight into the shared
+    /// allocation, skipping the intermediate `Vec`.
     pub fn with_value(&self, idx: usize, value: Value) -> Tuple {
-        let mut v: Vec<Value> = self.values.to_vec();
-        v[idx] = value;
-        Tuple::new(v)
+        let mut values: Arc<[Value]> = self.values.iter().cloned().collect();
+        Arc::get_mut(&mut values).expect("freshly built, uniquely owned")[idx] = value;
+        let fp = fingerprint_values(&values);
+        Tuple { values, fp }
     }
 
     /// Concatenates two tuples (used by products and joins).
@@ -73,9 +168,30 @@ impl Tuple {
         Tuple::new(v)
     }
 
-    /// Projects the tuple onto the given column positions.
+    /// Builds a tuple by cloning a value slice in one allocation (no
+    /// intermediate `Vec`) — for hot paths assembling rows in a reusable
+    /// scratch buffer.
+    pub fn from_slice(values: &[Value]) -> Tuple {
+        let values: Arc<[Value]> = Arc::from(values);
+        let fp = fingerprint_values(&values);
+        Tuple { values, fp }
+    }
+
+    /// Projects the tuple onto the given column positions. Single
+    /// allocation: the projected values are written straight into the
+    /// shared buffer (`TrustedLen` specialization of `collect`).
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+        let values: Arc<[Value]> = indices.iter().map(|&i| self.values[i].clone()).collect();
+        let fp = fingerprint_values(&values);
+        Tuple { values, fp }
+    }
+
+    /// Projects the tuple's columns into a reusable scratch buffer —
+    /// the allocation-free variant of [`Tuple::project`] the view layer
+    /// uses for per-delta-row key lookups.
+    pub fn project_into(&self, indices: &[usize], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(indices.iter().map(|&i| self.values[i].clone()));
     }
 }
 
@@ -173,5 +289,37 @@ mod tests {
     fn ordering_is_lexicographic() {
         assert!(tuple![1i64, "a"] < tuple![1i64, "b"]);
         assert!(tuple![0i64, "z"] < tuple![1i64, "a"]);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_value_based() {
+        let a = tuple![1i64, "IBM"];
+        let b = tuple![1i64, "IBM"];
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), fingerprint_values(a.values()));
+        assert_ne!(a.fingerprint(), tuple![1i64, "AMD"].fingerprint());
+        // Derived constructors keep the fingerprint consistent.
+        let c = a.with_value(1, Value::str("AMD"));
+        assert_eq!(c.fingerprint(), tuple![1i64, "AMD"].fingerprint());
+        let d = a.concat(&b);
+        assert_eq!(
+            d.fingerprint(),
+            tuple![1i64, "IBM", 1i64, "IBM"].fingerprint()
+        );
+    }
+
+    #[test]
+    fn project_into_reuses_scratch() {
+        let t = tuple![1i64, "x", 2i64, "y"];
+        let mut scratch = Vec::new();
+        t.project_into(&[3, 0], &mut scratch);
+        assert_eq!(scratch, vec![Value::str("y"), Value::Int(1)]);
+        assert_eq!(
+            fingerprint_values(&scratch),
+            t.project(&[3, 0]).fingerprint()
+        );
+        // A second projection reuses the buffer.
+        t.project_into(&[1], &mut scratch);
+        assert_eq!(scratch, vec![Value::str("x")]);
     }
 }

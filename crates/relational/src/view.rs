@@ -29,9 +29,9 @@ use crate::database::Database;
 use crate::delta::DeltaSet;
 use crate::exec::{bind_aggs, join_key_indices, AggAcc, AggSpec, ExecError};
 use crate::expr::{resolve_column, BoundExpr};
-use crate::tuple::Tuple;
+use crate::fasthash::TupleMap;
+use crate::tuple::{fingerprint_values, Tuple};
 use crate::value::Value;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Work counters for view maintenance (the |Δ|-proportional analogue of
@@ -73,11 +73,15 @@ impl MaterializedView {
 
     /// Applies a world delta, updating the maintained answer and returning
     /// the answer's own signed delta (what Algorithm 1 line 5 consumes).
+    ///
+    /// A delta disjoint from the view's source relations short-circuits at
+    /// the root: no operator-tree recursion, no per-node allocation.
     pub fn apply_delta(&mut self, deltas: &DeltaSet) -> CountedSet {
         self.stats.deltas_applied += 1;
         let out = self
             .root
-            .apply(deltas, &mut self.stats.delta_rows_processed);
+            .apply(deltas, &mut self.stats.delta_rows_processed)
+            .into_counted();
         self.result.merge(&out);
         out
     }
@@ -92,14 +96,71 @@ impl MaterializedView {
         &self.columns
     }
 
+    /// Base relations this view reads (sorted, deduplicated). Deltas
+    /// disjoint from this set are guaranteed no-ops.
+    pub fn source_relations(&self) -> &[Arc<str>] {
+        &self.root.sources
+    }
+
     /// Work counters.
     pub fn stats(&self) -> ViewStats {
         self.stats
     }
 }
 
-/// Stateful operator node.
-enum Node {
+/// A stateful operator node: the operator itself plus the set of base
+/// relations its subtree reads. The source set is what lets `apply`
+/// short-circuit — a delta disjoint from a subtree's sources can touch
+/// nothing below it, so the node returns an empty output delta without
+/// recursing or allocating.
+struct Node {
+    op: Op,
+    /// Sorted, deduplicated base relations read by this subtree.
+    sources: Vec<Arc<str>>,
+}
+
+/// This node's output delta for one batch. `Borrowed` lets a `Scan` hand
+/// the per-relation delta straight through without cloning it; `Empty`
+/// is the zero-allocation result of a short-circuited subtree.
+enum DeltaOut<'a> {
+    Empty,
+    Borrowed(&'a CountedSet),
+    Owned(CountedSet),
+}
+
+impl<'a> DeltaOut<'a> {
+    fn as_set(&self) -> Option<&CountedSet> {
+        match self {
+            DeltaOut::Empty => None,
+            DeltaOut::Borrowed(s) => Some(s),
+            DeltaOut::Owned(s) => Some(s),
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.as_set().map(CountedSet::iter).into_iter().flatten()
+    }
+
+    fn count(&self, t: &Tuple) -> i64 {
+        self.as_set().map_or(0, |s| s.count(t))
+    }
+
+    fn distinct_len(&self) -> usize {
+        self.as_set().map_or(0, CountedSet::distinct_len)
+    }
+
+    fn into_counted(self) -> CountedSet {
+        match self {
+            DeltaOut::Empty => CountedSet::new(),
+            DeltaOut::Borrowed(s) => s.clone(),
+            DeltaOut::Owned(s) => s,
+        }
+    }
+}
+
+/// The operator kinds.
+#[allow(clippy::enum_variant_names)] // `SetOp` is the standard algebra term
+enum Op {
     Scan {
         relation: Arc<str>,
     },
@@ -122,15 +183,24 @@ enum Node {
         right: Box<Node>,
         lk: Vec<usize>,
         rk: Vec<usize>,
-        /// Join key → multiset of left tuples with that key.
-        left_state: HashMap<Tuple, CountedSet>,
-        right_state: HashMap<Tuple, CountedSet>,
+        /// Join key → multiset of tuples with that key, addressed by the
+        /// key's fingerprint so per-row probes allocate nothing.
+        left_state: TupleMap<CountedSet>,
+        right_state: TupleMap<CountedSet>,
+        /// Reusable key-projection buffer.
+        scratch: Vec<Value>,
     },
     Aggregate {
         child: Box<Node>,
         group_idx: Vec<usize>,
         specs: Vec<AggSpec>,
-        groups: HashMap<Tuple, GroupState>,
+        groups: TupleMap<GroupState>,
+        /// Reusable group-key projection buffer.
+        scratch: Vec<Value>,
+        /// Reusable per-batch map of touched groups → pre-batch output.
+        touched: TupleMap<Option<Tuple>>,
+        /// Reusable output-row assembly buffer.
+        row_buf: Vec<Value>,
     },
     Distinct {
         child: Box<Node>,
@@ -183,20 +253,23 @@ impl GroupState {
         }
     }
 
-    fn output(&self, key: &Tuple) -> Tuple {
-        let mut vals: Vec<Value> = key.values().to_vec();
-        vals.extend(self.accs.iter().map(AggAcc::finish));
-        Tuple::new(vals)
+    /// Assembles the group's output row through a reusable buffer: one
+    /// tuple allocation, no intermediate `Vec` per call.
+    fn output(&self, key: &[Value], buf: &mut Vec<Value>) -> Tuple {
+        buf.clear();
+        buf.extend_from_slice(key);
+        buf.extend(self.accs.iter().map(AggAcc::finish));
+        Tuple::from_slice(buf)
     }
 }
 
 fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
-    Ok(match plan {
+    let op = match plan {
         Plan::Scan { relation, .. } => {
             // Verify the relation exists up front.
             db.relation(relation)
                 .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
-            Node::Scan {
+            Op::Scan {
                 relation: Arc::clone(relation),
             }
         }
@@ -205,7 +278,7 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
             let pred = predicate
                 .bind(&cols)
                 .map_err(|c| ExecError::Plan(PlanError::UnknownColumn(c)))?;
-            Node::Select {
+            Op::Select {
                 child: Box::new(compile(input, db)?),
                 pred,
             }
@@ -219,12 +292,12 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
                         .ok_or_else(|| ExecError::Plan(PlanError::UnknownColumn(c.to_string())))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            Node::Project {
+            Op::Project {
                 child: Box::new(compile(input, db)?),
                 indices,
             }
         }
-        Plan::Product { left, right } => Node::Product {
+        Plan::Product { left, right } => Op::Product {
             left: Box::new(compile(left, db)?),
             right: Box::new(compile(right, db)?),
             left_state: CountedSet::new(),
@@ -234,13 +307,14 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
             let l_cols = left.output_columns(db)?;
             let r_cols = right.output_columns(db)?;
             let (lk, rk) = join_key_indices(on, &l_cols, &r_cols)?;
-            Node::Join {
+            Op::Join {
                 left: Box::new(compile(left, db)?),
                 right: Box::new(compile(right, db)?),
                 lk,
                 rk,
-                left_state: HashMap::new(),
-                right_state: HashMap::new(),
+                left_state: TupleMap::new(),
+                right_state: TupleMap::new(),
+                scratch: Vec::new(),
             }
         }
         Plan::Aggregate {
@@ -257,28 +331,31 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
                 })
                 .collect::<Result<Vec<_>, _>>()?;
             let specs = bind_aggs(aggs, &cols)?;
-            Node::Aggregate {
+            Op::Aggregate {
                 child: Box::new(compile(input, db)?),
                 group_idx,
                 specs,
-                groups: HashMap::new(),
+                groups: TupleMap::new(),
+                scratch: Vec::new(),
+                touched: TupleMap::new(),
+                row_buf: Vec::new(),
             }
         }
-        Plan::Distinct { input } => Node::Distinct {
+        Plan::Distinct { input } => Op::Distinct {
             child: Box::new(compile(input, db)?),
             state: CountedSet::new(),
         },
         Plan::Union { left, right } => {
             // Validate arity agreement up front.
             plan.output_columns(db)?;
-            Node::Union {
+            Op::Union {
                 left: Box::new(compile(left, db)?),
                 right: Box::new(compile(right, db)?),
             }
         }
         Plan::Difference { left, right } => {
             plan.output_columns(db)?;
-            Node::SetOp {
+            Op::SetOp {
                 left: Box::new(compile(left, db)?),
                 right: Box::new(compile(right, db)?),
                 kind: SetOpKind::Difference,
@@ -288,7 +365,7 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
         }
         Plan::Intersect { left, right } => {
             plan.output_columns(db)?;
-            Node::SetOp {
+            Op::SetOp {
                 left: Box::new(compile(left, db)?),
                 right: Box::new(compile(right, db)?),
                 kind: SetOpKind::Intersect,
@@ -296,21 +373,32 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
                 right_state: CountedSet::new(),
             }
         }
+    };
+    Ok(Node {
+        op,
+        sources: plan.base_relations(),
     })
 }
 
 impl Node {
+    /// True when the delta batch touches any base relation of this subtree.
+    fn touches(&self, deltas: &DeltaSet) -> bool {
+        self.sources
+            .iter()
+            .any(|r| deltas.for_relation(r).is_some())
+    }
+
     /// Full evaluation over the current database, populating operator state.
     fn init(&mut self, db: &Database, stats: &mut ViewStats) -> Result<CountedSet, ExecError> {
-        Ok(match self {
-            Node::Scan { relation } => {
+        Ok(match &mut self.op {
+            Op::Scan { relation } => {
                 let rel = db
                     .relation(relation)
                     .map_err(|_| PlanError::UnknownRelation(relation.to_string()))?;
                 stats.init_tuples_scanned += rel.len() as u64;
-                CountedSet::from_tuples(rel.iter().map(|(_, t)| t.clone()))
+                CountedSet::from_tuples(rel.tuples().cloned())
             }
-            Node::Select { child, pred } => {
+            Op::Select { child, pred } => {
                 let rows = child.init(db, stats)?;
                 let mut out = CountedSet::new();
                 for (t, c) in rows.iter() {
@@ -320,7 +408,7 @@ impl Node {
                 }
                 out
             }
-            Node::Project { child, indices } => {
+            Op::Project { child, indices } => {
                 let rows = child.init(db, stats)?;
                 let mut out = CountedSet::new();
                 for (t, c) in rows.iter() {
@@ -328,7 +416,7 @@ impl Node {
                 }
                 out
             }
-            Node::Product {
+            Op::Product {
                 left,
                 right,
                 left_state,
@@ -344,27 +432,28 @@ impl Node {
                 }
                 out
             }
-            Node::Join {
+            Op::Join {
                 left,
                 right,
                 lk,
                 rk,
                 left_state,
                 right_state,
+                scratch,
             } => {
                 let l = left.init(db, stats)?;
                 let r = right.init(db, stats)?;
                 left_state.clear();
                 right_state.clear();
                 for (t, c) in l.iter() {
-                    insert_keyed(left_state, lk, t, c);
+                    insert_keyed_projecting(left_state, lk, t, c, scratch);
                 }
                 for (t, c) in r.iter() {
-                    insert_keyed(right_state, rk, t, c);
+                    insert_keyed_projecting(right_state, rk, t, c, scratch);
                 }
                 let mut out = CountedSet::new();
                 for (key, lts) in left_state.iter() {
-                    if let Some(rts) = right_state.get(key) {
+                    if let Some(rts) = right_state.get_tuple(key) {
                         for (lt, lc) in lts.iter() {
                             for (rt, rc) in rts.iter() {
                                 out.add(lt.concat(rt), lc * rc);
@@ -374,17 +463,21 @@ impl Node {
                 }
                 out
             }
-            Node::Aggregate {
+            Op::Aggregate {
                 child,
                 group_idx,
                 specs,
                 groups,
+                scratch,
+                row_buf,
+                ..
             } => {
                 let rows = child.init(db, stats)?;
                 groups.clear();
                 for (t, c) in rows.iter() {
-                    let key = t.project(group_idx);
-                    let g = groups.entry(key).or_insert_with(|| GroupState::new(specs));
+                    t.project_into(group_idx, scratch);
+                    let fp = fingerprint_values(scratch);
+                    let g = groups.get_or_insert_with(fp, scratch, || GroupState::new(specs));
                     g.n += c;
                     for (acc, spec) in g.accs.iter_mut().zip(specs.iter()) {
                         acc.update(spec, t, c);
@@ -392,15 +485,17 @@ impl Node {
                 }
                 // The global group always exists, even over an empty input.
                 if group_idx.is_empty() && groups.is_empty() {
-                    groups.insert(Tuple::new(vec![]), GroupState::new(specs));
+                    groups.get_or_insert_with(fingerprint_values(&[]), &[], || {
+                        GroupState::new(specs)
+                    });
                 }
                 let mut out = CountedSet::new();
                 for (key, g) in groups.iter() {
-                    out.add(g.output(key), 1);
+                    out.add(g.output(key.values(), row_buf), 1);
                 }
                 out
             }
-            Node::Distinct { child, state } => {
+            Op::Distinct { child, state } => {
                 *state = child.init(db, stats)?;
                 let mut out = CountedSet::new();
                 for t in state.support() {
@@ -408,12 +503,12 @@ impl Node {
                 }
                 out
             }
-            Node::Union { left, right } => {
+            Op::Union { left, right } => {
                 let mut l = left.init(db, stats)?;
                 l.merge_owned(right.init(db, stats)?);
                 l
             }
-            Node::SetOp {
+            Op::SetOp {
                 left,
                 right,
                 kind,
@@ -433,17 +528,26 @@ impl Node {
 
     /// Propagates a base-relation delta batch, returning this node's output
     /// delta and updating internal state.
-    fn apply(&mut self, deltas: &DeltaSet, work: &mut u64) -> CountedSet {
-        match self {
-            Node::Scan { relation } => match deltas.for_relation(relation) {
+    ///
+    /// When the batch is disjoint from this subtree's source relations the
+    /// node returns [`DeltaOut::Empty`] immediately — no recursion into
+    /// children, no `CountedSet` allocation, no work counted.
+    fn apply<'d>(&mut self, deltas: &'d DeltaSet, work: &mut u64) -> DeltaOut<'d> {
+        if !self.touches(deltas) {
+            return DeltaOut::Empty;
+        }
+        match &mut self.op {
+            Op::Scan { relation } => match deltas.for_relation(relation) {
                 Some(set) => {
                     *work += set.distinct_len() as u64;
-                    set.clone()
+                    DeltaOut::Borrowed(set)
                 }
-                None => CountedSet::new(),
+                None => DeltaOut::Empty,
             },
-            Node::Select { child, pred } => {
+            Op::Select { child, pred } => {
                 let d = child.apply(deltas, work);
+                // Lazy allocation: a selective predicate often passes nothing,
+                // in which case no output set is ever allocated.
                 let mut out = CountedSet::new();
                 for (t, c) in d.iter() {
                     *work += 1;
@@ -451,18 +555,18 @@ impl Node {
                         out.add(t.clone(), c);
                     }
                 }
-                out
+                DeltaOut::Owned(out)
             }
-            Node::Project { child, indices } => {
+            Op::Project { child, indices } => {
                 let d = child.apply(deltas, work);
-                let mut out = CountedSet::new();
+                let mut out = CountedSet::with_capacity(d.distinct_len());
                 for (t, c) in d.iter() {
                     *work += 1;
                     out.add(t.project(indices), c);
                 }
-                out
+                DeltaOut::Owned(out)
             }
-            Node::Product {
+            Op::Product {
                 left,
                 right,
                 left_state,
@@ -478,119 +582,148 @@ impl Node {
                         out.add(lt.concat(rt), lc * rc);
                     }
                 }
-                left_state.merge(&dl); // left is now L_new
-                                       // L_new × ΔR = (L_old + ΔL) × ΔR — supplies both remaining terms.
+                if let Some(s) = dl.as_set() {
+                    left_state.merge(s); // left is now L_new
+                }
+                // L_new × ΔR = (L_old + ΔL) × ΔR — supplies both remaining terms.
                 for (rt, rc) in dr.iter() {
                     for (lt, lc) in left_state.iter() {
                         *work += 1;
                         out.add(lt.concat(rt), lc * rc);
                     }
                 }
-                right_state.merge(&dr);
-                out
+                if let Some(s) = dr.as_set() {
+                    right_state.merge(s);
+                }
+                DeltaOut::Owned(out)
             }
-            Node::Join {
+            Op::Join {
                 left,
                 right,
                 lk,
                 rk,
                 left_state,
                 right_state,
+                scratch,
             } => {
                 let dl = left.apply(deltas, work);
                 let dr = right.apply(deltas, work);
                 let mut out = CountedSet::new();
-                // ΔL ⋈ R_old
+                // ΔL ⋈ R_old, folding ΔL into the left state as we go — the
+                // probe (into right_state) and the insert (into left_state)
+                // share one key projection through the reusable scratch
+                // buffer and one fingerprint: no per-row allocation. R_old is
+                // intact throughout because ΔR only lands after this loop.
                 for (lt, lc) in dl.iter() {
                     *work += 1;
-                    let key = lt.project(lk);
-                    if key.values().iter().any(Value::is_null) {
+                    lt.project_into(lk, scratch);
+                    if scratch.iter().any(Value::is_null) {
                         continue;
                     }
-                    if let Some(rts) = right_state.get(&key) {
+                    let fp = fingerprint_values(scratch);
+                    if let Some(rts) = right_state.get(fp, scratch) {
                         for (rt, rc) in rts.iter() {
                             *work += 1;
                             out.add(lt.concat(rt), lc * rc);
                         }
                     }
+                    insert_keyed(left_state, fp, scratch, lt, lc);
                 }
-                // Fold ΔL into the left state, then join L_new ⋈ ΔR.
-                for (lt, lc) in dl.iter() {
-                    insert_keyed(left_state, lk, lt, lc);
-                }
+                // L_new ⋈ ΔR (left state already includes ΔL — this supplies
+                // both the L_old × ΔR and ΔL × ΔR terms), folding ΔR in.
                 for (rt, rc) in dr.iter() {
                     *work += 1;
-                    let key = rt.project(rk);
-                    if key.values().iter().any(Value::is_null) {
+                    rt.project_into(rk, scratch);
+                    if scratch.iter().any(Value::is_null) {
                         continue;
                     }
-                    if let Some(lts) = left_state.get(&key) {
+                    let fp = fingerprint_values(scratch);
+                    if let Some(lts) = left_state.get(fp, scratch) {
                         for (lt, lc) in lts.iter() {
                             *work += 1;
                             out.add(lt.concat(rt), lc * rc);
                         }
                     }
+                    insert_keyed(right_state, fp, scratch, rt, rc);
                 }
-                for (rt, rc) in dr.iter() {
-                    insert_keyed(right_state, rk, rt, rc);
-                }
-                out
+                DeltaOut::Owned(out)
             }
-            Node::Aggregate {
+            Op::Aggregate {
                 child,
                 group_idx,
                 specs,
                 groups,
+                scratch,
+                touched,
+                row_buf,
             } => {
                 let d = child.apply(deltas, work);
                 let global = group_idx.is_empty();
-                // Phase 1: snapshot the pre-batch output of every touched group.
-                let mut touched: HashMap<Tuple, Option<Tuple>> = HashMap::new();
-                for (t, _) in d.iter() {
-                    let key = t.project(group_idx);
-                    touched.entry(key.clone()).or_insert_with(|| {
-                        groups.get(&key).map(|g| g.output(&key)).or_else(|| {
-                            // The global group exists implicitly with zero state.
-                            global.then(|| GroupState::new(specs).output(&key))
-                        })
-                    });
-                }
-                // Phase 2: apply all updates.
+                // Single pass: snapshot the pre-batch output of each group at
+                // first touch, then fold the update in. Group keys project
+                // into the reusable scratch buffer; an owned key tuple is
+                // built only once per *touched group*, not per row, and the
+                // touched-map allocation itself is reused across batches.
+                touched.clear();
                 for (t, c) in d.iter() {
                     *work += 1;
-                    let key = t.project(group_idx);
-                    let g = groups.entry(key).or_insert_with(|| GroupState::new(specs));
+                    t.project_into(group_idx, scratch);
+                    let fp = fingerprint_values(scratch);
+                    if touched.get(fp, scratch).is_none() {
+                        let old = match groups.get(fp, scratch) {
+                            Some(g) => Some(g.output(scratch, row_buf)),
+                            // The global group exists implicitly with zero state.
+                            None => global.then(|| GroupState::new(specs).output(scratch, row_buf)),
+                        };
+                        touched.get_or_insert_with(fp, scratch, || old);
+                    }
+                    let g = groups.get_or_insert_with(fp, scratch, || GroupState::new(specs));
                     g.n += c;
                     for (acc, spec) in g.accs.iter_mut().zip(specs.iter()) {
                         acc.update(spec, t, c);
                     }
                 }
-                // Phase 3: diff old vs new output per touched group.
+                // Diff old vs new output per touched group. A group whose
+                // aggregate values ended up unchanged (e.g. an update moving
+                // a row between two states no aggregate observes) is detected
+                // by comparing the finished accumulators against the old
+                // snapshot *before* allocating a new output row.
                 let mut out = CountedSet::new();
-                for (key, old) in touched {
-                    let new = match groups.get(&key) {
-                        Some(g) if g.n > 0 || global => Some(g.output(&key)),
-                        _ => None,
-                    };
-                    // Drop groups whose support vanished (non-global only).
-                    if groups.get(&key).is_some_and(|g| g.n <= 0) && !global {
-                        groups.remove(&key);
-                    }
-                    match (old, new) {
-                        (Some(o), Some(n)) if o == n => {}
-                        (o, n) => {
-                            if let Some(o) = o {
-                                out.add(o, -1);
-                            }
-                            if let Some(n) = n {
+                for (key, old) in touched.iter() {
+                    let fp = key.fingerprint();
+                    let alive = match groups.get(fp, key.values()) {
+                        Some(g) if g.n > 0 || global => {
+                            let unchanged = old.as_ref().is_some_and(|o| {
+                                let vals = &o.values()[key.arity()..];
+                                g.accs
+                                    .iter()
+                                    .zip(vals)
+                                    .all(|(acc, prev)| acc.finish() == *prev)
+                            });
+                            if !unchanged {
+                                let n = g.output(key.values(), row_buf);
+                                if let Some(o) = old {
+                                    out.add(o.clone(), -1);
+                                }
                                 out.add(n, 1);
                             }
+                            true
                         }
+                        _ => {
+                            if let Some(o) = old {
+                                out.add(o.clone(), -1);
+                            }
+                            false
+                        }
+                    };
+                    // Drop groups whose support vanished (non-global only).
+                    if !alive && !global && groups.get(fp, key.values()).is_some() {
+                        groups.remove(fp, key.values());
                     }
                 }
-                out
+                DeltaOut::Owned(out)
             }
-            Node::Distinct { child, state } => {
+            Op::Distinct { child, state } => {
                 let d = child.apply(deltas, work);
                 let mut out = CountedSet::new();
                 for (t, c) in d.iter() {
@@ -603,16 +736,17 @@ impl Node {
                         out.add(t.clone(), -1);
                     }
                 }
-                out
+                DeltaOut::Owned(out)
             }
-            Node::Union { left, right } => {
-                let mut dl = left.apply(deltas, work);
+            Op::Union { left, right } => {
+                let dl = left.apply(deltas, work);
                 let dr = right.apply(deltas, work);
                 *work += dr.distinct_len() as u64;
-                dl.merge_owned(dr);
-                dl
+                let mut l = dl.into_counted();
+                l.merge_owned(dr.into_counted());
+                DeltaOut::Owned(l)
             }
-            Node::SetOp {
+            Op::SetOp {
                 left,
                 right,
                 kind,
@@ -635,24 +769,45 @@ impl Node {
                     );
                     out.add(t.clone(), new - old);
                 }
-                left_state.merge(&dl);
-                right_state.merge(&dr);
-                out
+                if let Some(s) = dl.as_set() {
+                    left_state.merge(s);
+                }
+                if let Some(s) = dr.as_set() {
+                    right_state.merge(s);
+                }
+                DeltaOut::Owned(out)
             }
         }
     }
 }
 
-fn insert_keyed(state: &mut HashMap<Tuple, CountedSet>, keys: &[usize], t: &Tuple, c: i64) {
-    let key = t.project(keys);
-    if key.values().iter().any(Value::is_null) {
-        return; // NULL keys never participate in equi-joins
-    }
-    let set = state.entry(key.clone()).or_default();
+/// Adds `t` with multiplicity `c` to a keyed join state under an
+/// already-projected, already-fingerprinted key (the caller owns the
+/// projection so probe and insert share it). Key entries whose multiset
+/// empties are removed. NULL keys must be filtered by the caller.
+fn insert_keyed(state: &mut TupleMap<CountedSet>, fp: u64, key: &[Value], t: &Tuple, c: i64) {
+    let set = state.get_or_insert_with(fp, key, CountedSet::new);
     set.add(t.clone(), c);
     if set.is_empty() {
-        state.remove(&key);
+        state.remove(fp, key);
     }
+}
+
+/// Projection + NULL-filter + fingerprint wrapper over [`insert_keyed`] for
+/// the one-time full evaluation, where probe and insert are separate.
+fn insert_keyed_projecting(
+    state: &mut TupleMap<CountedSet>,
+    keys: &[usize],
+    t: &Tuple,
+    c: i64,
+    scratch: &mut Vec<Value>,
+) {
+    t.project_into(keys, scratch);
+    if scratch.iter().any(Value::is_null) {
+        return; // NULL keys never participate in equi-joins
+    }
+    let fp = fingerprint_values(scratch);
+    insert_keyed(state, fp, scratch, t, c);
 }
 
 #[cfg(test)]
@@ -931,6 +1086,61 @@ mod tests {
         let out = view.apply_delta(&d);
         assert_eq!(out.count(&tuple![2i64, 1i64]), -1);
         assert!(!view.result().contains(&tuple![2i64, 1i64]));
+        assert_view_matches_exec(&view, &plan, &db);
+    }
+
+    #[test]
+    fn disjoint_relation_delta_does_no_work() {
+        // A delta touching only relation OTHER must not advance
+        // delta_rows_processed in a view reading only TOKEN — the root
+        // short-circuits before any operator-tree recursion.
+        let mut db = token_db();
+        db.create_relation("OTHER", token_schema()).unwrap();
+        for plan in [
+            paper_queries::query1("TOKEN"),
+            paper_queries::query2("TOKEN"),
+            paper_queries::query3("TOKEN"),
+            paper_queries::query4("TOKEN"),
+        ] {
+            let mut view = MaterializedView::new(&plan, &db).unwrap();
+            assert_eq!(
+                view.source_relations()
+                    .iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>(),
+                vec!["TOKEN"]
+            );
+            let before = view.stats();
+            let mut d = DeltaSet::new();
+            d.record_insert(
+                &Arc::from("OTHER"),
+                tuple![99i64, 9i64, "X", "B-PER", "B-PER"],
+            );
+            let out = view.apply_delta(&d);
+            assert!(out.is_empty());
+            let after = view.stats();
+            assert_eq!(after.delta_rows_processed, before.delta_rows_processed);
+            assert_eq!(after.deltas_applied, before.deltas_applied + 1);
+            assert_view_matches_exec(&view, &plan, &db);
+        }
+    }
+
+    #[test]
+    fn uncompacted_cancelled_delta_short_circuits() {
+        // Deferred compaction may leave an *empty* per-relation entry in the
+        // DeltaSet; the view must treat it as untouched.
+        let db = token_db();
+        let plan = paper_queries::query1("TOKEN");
+        let mut view = MaterializedView::new(&plan, &db).unwrap();
+        let mut d = DeltaSet::new();
+        let t = tuple![50i64, 9i64, "Zed", "B-PER", "B-PER"];
+        d.record_insert(&Arc::from("TOKEN"), t.clone());
+        d.record_delete(&Arc::from("TOKEN"), t);
+        // No compact() call — the empty TOKEN entry is still allocated.
+        let before = view.stats().delta_rows_processed;
+        let out = view.apply_delta(&d);
+        assert!(out.is_empty());
+        assert_eq!(view.stats().delta_rows_processed, before);
         assert_view_matches_exec(&view, &plan, &db);
     }
 

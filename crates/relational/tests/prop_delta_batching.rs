@@ -1,0 +1,188 @@
+//! Batching invariance for delta application (§4.2 of the paper).
+//!
+//! The MCMC bridge coalesces the net changes of a whole thinning interval
+//! into one `DeltaSet` before the views consume it. These properties pin
+//! down that this batching is *semantically free*: applying one coalesced
+//! interval-end delta to each of the four paper queries' views yields
+//! exactly the same answer as applying every per-step delta individually —
+//! and both match a from-scratch recomputation.
+
+use fgdb_relational::algebra::paper_queries;
+use fgdb_relational::{
+    execute_simple, Database, DeltaSet, MaterializedView, Plan, Schema, Tuple, Value, ValueType,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const LABELS: [&str; 4] = ["O", "B-PER", "B-ORG", "B-LOC"];
+const STRINGS: [&str; 5] = ["Bill", "said", "Boston", "Ann", "IBM"];
+
+fn token_schema() -> Schema {
+    Schema::from_pairs(&[
+        ("tok_id", ValueType::Int),
+        ("doc_id", ValueType::Int),
+        ("string", ValueType::Str),
+        ("label", ValueType::Str),
+        ("truth", ValueType::Str),
+    ])
+    .unwrap()
+    .with_primary_key("tok_id")
+    .unwrap()
+}
+
+fn token_tuple(id: i64, doc: i64, s: usize, label: usize) -> Tuple {
+    Tuple::new(vec![
+        Value::Int(id),
+        Value::Int(doc),
+        Value::str(STRINGS[s % STRINGS.len()]),
+        Value::str(LABELS[label % LABELS.len()]),
+        Value::str(LABELS[label % LABELS.len()]),
+    ])
+}
+
+fn build_db(n_rows: usize) -> Database {
+    let mut db = Database::new();
+    db.create_relation("TOKEN", token_schema()).unwrap();
+    let rel = db.relation_mut("TOKEN").unwrap();
+    for i in 0..n_rows as i64 {
+        rel.insert(token_tuple(i, i % 3, i as usize, i as usize))
+            .unwrap();
+    }
+    db
+}
+
+/// One simulated MCMC step's worth of base-table mutation.
+#[derive(Debug, Clone)]
+enum Step {
+    Relabel { row: usize, label: usize },
+    Insert { doc: i64, s: usize, label: usize },
+    Delete { row: usize },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0usize..64, 0usize..4).prop_map(|(row, label)| Step::Relabel { row, label }),
+        (0i64..4, 0usize..5, 0usize..4).prop_map(|(doc, s, label)| Step::Insert { doc, s, label }),
+        (0usize..64).prop_map(|row| Step::Delete { row }),
+    ]
+}
+
+/// Applies `step` to `db`, recording its delta into `deltas`.
+fn apply_step(db: &mut Database, deltas: &mut DeltaSet, step: &Step, next_id: &mut i64) {
+    let rel_name: Arc<str> = Arc::from("TOKEN");
+    let rel = db.relation_mut("TOKEN").unwrap();
+    match step {
+        Step::Relabel { row, label } => {
+            let live: Vec<_> = rel.iter().map(|(rid, _)| rid).collect();
+            if live.is_empty() {
+                return;
+            }
+            let rid = live[row % live.len()];
+            let (old, new) = rel
+                .update_field(rid, 3, Value::str(LABELS[*label]))
+                .unwrap();
+            deltas.record_update(&rel_name, old, new);
+        }
+        Step::Insert { doc, s, label } => {
+            let t = token_tuple(*next_id, *doc, *s, *label);
+            *next_id += 1;
+            rel.insert(t.clone()).unwrap();
+            deltas.record_insert(&rel_name, t);
+        }
+        Step::Delete { row } => {
+            let live: Vec<_> = rel.iter().map(|(rid, _)| rid).collect();
+            if live.is_empty() {
+                return;
+            }
+            let rid = live[row % live.len()];
+            let gone = rel.delete(rid).unwrap();
+            deltas.record_delete(&rel_name, gone);
+        }
+    }
+}
+
+fn paper_plan(kind: u8) -> Plan {
+    match kind % 4 {
+        0 => paper_queries::query1("TOKEN"),
+        1 => paper_queries::query2("TOKEN"),
+        2 => paper_queries::query3("TOKEN"),
+        _ => paper_queries::query4("TOKEN"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// One coalesced interval-end delta ≡ the same steps applied one by one,
+    /// for each of the four paper queries.
+    #[test]
+    fn batched_delta_equals_per_step_deltas(
+        kind in 0u8..4,
+        n_rows in 4usize..20,
+        steps in prop::collection::vec(step_strategy(), 1..30),
+    ) {
+        let plan = paper_plan(kind);
+
+        // Per-step evaluator: its view consumes one DeltaSet per step.
+        let mut db_step = build_db(n_rows);
+        let mut view_step = MaterializedView::new(&plan, &db_step).unwrap();
+        // Batched evaluator: an identical database evolves identically, but
+        // its view consumes one merged interval-end DeltaSet.
+        let mut db_batch = build_db(n_rows);
+        let mut view_batch = MaterializedView::new(&plan, &db_batch).unwrap();
+
+        let mut interval = DeltaSet::new();
+        let (mut id_a, mut id_b) = (n_rows as i64, n_rows as i64);
+        for step in &steps {
+            let mut d = DeltaSet::new();
+            apply_step(&mut db_step, &mut d, step, &mut id_a);
+            view_step.apply_delta(&d);
+
+            let mut d2 = DeltaSet::new();
+            apply_step(&mut db_batch, &mut d2, step, &mut id_b);
+            interval.merge(&d2);
+        }
+        interval.compact();
+        view_batch.apply_delta(&interval);
+
+        let fresh = execute_simple(&plan, &db_step).unwrap();
+        prop_assert_eq!(
+            view_step.result().sorted_entries(),
+            fresh.rows.sorted_entries(),
+            "per-step view diverged from recomputation"
+        );
+        prop_assert_eq!(
+            view_batch.result().sorted_entries(),
+            view_step.result().sorted_entries(),
+            "batched interval delta diverged from per-step application"
+        );
+    }
+
+    /// Coalescing never inflates |Δ|: the merged interval delta is at most
+    /// as large as the sum of the per-step deltas (cancellation only
+    /// shrinks it), and record operations never require a compaction scan
+    /// for correctness of any read accessor.
+    #[test]
+    fn coalesced_magnitude_is_bounded_by_per_step_sum(
+        n_rows in 4usize..12,
+        steps in prop::collection::vec(step_strategy(), 1..30),
+    ) {
+        let mut db = build_db(n_rows);
+        let mut interval = DeltaSet::new();
+        let mut per_step_total = 0usize;
+        let mut next_id = n_rows as i64;
+        for step in &steps {
+            let mut d = DeltaSet::new();
+            apply_step(&mut db, &mut d, step, &mut next_id);
+            per_step_total += d.magnitude();
+            interval.merge(&d);
+        }
+        prop_assert!(interval.magnitude() <= per_step_total);
+        // Reads agree before and after the interval-boundary compaction.
+        let before = interval.magnitude();
+        let empty_before = interval.is_empty();
+        interval.compact();
+        prop_assert_eq!(interval.magnitude(), before);
+        prop_assert_eq!(interval.is_empty(), empty_before);
+    }
+}

@@ -10,6 +10,16 @@
 //! implementations on one machine; not a statistics engine. The CLI accepts
 //! and ignores cargo-bench flags, and treats the first free argument as a
 //! substring filter, like the real crate.
+//!
+//! Every bench binary additionally writes its measurements to
+//! `BENCH_<bench_name>.json` in the current directory (see
+//! [`write_bench_report`]) so perf numbers accrue per run; `FGDB_JSON_OUT`
+//! redirects the directory, and an empty value disables the file.
+//!
+//! Smoke-run knobs (used by CI to run every bench briefly):
+//! `FGDB_BENCH_SAMPLES` overrides the per-benchmark sample count,
+//! `FGDB_BENCH_TARGET_MS` the per-sample wall-time target, and
+//! `FGDB_BENCH_WARMUP_MS` the warm-up budget.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -22,10 +32,34 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(20);
 /// Wall-time budget for the warm-up/calibration phase.
 const WARM_UP: Duration = Duration::from_millis(150);
 
+fn env_millis(var: &str, default: Duration) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(default)
+}
+
+/// One benchmark's measured result (per-iteration nanoseconds).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id, `group/name/param`.
+    pub id: String,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over samples.
+    pub mean_ns: f64,
+    /// Human-readable throughput at the median, when declared.
+    pub throughput: Option<String>,
+}
+
 /// Top-level benchmark driver, mirroring `criterion::Criterion`.
 pub struct Criterion {
     sample_size: usize,
     filter: Option<String>,
+    results: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
@@ -33,6 +67,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 20,
             filter: None,
+            results: Vec::new(),
         }
     }
 }
@@ -47,10 +82,22 @@ impl Criterion {
 
     /// Reads the benchmark filter from the command line (flags that cargo
     /// passes, like `--bench`, are ignored; the first free argument is a
-    /// substring filter on benchmark ids).
+    /// substring filter on benchmark ids) and applies the smoke-run sample
+    /// override from `FGDB_BENCH_SAMPLES`.
     pub fn configure_from_args(mut self) -> Self {
         self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        if let Some(n) = std::env::var("FGDB_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            self.sample_size = n.max(2);
+        }
         self
+    }
+
+    /// Measurements collected so far (consumed by `criterion_group!`).
+    pub fn into_results(self) -> Vec<BenchRecord> {
+        self.results
     }
 
     /// Opens a named group of related benchmarks.
@@ -146,7 +193,9 @@ impl BenchmarkGroup<'_> {
             samples: Vec::new(),
         };
         f(&mut bencher, input);
-        bencher.report(&full, self.throughput);
+        if let Some(record) = bencher.report(&full, self.throughput) {
+            self.criterion.results.push(record);
+        }
         self
     }
 
@@ -173,7 +222,9 @@ impl Bencher {
     /// Times `routine`, storing per-sample mean iteration cost.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up and calibration: find an iteration count per sample that
-        // lands near TARGET_SAMPLE.
+        // lands near the target sample duration (env-tunable for CI smoke).
+        let target_sample = env_millis("FGDB_BENCH_TARGET_MS", TARGET_SAMPLE);
+        let warm_up = env_millis("FGDB_BENCH_WARMUP_MS", WARM_UP);
         let mut iters_per_sample = 1u64;
         let warm_start = Instant::now();
         loop {
@@ -182,9 +233,9 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = t.elapsed();
-            if elapsed >= TARGET_SAMPLE || warm_start.elapsed() >= WARM_UP {
-                if elapsed < TARGET_SAMPLE {
-                    let scale = TARGET_SAMPLE.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+            if elapsed >= target_sample || warm_start.elapsed() >= warm_up {
+                if elapsed < target_sample {
+                    let scale = target_sample.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
                     iters_per_sample = ((iters_per_sample as f64 * scale).ceil() as u64).max(1);
                 }
                 break;
@@ -202,10 +253,10 @@ impl Bencher {
         }
     }
 
-    fn report(&self, id: &str, throughput: Option<Throughput>) {
+    fn report(&self, id: &str, throughput: Option<Throughput>) -> Option<BenchRecord> {
         if self.samples.is_empty() {
             println!("{id:<60} (no measurement: Bencher::iter never called)");
-            return;
+            return None;
         }
         let mut sorted = self.samples.clone();
         sorted.sort_by(|a, b| a.total_cmp(b));
@@ -214,19 +265,94 @@ impl Bencher {
         let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
         let rate = match throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  {:>12} elem/s", human(n as f64 / (median * 1e-9)))
+                Some(format!("{} elem/s", human(n as f64 / (median * 1e-9))))
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  {:>12} B/s", human(n as f64 / (median * 1e-9)))
+                Some(format!("{} B/s", human(n as f64 / (median * 1e-9))))
             }
-            None => String::new(),
+            None => None,
         };
+        let rate_col = rate
+            .as_deref()
+            .map(|r| format!("  {r:>12}"))
+            .unwrap_or_default();
         println!(
-            "{id:<60} min {:>10}  median {:>10}  mean {:>10}{rate}",
+            "{id:<60} min {:>10}  median {:>10}  mean {:>10}{rate_col}",
             fmt_ns(min),
             fmt_ns(median),
             fmt_ns(mean),
         );
+        Some(BenchRecord {
+            id: id.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            throughput: rate,
+        })
+    }
+}
+
+/// Writes `BENCH_<bench_name>.json` with all collected measurements (same
+/// envelope as `fgdb-bench`'s figure reports: experiment/columns/rows).
+/// The directory defaults to `.` and can be redirected via `FGDB_JSON_OUT`;
+/// an empty `FGDB_JSON_OUT` disables the file. Called by `criterion_main!`.
+/// Resolves the directory `BENCH_*.json` reports go to: `FGDB_JSON_OUT`
+/// when set (`None` when set to the empty string — explicit opt-out),
+/// otherwise the workspace root (nearest ancestor of the working directory
+/// holding a `Cargo.lock` — cargo sets bench/test cwd to the *package*
+/// dir), falling back to the working directory. Shared by this shim and
+/// `fgdb-bench`'s figure reporter so all reports accrue in one place.
+pub fn json_out_dir() -> Option<std::path::PathBuf> {
+    match std::env::var("FGDB_JSON_OUT") {
+        Ok(v) if v.is_empty() => None,
+        Ok(v) => Some(std::path::PathBuf::from(v)),
+        Err(_) => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+            let mut dir = cwd.as_path();
+            loop {
+                if dir.join("Cargo.lock").exists() {
+                    return Some(dir.to_path_buf());
+                }
+                match dir.parent() {
+                    Some(p) => dir = p,
+                    None => return Some(cwd),
+                }
+            }
+        }
+    }
+}
+
+pub fn write_bench_report(bench_name: &str, records: &[BenchRecord]) {
+    let Some(dir) = json_out_dir() else {
+        return;
+    };
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let rows = records
+        .iter()
+        .map(|r| {
+            format!(
+                "    [\"{}\", \"{:.1}\", \"{:.1}\", \"{:.1}\", \"{}\"]",
+                esc(&r.id),
+                r.min_ns,
+                r.median_ns,
+                r.mean_ns,
+                esc(r.throughput.as_deref().unwrap_or(""))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"experiment\": \"{}\",\n  \"columns\": [\"id\", \"min_ns\", \"median_ns\", \"mean_ns\", \"throughput\"],\n  \"rows\": [\n{rows}\n  ],\n  \"params\": []\n}}\n",
+        esc(bench_name)
+    );
+    let path = dir.join(format!("BENCH_{bench_name}.json"));
+    if std::fs::write(&path, json).is_ok() {
+        println!("wrote {}", path.display());
     }
 }
 
@@ -255,13 +381,16 @@ fn human(x: f64) -> String {
 }
 
 /// Declares a named group runner, mirroring `criterion::criterion_group!`.
+/// The generated function returns the group's measurements so
+/// `criterion_main!` can aggregate them into one `BENCH_*.json`.
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
-        pub fn $name() {
+        pub fn $name() -> ::std::vec::Vec<$crate::BenchRecord> {
             let criterion: $crate::Criterion = $cfg;
             let mut criterion = criterion.configure_from_args();
             $($target(&mut criterion);)+
+            criterion.into_results()
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -274,11 +403,15 @@ macro_rules! criterion_group {
 }
 
 /// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+/// After running all groups it writes `BENCH_<bench_name>.json` (the bench
+/// target's crate name) via [`write_bench_report`].
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            $($group();)+
+            let mut all: ::std::vec::Vec<$crate::BenchRecord> = ::std::vec::Vec::new();
+            $(all.extend($group());)+
+            $crate::write_bench_report(env!("CARGO_CRATE_NAME"), &all);
         }
     };
 }
@@ -311,8 +444,36 @@ mod tests {
 
     #[test]
     fn group_macro_and_runner_execute() {
-        // The group fn is what criterion_main! would call.
-        demo_benches();
+        // The group fn is what criterion_main! would call; it returns the
+        // records criterion_main! aggregates into BENCH_*.json.
+        let records = demo_benches();
+        // The CLI filter (test-harness args) may exclude benchmarks, so only
+        // check shape when records were produced.
+        for r in &records {
+            assert!(r.id.starts_with("demo/"));
+            assert!(r.min_ns <= r.median_ns);
+        }
+    }
+
+    #[test]
+    fn bench_report_writes_json() {
+        let dir = std::env::temp_dir().join("fgdb_criterion_shim_test");
+        let records = vec![BenchRecord {
+            id: "g/b/1".into(),
+            min_ns: 10.0,
+            median_ns: 12.0,
+            mean_ns: 12.5,
+            throughput: Some("1.0M elem/s".into()),
+        }];
+        std::env::set_var("FGDB_JSON_OUT", &dir);
+        write_bench_report("shim_selftest", &records);
+        std::env::remove_var("FGDB_JSON_OUT");
+        let path = dir.join("BENCH_shim_selftest.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"experiment\": \"shim_selftest\""));
+        assert!(content.contains("g/b/1"));
+        assert!(content.contains("median_ns"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
