@@ -10,17 +10,25 @@
 //! * [`evaluate`] — Algorithm 3 (naive re-execution) and Algorithm 1
 //!   (materialized-view maintenance) query evaluators, plus the parallel
 //!   multi-chain evaluator of §5.4;
+//! * [`engine`] — the §5.4 parallel multi-chain query engine: snapshot
+//!   replication, checkpointed scoped-thread rounds, Gelman–Rubin-gated
+//!   termination, confidence-tagged merged answers;
 //! * [`metrics`] — squared-error loss, normalized loss curves, and
 //!   time-to-half-loss (§5.2/§5.3);
 //! * [`ner`] — assembly of the end-to-end NER pipeline on the synthetic
 //!   corpus.
 
+pub mod engine;
 pub mod evaluate;
 pub mod marginals;
 pub mod metrics;
 pub mod ner;
 pub mod pdb;
 
+pub use engine::{
+    chain_seed, AnswerRow, ChainReport, EngineAnswer, EngineConfig, EngineError, EngineReport,
+    ParallelEngine, RHatPoint,
+};
 pub use evaluate::{evaluate_parallel, EvaluateError, QueryEvaluator, SampleWork};
 pub use marginals::{MarginalTable, ValueDistribution};
 pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};

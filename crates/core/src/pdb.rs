@@ -24,6 +24,7 @@ use std::sync::Arc;
 ///
 /// Variable `i` controls column `column` of row `rows[i]`. The variable's
 /// domain values are the field values written back.
+#[derive(Clone)]
 pub struct FieldBinding {
     /// Relation holding the uncertain fields.
     pub relation: Arc<str>,
@@ -165,6 +166,37 @@ impl<M: Model> ProbabilisticDB<M> {
         // left by exact ± cancellation are dropped once per interval here.
         deltas.compact();
         Ok(deltas)
+    }
+
+    /// Deep-snapshots this probabilistic database into an independent
+    /// replica — §5.4's "identical copies of the initial world". The stored
+    /// world is deep-cloned (see [`Database::snapshot`]), the in-memory
+    /// variable assignment is copied, the model is cloned (models meant for
+    /// replication are `Arc`-shared, so this is a refcount bump), and the
+    /// replica gets its own proposer and a fresh RNG stream seeded with
+    /// `seed`. Replica MCMC steps never touch this database, and vice versa.
+    ///
+    /// Snapshots are taken at thinning-interval boundaries; the public API
+    /// guarantees no MCMC changes are pending outside [`Self::step`], so the
+    /// replica starts exactly synchronized.
+    pub fn snapshot(&self, proposer: Box<dyn Proposer>, seed: u64) -> ProbabilisticDB<M>
+    where
+        M: Clone,
+    {
+        debug_assert!(
+            !self.chain.has_pending_changes(),
+            "snapshot mid-interval: unflushed chain changes would be lost"
+        );
+        ProbabilisticDB {
+            db: self.db.snapshot(),
+            chain: Chain::new(
+                self.chain.model().clone(),
+                proposer,
+                self.chain.world().clone(),
+                seed,
+            ),
+            binding: self.binding.clone(),
+        }
     }
 
     /// Checks that every bound field equals its variable's value — the
@@ -319,6 +351,48 @@ mod tests {
         let mut pdb = build();
         let d = pdb.step(0).unwrap();
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn snapshot_replicas_are_isolated() {
+        let (db, world, rows, g) = setup();
+        let binding = FieldBinding::new(&db, "T", "state", rows).unwrap();
+        let vars = vec![VariableId(0), VariableId(1)];
+        let pdb = ProbabilisticDB::new(
+            db,
+            Arc::new(g),
+            Box::new(UniformRelabel::new(vars.clone())),
+            world,
+            binding,
+            42,
+        )
+        .unwrap();
+        let before: Vec<_> = pdb
+            .database()
+            .relation("T")
+            .unwrap()
+            .tuples()
+            .cloned()
+            .collect();
+
+        let mut replica = pdb.snapshot(Box::new(UniformRelabel::new(vars)), 7);
+        for _ in 0..30 {
+            replica.step(5).unwrap();
+            replica.check_synchronized().unwrap();
+        }
+        assert_eq!(replica.steps_taken(), 150);
+
+        // Replica deltas never leak into the seed database.
+        let after: Vec<_> = pdb
+            .database()
+            .relation("T")
+            .unwrap()
+            .tuples()
+            .cloned()
+            .collect();
+        assert_eq!(before, after);
+        pdb.check_synchronized().unwrap();
+        assert_eq!(pdb.steps_taken(), 0);
     }
 
     #[test]

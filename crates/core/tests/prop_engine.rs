@@ -1,0 +1,176 @@
+//! Property suite for §5.4 marginal merging: with equal per-chain sample
+//! counts, the chain-*averaged* marginal ([`MarginalTable::average`]) is
+//! exactly the *pooled* marginal computed from the concatenated per-chain
+//! answer streams, every merged probability lies in [0, 1], and the merged
+//! support is contained in the union of chain supports. Checked both on
+//! raw random answer streams and end-to-end through [`ParallelEngine`] on
+//! random small worlds and queries.
+
+use fgdb_core::{EngineConfig, FieldBinding, MarginalTable, ParallelEngine, ProbabilisticDB};
+use fgdb_graph::{Domain, FactorGraph, TableFactor, VariableId, World};
+use fgdb_mcmc::UniformRelabel;
+use fgdb_relational::{tuple, CountedSet, Database, Expr, Plan, Schema, Tuple, ValueType};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Universe of 6 candidate answer tuples; a sample's answer set is a
+/// 6-bit mask over it.
+fn answer_from_mask(mask: u8) -> CountedSet {
+    CountedSet::from_tuples(
+        (0..6)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| tuple![i as i64]),
+    )
+}
+
+proptest! {
+    /// Averaging per-chain tables ≡ pooling the concatenated streams.
+    #[test]
+    fn chain_average_equals_pooled_stream_marginal(
+        chains in 1usize..=4,
+        masks in prop::collection::vec(0u8..64, 4..120),
+    ) {
+        let samples = masks.len() / chains;
+        prop_assume!(samples >= 1);
+
+        let mut per_chain: Vec<MarginalTable> = Vec::new();
+        let mut pooled = MarginalTable::new();
+        for c in 0..chains {
+            let mut table = MarginalTable::new();
+            for s in 0..samples {
+                let answer = answer_from_mask(masks[c * samples + s]);
+                table.record(&answer);
+                pooled.record(&answer);
+            }
+            per_chain.push(table);
+        }
+
+        let avg = MarginalTable::average(&per_chain);
+
+        // Same support, probabilities equal within 1e-12.
+        prop_assert_eq!(avg.len(), pooled.support_size());
+        for (t, p_pooled) in pooled.as_map() {
+            let p_avg = avg.get(&t).copied().unwrap_or(0.0);
+            prop_assert!(
+                (p_avg - p_pooled).abs() < 1e-12,
+                "tuple {}: averaged {} vs pooled {}", t, p_avg, p_pooled
+            );
+        }
+
+        // Merged probabilities are valid and supported by some chain.
+        let union: BTreeSet<Tuple> = per_chain
+            .iter()
+            .flat_map(|t| t.probabilities().into_iter().map(|(t, _)| t))
+            .collect();
+        for (t, p) in &avg {
+            prop_assert!((0.0..=1.0).contains(p));
+            prop_assert!(union.contains(t), "merged {} outside union support", t);
+        }
+    }
+
+    /// The same law holds end-to-end through the engine on random worlds:
+    /// the engine's merged rows are the chain average, which (equal samples
+    /// per chain, enforced by lockstep rounds) is the pooled marginal over
+    /// the per-tuple membership traces.
+    #[test]
+    fn engine_merge_is_pooled_marginal_on_random_worlds(
+        quarter_weights in prop::collection::vec(-6i32..7, 1..4),
+        chains in 2usize..=3,
+        world_seed in 0u64..1000,
+    ) {
+        let weights: Vec<f64> = quarter_weights.iter().map(|w| *w as f64 / 4.0).collect();
+        let n_vars = weights.len();
+
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("id", ValueType::Int), ("state", ValueType::Str)])
+            .unwrap()
+            .with_primary_key("id")
+            .unwrap();
+        db.create_relation("ITEM", schema).unwrap();
+        let mut rows = Vec::new();
+        for i in 0..n_vars as i64 {
+            rows.push(db.relation_mut("ITEM").unwrap().insert(tuple![i, "off"]).unwrap());
+        }
+        let d = Domain::of_labels(&["off", "on"]);
+        let world = World::new(vec![d; n_vars]);
+        let mut g = FactorGraph::new();
+        for (i, w) in weights.iter().enumerate() {
+            g.add_factor(Box::new(TableFactor::new(
+                vec![VariableId(i as u32)],
+                vec![2],
+                vec![0.0, *w],
+                format!("bias{i}"),
+            )));
+        }
+        let binding = FieldBinding::new(&db, "ITEM", "state", rows).unwrap();
+        let vars: Vec<_> = (0..n_vars as u32).map(VariableId).collect();
+        let seed_pdb = ProbabilisticDB::new(
+            db,
+            Arc::new(g),
+            Box::new(UniformRelabel::new(vars.clone())),
+            world,
+            binding,
+            world_seed,
+        )
+        .unwrap();
+
+        let plan = Plan::scan("ITEM")
+            .filter(Expr::col("state").eq(Expr::lit("on")))
+            .project(&["id"]);
+        let cfg = EngineConfig {
+            chains,
+            thinning: 2,
+            checkpoint_samples: 5,
+            r_hat_threshold: 1.1,
+            min_samples: 5,
+            max_samples: 15,
+            replica_burn_steps: 0,
+            base_seed: world_seed ^ 0xABCD,
+        };
+        let mut engine = ParallelEngine::new(&seed_pdb, plan, cfg, |_| {
+            Box::new(UniformRelabel::new(vars.clone()))
+        })
+        .unwrap();
+        let answer = engine.run().unwrap();
+
+        // Equal samples per chain (the precondition of average ≡ pooled).
+        let tables: Vec<MarginalTable> =
+            engine.chain_marginals().into_iter().cloned().collect();
+        let z = tables[0].samples();
+        for t in &tables {
+            prop_assert_eq!(t.samples(), z);
+        }
+
+        // Merged rows = chain average, bit for bit.
+        let expected = MarginalTable::average(&tables);
+        prop_assert_eq!(answer.rows.len(), expected.len());
+        for row in &answer.rows {
+            prop_assert_eq!(row.probability.to_bits(), expected[&row.tuple].to_bits());
+            prop_assert!((0.0..=1.0).contains(&row.probability));
+        }
+
+        // Pooled marginal over concatenated streams: recover per-chain
+        // membership counts as p·z (exact: p was computed as count/z).
+        for row in &answer.rows {
+            let pooled_count: f64 = tables
+                .iter()
+                .map(|t| t.probability(&row.tuple) * z as f64)
+                .sum();
+            let pooled_p = pooled_count / (z as f64 * tables.len() as f64);
+            prop_assert!(
+                (row.probability - pooled_p).abs() < 1e-12,
+                "tuple {}: merged {} vs pooled {}", row.tuple, row.probability, pooled_p
+            );
+        }
+
+        // Support ⊆ union of chain supports.
+        let union: BTreeSet<Tuple> = tables
+            .iter()
+            .flat_map(|t| t.probabilities().into_iter().map(|(t, _)| t))
+            .collect();
+        for row in &answer.rows {
+            prop_assert!(union.contains(&row.tuple));
+        }
+    }
+}

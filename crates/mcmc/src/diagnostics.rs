@@ -46,6 +46,10 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
 /// Effective sample size via the initial-positive-sequence estimator:
 /// `ESS = n / (1 + 2 Σ ρₖ)`, truncating the sum at the first non-positive
 /// even-pair, capped to `n`.
+///
+/// Degenerate inputs stay finite by construction: traces shorter than four
+/// samples report their own length, and constant series (autocorrelation
+/// defined as 0, see [`autocorrelation`]) report `n` — never NaN.
 pub fn effective_sample_size(xs: &[f64]) -> f64 {
     let n = xs.len();
     if n < 4 {
@@ -64,20 +68,43 @@ pub fn effective_sample_size(xs: &[f64]) -> f64 {
     (n as f64 / (1.0 + 2.0 * rho_sum)).min(n as f64)
 }
 
+/// R̂ reported when every chain is frozen (zero within-chain variance) but
+/// the chains disagree — e.g. a tuple permanently in one chain's answer and
+/// never in another's. The statistic's limit is +∞; a *finite* documented
+/// sentinel keeps downstream arithmetic, thresholds, and JSON reports
+/// NaN/inf-free while still failing every sane convergence gate
+/// (thresholds live near 1).
+pub const R_HAT_DIVERGED: f64 = 1.0e12;
+
 /// Gelman–Rubin potential scale reduction factor R̂ over ≥ 2 chains of equal
-/// length. Values close to 1 indicate the chains have mixed.
+/// length. Values close to 1 indicate the chains have mixed. Accepts any
+/// slice-like traces (`Vec<f64>` or `&[f64]`).
+///
+/// Degenerate inputs return finite, documented values instead of NaN:
+///
+/// * traces shorter than 2 samples → `1.0` (no within-chain information
+///   yet; convergence gates must additionally impose a minimum sample
+///   count, as the parallel engine's `min_samples` does);
+/// * all chains constant and identical → `1.0` (already agreeing);
+/// * all chains constant but disagreeing → [`R_HAT_DIVERGED`].
 ///
 /// # Panics
-/// Panics with fewer than two chains or mismatched/too-short traces.
-pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
+/// Panics with fewer than two chains or mismatched trace lengths (caller
+/// bugs, not data degeneracies).
+pub fn gelman_rubin<S: AsRef<[f64]>>(chains: &[S]) -> f64 {
     assert!(chains.len() >= 2, "R̂ needs at least two chains");
-    let n = chains[0].len();
-    assert!(n >= 2, "chains too short");
-    assert!(chains.iter().all(|c| c.len() == n), "unequal chain lengths");
+    let n = chains[0].as_ref().len();
+    assert!(
+        chains.iter().all(|c| c.as_ref().len() == n),
+        "unequal chain lengths"
+    );
+    if n < 2 {
+        return 1.0; // no within-chain variance is defined yet
+    }
 
     let m = chains.len() as f64;
     let nf = n as f64;
-    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c)).collect();
+    let chain_means: Vec<f64> = chains.iter().map(|c| mean(c.as_ref())).collect();
     let grand = mean(&chain_means);
     // Between-chain variance.
     let b = nf / (m - 1.0)
@@ -86,12 +113,30 @@ pub fn gelman_rubin(chains: &[Vec<f64>]) -> f64 {
             .map(|cm| (cm - grand).powi(2))
             .sum::<f64>();
     // Within-chain variance.
-    let w = chains.iter().map(|c| variance(c)).sum::<f64>() / m;
+    let w = chains.iter().map(|c| variance(c.as_ref())).sum::<f64>() / m;
     if w == 0.0 {
-        return 1.0; // all chains constant and identical
+        // All chains constant: identical means → converged; different
+        // means → frozen disagreement (the statistic's limit is +∞).
+        return if b == 0.0 { 1.0 } else { R_HAT_DIVERGED };
     }
     let var_plus = (nf - 1.0) / nf * w + b / nf;
     (var_plus / w).sqrt()
+}
+
+/// Split-chain R̂ of a *single* trace: the first and second halves are
+/// compared as if they were independent chains (Gelman et al.'s split-R̂),
+/// detecting trends and slow drift that a one-chain run would otherwise
+/// hide. This is how a 1-chain parallel-engine run still gets a
+/// convergence gate. Traces shorter than 4 samples return the neutral `1.0`
+/// (documented, finite; see [`gelman_rubin`] for the degenerate-input
+/// contract).
+pub fn split_r_hat(xs: &[f64]) -> f64 {
+    if xs.len() < 4 {
+        return 1.0;
+    }
+    let half = xs.len() / 2;
+    // With odd lengths the middle sample is dropped, keeping halves equal.
+    gelman_rubin(&[&xs[..half], &xs[xs.len() - half..]])
 }
 
 #[cfg(test)]
@@ -182,5 +227,77 @@ mod tests {
         assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0);
         assert_eq!(autocorrelation(&[1.0], 3), 0.0);
         assert_eq!(effective_sample_size(&[1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    fn identical_chains_give_r_hat_one() {
+        // Literally the same trace in every chain: zero between-chain
+        // variance, so R̂ = √((n−1)/n) ≈ 1 from below.
+        let mut rng = StdRng::seed_from_u64(21);
+        let a: Vec<f64> = (0..500).map(|_| rng.gen::<f64>()).collect();
+        let r = gelman_rubin(&[a.clone(), a.clone(), a]);
+        assert!((r - 1.0).abs() < 0.01, "identical chains: R̂ = {r}");
+        assert!(r.is_finite());
+    }
+
+    #[test]
+    fn mean_shifted_chains_exceed_gate() {
+        // A constant mean offset of 0.5 against uniform(0,1) noise is far
+        // outside any convergence gate near 1.1.
+        let mut rng = StdRng::seed_from_u64(22);
+        let a: Vec<f64> = (0..800).map(|_| rng.gen::<f64>()).collect();
+        let b: Vec<f64> = (0..800).map(|_| 0.5 + rng.gen::<f64>()).collect();
+        let r = gelman_rubin(&[a, b]);
+        assert!(r > 1.1, "mean-shifted chains: R̂ = {r}");
+    }
+
+    #[test]
+    fn short_traces_return_documented_neutral_value() {
+        // len < 2: no within-chain variance exists yet → finite neutral 1.0.
+        assert_eq!(gelman_rubin(&[vec![1.0], vec![2.0]]), 1.0);
+        assert_eq!(gelman_rubin(&[Vec::<f64>::new(), Vec::new()]), 1.0);
+        assert_eq!(split_r_hat(&[]), 1.0);
+        assert_eq!(split_r_hat(&[0.0, 1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn frozen_disagreement_is_finite_and_fails_gates() {
+        // Chains each constant at different values: limit is +∞; we report
+        // the finite documented sentinel.
+        let r = gelman_rubin(&[vec![0.0; 16], vec![1.0; 16]]);
+        assert_eq!(r, R_HAT_DIVERGED);
+        assert!(r.is_finite() && !r.is_nan());
+        assert!(r > 1.1, "must fail any sane gate");
+    }
+
+    #[test]
+    fn constant_series_ess_is_finite() {
+        let ess = effective_sample_size(&[3.0; 64]);
+        assert_eq!(ess, 64.0);
+        assert!(!ess.is_nan());
+        assert_eq!(effective_sample_size(&[]), 0.0);
+    }
+
+    #[test]
+    fn gelman_rubin_accepts_borrowed_slices() {
+        let a = [0.0, 1.0, 0.5, 0.25];
+        let b = [0.2, 0.9, 0.4, 0.35];
+        let owned = gelman_rubin(&[a.to_vec(), b.to_vec()]);
+        let borrowed = gelman_rubin(&[&a[..], &b[..]]);
+        assert_eq!(owned, borrowed);
+    }
+
+    #[test]
+    fn split_r_hat_detects_drift_but_not_stationarity() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let stationary: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        assert!((split_r_hat(&stationary) - 1.0).abs() < 0.05);
+        // A strong upward trend: the two halves disagree badly.
+        let drifting: Vec<f64> = (0..2000)
+            .map(|i| i as f64 / 200.0 + rng.gen::<f64>())
+            .collect();
+        assert!(split_r_hat(&drifting) > 1.5);
+        // Odd lengths drop the middle sample, halves stay comparable.
+        assert!(split_r_hat(&stationary[..1999]).is_finite());
     }
 }

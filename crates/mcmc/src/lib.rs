@@ -18,9 +18,10 @@ pub mod rng;
 pub mod targeted;
 
 pub use chain::{Chain, NetChange};
+pub use diagnostics::{effective_sample_size, gelman_rubin, split_r_hat, R_HAT_DIVERGED};
 pub use gibbs::GibbsRelabel;
 pub use kernel::{KernelStats, MetropolisHastings, StepOutcome};
-pub use parallel::{average_estimates, run_chains};
+pub use parallel::{average_estimates, run_chains, run_chains_checkpointed};
 pub use proposal::{LocalityProposer, Proposal, Proposer, UniformRelabel};
 pub use rng::DynRng;
 pub use targeted::{document_closure, TargetedProposer};

@@ -40,6 +40,61 @@ where
     .expect("thread scope failed")
 }
 
+/// Runs per-chain jobs in *checkpointed rounds*: every round fans one job
+/// per state out on scoped OS threads — within a round the chains never
+/// synchronize (thinning-interval lockstep-free) — then joins them all and
+/// hands the coordinator `checkpoint` exclusive access to every chain state
+/// plus the round outputs. The checkpoint returns `true` to run another
+/// round, `false` to stop.
+///
+/// This is the §5.4 fan-out of [`run_chains`] extended with the periodic
+/// cross-chain rendezvous a convergence-gated engine needs: between rounds
+/// the coordinator can pool per-chain marginal traces, compute R̂ / ESS
+/// (see [`crate::diagnostics`]), and terminate early. Determinism is
+/// preserved by construction — each chain owns its state and RNG stream and
+/// results are collected in chain order, so thread interleaving cannot
+/// affect any output.
+///
+/// Returns the number of rounds executed (≥ 1).
+///
+/// # Panics
+/// Panics when `states` is empty; propagates panics from worker threads.
+pub fn run_chains_checkpointed<S, R, F, C>(states: &mut [S], round: F, mut checkpoint: C) -> usize
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+    C: FnMut(usize, &mut [S], &[R]) -> bool,
+{
+    assert!(!states.is_empty(), "need at least one chain");
+    let mut rounds = 0;
+    loop {
+        let results: Vec<R> = if states.len() == 1 {
+            vec![round(0, &mut states[0])]
+        } else {
+            thread::scope(|s| {
+                let handles: Vec<_> = states
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, state)| {
+                        let round = &round;
+                        s.spawn(move |_| round(i, state))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chain thread panicked"))
+                    .collect()
+            })
+            .expect("thread scope failed")
+        };
+        rounds += 1;
+        if !checkpoint(rounds, states, &results) {
+            return rounds;
+        }
+    }
+}
+
 /// Averages per-chain estimates of the same quantity vector.
 ///
 /// # Panics
@@ -80,6 +135,73 @@ mod tests {
     #[should_panic(expected = "at least one chain")]
     fn zero_chains_panics() {
         run_chains(0, |i| i);
+    }
+
+    #[test]
+    fn checkpointed_rounds_accumulate_and_stop() {
+        // Four chains each add their index+1 per round; the coordinator
+        // stops after three rounds. Results arrive in chain order.
+        let mut states = vec![0usize; 4];
+        let mut seen_rounds = Vec::new();
+        let rounds = run_chains_checkpointed(
+            &mut states,
+            |i, s| {
+                *s += i + 1;
+                *s
+            },
+            |round, states, results| {
+                seen_rounds.push(round);
+                assert_eq!(results, &states.to_vec()[..]);
+                let expect: Vec<usize> = (1..=4).map(|i| i * round).collect();
+                assert_eq!(states, &expect[..]);
+                round < 3
+            },
+        );
+        assert_eq!(rounds, 3);
+        assert_eq!(seen_rounds, vec![1, 2, 3]);
+        assert_eq!(states, vec![3, 6, 9, 12]);
+    }
+
+    #[test]
+    fn checkpointed_single_chain_runs_inline() {
+        let mut states = vec![10u64];
+        let rounds = run_chains_checkpointed(
+            &mut states,
+            |i, s| {
+                assert_eq!(i, 0);
+                *s *= 2;
+                *s
+            },
+            |_, _, results| results[0] < 80,
+        );
+        assert_eq!(rounds, 3);
+        assert_eq!(states, vec![80]);
+    }
+
+    #[test]
+    fn checkpoint_can_mutate_states_between_rounds() {
+        // The coordinator owns all states at the rendezvous: it may rewrite
+        // them (e.g. swap in fresh work) before the next round.
+        let mut states = vec![0i64, 0];
+        run_chains_checkpointed(
+            &mut states,
+            |_, s| *s += 1,
+            |round, states, _| {
+                if round == 1 {
+                    states[1] = 100;
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+        assert_eq!(states, vec![2, 101]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn checkpointed_zero_chains_panics() {
+        run_chains_checkpointed(&mut Vec::<u8>::new(), |_, _| (), |_, _, _| false);
     }
 
     #[test]

@@ -40,7 +40,11 @@ impl From<StorageError> for CatalogError {
 }
 
 /// A deterministic database instance: one possible world.
-#[derive(Default)]
+///
+/// Cloning deep-snapshots every relation (see [`Relation::snapshot`]) — the
+/// replication primitive behind §5.4's parallel query evaluation, where each
+/// chain mutates its own "identical copy of the initial world".
+#[derive(Clone, Default)]
 pub struct Database {
     relations: BTreeMap<Arc<str>, Relation>,
 }
@@ -99,6 +103,12 @@ impl Database {
     /// Total live tuples across relations (the "#tuples" axis of Fig. 4a).
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Deep snapshot: an independent copy of the whole stored world, row ids
+    /// and indexes included. Named alias of `Clone` marking intent.
+    pub fn snapshot(&self) -> Database {
+        self.clone()
     }
 }
 
@@ -165,6 +175,40 @@ mod tests {
             .insert(tuple![2i64, "z"])
             .unwrap();
         assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn snapshot_isolates_worlds() {
+        let mut db = Database::new();
+        db.create_relation("T", schema()).unwrap();
+        let rid = db
+            .relation_mut("T")
+            .unwrap()
+            .insert(tuple![1i64, "x"])
+            .unwrap();
+
+        let mut snap = db.snapshot();
+        snap.relation_mut("T")
+            .unwrap()
+            .update_field(rid, 1, crate::value::Value::str("y"))
+            .unwrap();
+        snap.create_relation("U", schema()).unwrap();
+
+        // Original world is untouched by replica writes and DDL.
+        assert_eq!(
+            db.relation("T").unwrap().get(rid).unwrap().get(1).as_str(),
+            Some("x")
+        );
+        assert!(db.relation("U").is_err());
+        assert_eq!(
+            snap.relation("T")
+                .unwrap()
+                .get(rid)
+                .unwrap()
+                .get(1)
+                .as_str(),
+            Some("y")
+        );
     }
 
     #[test]

@@ -65,8 +65,9 @@ pub use fgdb_relational as relational;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fgdb_core::{
-        build_ner_pdb, evaluate_parallel, ner_proposer, squared_error, train_ner_model,
-        truth_database, FieldBinding, LossCurve, MarginalTable, NerProposerConfig, ProbabilisticDB,
+        build_ner_pdb, chain_seed, evaluate_parallel, ner_proposer, squared_error, train_ner_model,
+        truth_database, AnswerRow, EngineAnswer, EngineConfig, EngineReport, FieldBinding,
+        LossCurve, MarginalTable, NerProposerConfig, ParallelEngine, ProbabilisticDB,
         QueryEvaluator, ValueDistribution,
     };
     pub use fgdb_graph::{
