@@ -28,7 +28,8 @@ fn main() {
         let corpus = Corpus::generate(&cfg);
         let data = TokenSeqData::from_corpus(&corpus, 8);
         let mut model = Crf::skip_chain(Arc::clone(&data));
-        let (stats, secs) = timed(|| train_ner_model(&corpus, &mut model, steps, 11));
+        let (stats, secs) =
+            timed(|| train_ner_model(&corpus, &mut model, steps, 11).expect("training"));
         let acc = stats.final_objective / corpus.num_tokens() as f64;
         rows.push(vec![
             corpus.num_tokens().to_string(),
@@ -135,7 +136,7 @@ fn main() {
         } else {
             Crf::linear_chain(data)
         };
-        train_ner_model(corpus, &mut model, 300_000, 5);
+        train_ner_model(corpus, &mut model, 300_000, 5).expect("training");
         let (all, amb) = decode_accuracy(&model, corpus.num_tokens() * 20);
         println!(
             "  {}: posterior-sample accuracy {:.2}% overall, {:.2}% on \

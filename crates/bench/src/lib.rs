@@ -58,7 +58,7 @@ impl NerSetup {
         // Moment-matching initialization + a SampleRank refinement pass.
         model.seed_from_truth(&corpus, 2.0);
         let steps = 50_000.min(corpus.num_tokens() * 10);
-        train_ner_model(&corpus, &mut model, steps, seed ^ 0x7a11);
+        train_ner_model(&corpus, &mut model, steps, seed ^ 0x7a11).expect("SampleRank training");
         NerSetup {
             corpus,
             data,

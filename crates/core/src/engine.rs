@@ -391,7 +391,7 @@ impl<M: Model + Clone> ParallelEngine<M> {
                 // Dispersal burn on the replica's own stream; the deltas are
                 // discarded (no view exists yet), the store stays in sync.
                 pdb.step(config.replica_burn_steps)
-                    .map_err(|e| EngineError::Evaluate(EvaluateError::Storage(e)))?;
+                    .map_err(EngineError::Evaluate)?;
             }
             let eval = QueryEvaluator::materialized(plan.clone(), &pdb, config.thinning)
                 .map_err(EngineError::Evaluate)?;
@@ -405,6 +405,26 @@ impl<M: Model + Clone> ParallelEngine<M> {
             trajectory: Vec::new(),
             converged: false,
         })
+    }
+
+    /// [`Self::new`] from SQL text: the query is parsed and optimized
+    /// against the seed database's catalog, then compiled into every
+    /// replica's incrementally maintained view. The same text therefore
+    /// drives both Algorithm 1 (each replica's view maintenance) and the
+    /// §5.4 multi-chain merge.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Evaluate`] wrapping the parse/plan error on
+    /// malformed SQL; never panics on user input.
+    pub fn query(
+        seed_pdb: &ProbabilisticDB<M>,
+        sql: &str,
+        config: EngineConfig,
+        make_proposer: impl FnMut(usize) -> Box<dyn Proposer>,
+    ) -> Result<Self, EngineError> {
+        let plan = fgdb_relational::compile_query(sql, seed_pdb.database())
+            .map_err(|e| EngineError::Evaluate(EvaluateError::Query(e)))?;
+        Self::new(seed_pdb, plan, config, make_proposer)
     }
 
     /// The configuration.
@@ -782,6 +802,48 @@ mod tests {
         }
         // The seed database never advanced.
         assert_eq!(seed.steps_taken(), 0);
+    }
+
+    #[test]
+    fn sql_engine_matches_plan_engine_bit_for_bit() {
+        let cfg = EngineConfig {
+            chains: 3,
+            thinning: 3,
+            checkpoint_samples: 20,
+            r_hat_threshold: 1.3,
+            min_samples: 40,
+            max_samples: 200,
+            replica_burn_steps: 0,
+            base_seed: 31,
+        };
+        let seed = seed_pdb(&[0.7, -0.2], 2);
+        let mut by_plan =
+            ParallelEngine::new(&seed, on_items(), cfg.clone(), |_| proposer_for(2)).unwrap();
+        let seed = seed_pdb(&[0.7, -0.2], 2);
+        let mut by_sql =
+            ParallelEngine::query(&seed, "SELECT id FROM ITEM WHERE state = 'on'", cfg, |_| {
+                proposer_for(2)
+            })
+            .unwrap();
+        let a = by_plan.run().unwrap();
+        let b = by_sql.run().unwrap();
+        assert_eq!(a.rows.len(), b.rows.len());
+        for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
+            assert_eq!(ra.tuple, rb.tuple);
+            assert_eq!(ra.probability.to_bits(), rb.probability.to_bits());
+            assert_eq!(ra.r_hat.to_bits(), rb.r_hat.to_bits());
+        }
+        assert_eq!(a.report.samples_per_chain, b.report.samples_per_chain);
+
+        // Malformed SQL is a typed error from the engine too.
+        let seed = seed_pdb(&[0.1], 4);
+        assert!(ParallelEngine::query(
+            &seed,
+            "SELECT definitely FROM nowhere WHERE",
+            EngineConfig::default(),
+            |_| proposer_for(1),
+        )
+        .is_err());
     }
 
     #[test]

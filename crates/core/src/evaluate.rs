@@ -17,8 +17,10 @@
 
 use crate::marginals::MarginalTable;
 use crate::pdb::ProbabilisticDB;
-use fgdb_graph::Model;
-use fgdb_relational::{execute, ExecError, MaterializedView, Plan, StorageError, Tuple};
+use fgdb_graph::{Model, ModelError};
+use fgdb_relational::{
+    compile_query, execute, ExecError, MaterializedView, Plan, QueryError, StorageError, Tuple,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -29,6 +31,11 @@ pub enum EvaluateError {
     Exec(ExecError),
     /// Storage failure while applying MCMC changes.
     Storage(StorageError),
+    /// SQL parsing or plan compilation failure (the `query(&str)` path).
+    Query(QueryError),
+    /// Model/world addressing failure (malformed proposal or model) —
+    /// surfaced as an error instead of aborting the engine thread.
+    Model(ModelError),
 }
 
 impl fmt::Display for EvaluateError {
@@ -36,6 +43,8 @@ impl fmt::Display for EvaluateError {
         match self {
             EvaluateError::Exec(e) => write!(f, "execution error: {e}"),
             EvaluateError::Storage(e) => write!(f, "storage error: {e}"),
+            EvaluateError::Query(e) => write!(f, "query error: {e}"),
+            EvaluateError::Model(e) => write!(f, "model error: {e}"),
         }
     }
 }
@@ -50,6 +59,16 @@ impl From<ExecError> for EvaluateError {
 impl From<StorageError> for EvaluateError {
     fn from(e: StorageError) -> Self {
         EvaluateError::Storage(e)
+    }
+}
+impl From<QueryError> for EvaluateError {
+    fn from(e: QueryError) -> Self {
+        EvaluateError::Query(e)
+    }
+}
+impl From<ModelError> for EvaluateError {
+    fn from(e: ModelError) -> Self {
+        EvaluateError::Model(e)
     }
 }
 
@@ -106,6 +125,28 @@ impl QueryEvaluator {
             k,
             work: EvaluatorWork::default(),
         })
+    }
+
+    /// [`Self::naive`] from SQL text: the query is parsed and optimized
+    /// against the current catalog, then evaluated by full re-execution.
+    pub fn naive_sql<M: Model>(
+        sql: &str,
+        pdb: &ProbabilisticDB<M>,
+        k: usize,
+    ) -> Result<Self, EvaluateError> {
+        let plan = compile_query(sql, pdb.database())?;
+        Self::naive(plan, pdb, k)
+    }
+
+    /// [`Self::materialized`] from SQL text: parse → optimize → compile the
+    /// plan into an incrementally maintained view (Algorithm 1).
+    pub fn materialized_sql<M: Model>(
+        sql: &str,
+        pdb: &ProbabilisticDB<M>,
+        k: usize,
+    ) -> Result<Self, EvaluateError> {
+        let plan = compile_query(sql, pdb.database())?;
+        Self::materialized(plan, pdb, k)
     }
 
     /// Algorithm 1: the view-maintenance evaluator. Runs the full query once
@@ -426,6 +467,96 @@ mod tests {
             (est - exact).abs() < 0.05,
             "parallel estimate {est:.3} vs exact {exact:.3}"
         );
+    }
+
+    /// Sorted (tuple, probability) pairs for byte-exact table comparison.
+    fn table_entries(t: &MarginalTable) -> Vec<(Tuple, u64)> {
+        let mut v: Vec<(Tuple, u64)> = t
+            .probabilities()
+            .into_iter()
+            .map(|(tup, p)| (tup, (p * t.samples() as f64).round() as u64))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn sql_text_drives_both_evaluators_byte_identically() {
+        let sql = "SELECT id FROM ITEM WHERE state = 'on'";
+        // Naive: plan-built vs SQL-built, same seeds.
+        let (mut pdb_a, _) = build_pdb(21);
+        let (mut pdb_b, _) = build_pdb(21);
+        let mut by_plan = QueryEvaluator::naive(on_items_query(), &pdb_a, 3).unwrap();
+        let mut by_sql = QueryEvaluator::naive_sql(sql, &pdb_b, 3).unwrap();
+        by_plan.run(&mut pdb_a, 50).unwrap();
+        by_sql.run(&mut pdb_b, 50).unwrap();
+        assert_eq!(
+            table_entries(by_plan.marginals()),
+            table_entries(by_sql.marginals()),
+            "naive: SQL text diverged from hand-built plan"
+        );
+        // Materialized: same exercise through the incremental path.
+        let (mut pdb_a, _) = build_pdb(22);
+        let (mut pdb_b, _) = build_pdb(22);
+        let mut by_plan = QueryEvaluator::materialized(on_items_query(), &pdb_a, 3).unwrap();
+        let mut by_sql = QueryEvaluator::materialized_sql(sql, &pdb_b, 3).unwrap();
+        by_plan.run(&mut pdb_a, 50).unwrap();
+        by_sql.run(&mut pdb_b, 50).unwrap();
+        assert_eq!(
+            table_entries(by_plan.marginals()),
+            table_entries(by_sql.marginals()),
+            "materialized: SQL text diverged from hand-built plan"
+        );
+        // And the maintained answer still equals a fresh execution.
+        let (fresh, _) = execute(&on_items_query(), pdb_b.database()).unwrap();
+        assert_eq!(
+            by_sql.current_answer().unwrap().sorted_entries(),
+            fresh.rows.sorted_entries()
+        );
+    }
+
+    #[test]
+    fn malformed_sql_is_an_error_not_a_panic() {
+        let (pdb, _) = build_pdb(1);
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT nope FROM ITEM",
+            "SELECT id FROM MISSING",
+            "SELECT id FROM ITEM WHERE COUNT(*) > 1",
+            "SELECT id FROM ITEM WHERE state = ",
+            "SELECT id FROM ITEM GROUP BY",
+        ] {
+            assert!(
+                matches!(
+                    QueryEvaluator::materialized_sql(bad, &pdb, 2),
+                    Err(EvaluateError::Query(_))
+                ),
+                "`{bad}` must surface as EvaluateError::Query"
+            );
+            assert!(pdb.query(bad).is_err(), "`{bad}` must fail one-shot too");
+        }
+    }
+
+    #[test]
+    fn one_shot_query_answers_current_world() {
+        let (mut pdb, _) = build_pdb(9);
+        // Initial world: nothing on.
+        let res = pdb.query("SELECT id FROM ITEM WHERE state = 'on'").unwrap();
+        assert!(res.rows.is_empty());
+        let res = pdb
+            .query("SELECT COUNT(*) FILTER (WHERE state = 'off') AS n FROM ITEM")
+            .unwrap();
+        assert_eq!(res.rows.sorted_support(), vec![tuple![4i64]]);
+        // After stepping, the one-shot answer tracks the stored world.
+        pdb.step(50).unwrap();
+        let (res, stats) = pdb
+            .query_with_stats("SELECT id FROM ITEM WHERE state = 'on'")
+            .unwrap();
+        let (fresh, _) = execute(&on_items_query(), pdb.database()).unwrap();
+        assert_eq!(res.rows.sorted_entries(), fresh.rows.sorted_entries());
+        assert_eq!(stats.tuples_scanned, 4);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub use engine::{
     ParallelEngine, RHatPoint,
 };
 pub use evaluate::{evaluate_parallel, EvaluateError, QueryEvaluator, SampleWork};
+pub use fgdb_relational::{compile_query, optimize, QueryError};
 pub use marginals::{MarginalTable, ValueDistribution};
 pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};
 pub use ner::{build_ner_pdb, ner_proposer, train_ner_model, truth_database, NerProposerConfig};

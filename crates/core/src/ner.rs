@@ -62,7 +62,17 @@ pub fn ner_proposer(data: &TokenSeqData, cfg: &NerProposerConfig) -> Box<dyn Pro
 
 /// Trains a CRF on the corpus truth with SampleRank (§5.2). Returns training
 /// counters; the model is updated in place.
-pub fn train_ner_model(corpus: &Corpus, model: &mut Crf, steps: usize, seed: u64) -> TrainStats {
+///
+/// # Errors
+/// Propagates [`fgdb_graph::ModelError`] from gradient application — with a
+/// well-formed CRF this cannot happen (its gradients address its own
+/// layout), but a malformed model surfaces as an error, not a panic.
+pub fn train_ner_model(
+    corpus: &Corpus,
+    model: &mut Crf,
+    steps: usize,
+    seed: u64,
+) -> Result<TrainStats, fgdb_graph::ModelError> {
     let objective = HammingObjective::new(corpus.truth_indexes());
     let mut world = model.new_world();
     let proposer_cfg = NerProposerConfig {
@@ -155,7 +165,7 @@ mod tests {
         let corpus = tiny();
         let data = TokenSeqData::from_corpus(&corpus, 6);
         let mut model = Crf::skip_chain(data);
-        let stats = train_ner_model(&corpus, &mut model, 6000, 3);
+        let stats = train_ner_model(&corpus, &mut model, 6000, 3).unwrap();
         assert!(stats.updates > 0);
         // The drive-by-objective chain should land near the truth.
         let accuracy = stats.final_objective / corpus.num_tokens() as f64;

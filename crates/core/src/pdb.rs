@@ -15,9 +15,12 @@
 //! pre/post-images become the Δ⁻/Δ⁺ [`DeltaSet`] that drives view
 //! maintenance.
 
+use crate::evaluate::EvaluateError;
 use fgdb_graph::{Model, World};
 use fgdb_mcmc::{Chain, KernelStats, Proposer};
-use fgdb_relational::{Database, DeltaSet, RowId, StorageError, Value};
+use fgdb_relational::{
+    compile_query, execute, Database, DeltaSet, ExecStats, QueryResult, RowId, Value,
+};
 use std::sync::Arc;
 
 /// Maps hidden variables to uncertain fields of one relation.
@@ -120,6 +123,27 @@ impl<M: Model> ProbabilisticDB<M> {
         &self.db
     }
 
+    /// Answers a SQL query against the *current* stored world: parse →
+    /// optimize → one-shot execution. This is the deterministic query
+    /// surface; for probabilistic (marginal) answers drive the same text
+    /// through [`crate::evaluate::QueryEvaluator`] or
+    /// [`crate::engine::ParallelEngine::query`].
+    ///
+    /// # Errors
+    /// Returns [`EvaluateError::Query`] on malformed SQL or unresolvable
+    /// names, [`EvaluateError::Exec`] on execution failures. Never panics on
+    /// user input.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EvaluateError> {
+        self.query_with_stats(sql).map(|(r, _)| r)
+    }
+
+    /// [`Self::query`], also returning the executor's work counters (tuples
+    /// scanned, rows processed, intermediate tuples built).
+    pub fn query_with_stats(&self, sql: &str) -> Result<(QueryResult, ExecStats), EvaluateError> {
+        let plan = compile_query(sql, &self.db)?;
+        Ok(execute(&plan, &self.db)?)
+    }
+
     /// The in-memory variable assignment.
     pub fn world(&self) -> &World {
         self.chain.world()
@@ -146,18 +170,58 @@ impl<M: Model> ProbabilisticDB<M> {
     ///
     /// The naive evaluator ignores the returned deltas and re-runs its
     /// query; the materialized evaluator feeds them to its views.
-    pub fn step(&mut self, k: usize) -> Result<DeltaSet, StorageError> {
+    ///
+    /// # Errors
+    /// [`EvaluateError::Storage`] on write-back failures;
+    /// [`EvaluateError::Model`] when a proposal left a variable at an index
+    /// outside its domain (a malformed proposer must surface as an error on
+    /// the serving path, not abort the engine thread).
+    pub fn step(&mut self, k: usize) -> Result<DeltaSet, EvaluateError> {
         self.chain.run(k);
         let changes = self.chain.take_changes();
+        // Validate the whole batch before writing anything: an error
+        // mid-batch must not leave the store holding updates whose deltas
+        // were discarded (views fed such a stream would silently diverge).
+        // The MH kernel already rejects malformed proposals, so this guards
+        // alternative kernels and future change sources.
+        let invalid = changes.iter().copied().find(|&(v, _, new_idx)| {
+            v.index() >= self.chain.world().num_variables()
+                || self.chain.world().domain(v).get(new_idx).is_none()
+        });
+        if let Some((bad_v, _, bad_idx)) = invalid {
+            // Recoverable error contract: roll the in-memory world back to
+            // the pre-interval state (reverse order unwinds repeated writes
+            // to one variable) so world and store stay synchronized and the
+            // database remains usable after the error.
+            for &(v, old_idx, _) in changes.iter().rev() {
+                if v.index() < self.chain.world().num_variables() {
+                    self.chain.world_mut().set(v, old_idx);
+                }
+            }
+            return Err(EvaluateError::Model(
+                fgdb_graph::ModelError::ValueNotInDomain {
+                    variable: bad_v,
+                    value: format!("<domain index {bad_idx}>"),
+                },
+            ));
+        }
         let mut deltas = DeltaSet::new();
         let rel = self
             .db
             .relation_mut(&self.binding.relation)
             .expect("binding validated at construction");
         for (v, _old_idx, new_idx) in changes {
-            let value: Value = self.chain.world().domain(v).value(new_idx).clone();
+            let value: Value = self
+                .chain
+                .world()
+                .domain(v)
+                .get(new_idx)
+                .cloned()
+                .expect("validated above");
             let row = self.binding.rows[v.index()];
-            let (old, new) = rel.update_field(row, self.binding.column, value)?;
+            let (old, new) = rel
+                .update_field(row, self.binding.column, value)
+                .map_err(EvaluateError::Storage)?;
             deltas.record_update(&self.binding.relation, old, new);
         }
         // Interval-boundary compaction (the paper's "cleaning and refreshing
@@ -393,6 +457,40 @@ mod tests {
         assert_eq!(before, after);
         pdb.check_synchronized().unwrap();
         assert_eq!(pdb.steps_taken(), 0);
+    }
+
+    #[test]
+    fn malformed_proposer_cannot_abort_the_serving_path() {
+        use fgdb_mcmc::{DynRng, Proposal};
+
+        // A proposer emitting out-of-world variable ids and out-of-domain
+        // indexes: the kernel rejects each proposal as a no-op move and
+        // `step` returns an empty delta — no panic, store untouched.
+        struct Hostile(Vec<VariableId>);
+        impl fgdb_mcmc::Proposer for Hostile {
+            fn propose(&mut self, _world: &fgdb_graph::World, _rng: &mut DynRng<'_>) -> Proposal {
+                Proposal::symmetric(vec![(VariableId(7_000), 3), (VariableId(0), 999)])
+            }
+            fn support(&self) -> &[VariableId] {
+                &self.0
+            }
+        }
+
+        let (db, world, rows, g) = setup();
+        let binding = FieldBinding::new(&db, "T", "state", rows).unwrap();
+        let mut pdb = ProbabilisticDB::new(
+            db,
+            g,
+            Box::new(Hostile(vec![VariableId(0)])),
+            world,
+            binding,
+            5,
+        )
+        .unwrap();
+        let deltas = pdb.step(25).unwrap();
+        assert!(deltas.is_empty());
+        pdb.check_synchronized().unwrap();
+        assert_eq!(pdb.kernel_stats().accepted, 0);
     }
 
     #[test]

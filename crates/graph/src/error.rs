@@ -1,0 +1,64 @@
+//! Typed errors for model/world operations.
+//!
+//! The query/serving path must never abort an engine thread on malformed
+//! input: a proposal naming a value outside a variable's domain, or a model
+//! addressed with a feature id outside its weight layout, are *data* errors
+//! and surface as [`ModelError`] instead of panics. `fgdb-core` propagates
+//! them through its `EvaluateError`.
+
+use crate::variable::VariableId;
+use std::fmt;
+
+/// A recoverable model/world addressing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A value was assigned to a variable whose domain does not contain it.
+    ValueNotInDomain {
+        /// The variable being assigned.
+        variable: VariableId,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// A feature id outside the model's weight layout was addressed.
+    FeatureOutOfRange {
+        /// The offending feature id.
+        id: u64,
+        /// Number of features the model actually has.
+        num_features: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ValueNotInDomain { variable, value } => {
+                write!(f, "value {value} not in domain of {variable}")
+            }
+            ModelError::FeatureOutOfRange { id, num_features } => {
+                write!(f, "feature id {id} out of range (model has {num_features})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = ModelError::ValueNotInDomain {
+            variable: VariableId(3),
+            value: "B-ORG".into(),
+        };
+        assert!(e.to_string().contains("B-ORG"));
+        let e = ModelError::FeatureOutOfRange {
+            id: 99,
+            num_features: 10,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("10"));
+    }
+}

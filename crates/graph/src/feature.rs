@@ -10,6 +10,7 @@
 //! value; [`Learnable`] is implemented by models whose weights live in a
 //! flat addressable space.
 
+use crate::error::ModelError;
 use crate::model::Model;
 use crate::variable::VariableId;
 use crate::world::World;
@@ -100,10 +101,20 @@ pub trait Learnable: Model {
     fn features_neighborhood(&self, world: &World, vars: &[VariableId]) -> FeatureVector;
 
     /// Applies `θ ← θ + lr · grad` for every feature id in `grad`.
-    fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64);
+    ///
+    /// # Errors
+    /// Returns [`ModelError::FeatureOutOfRange`] when `grad` addresses a
+    /// feature id outside the model's weight layout — a malformed gradient
+    /// must not abort the training thread. Implementations must leave the
+    /// weights unchanged on error.
+    fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64) -> Result<(), ModelError>;
 
     /// Current weight of a feature (for inspection and tests).
-    fn weight(&self, feature: u64) -> f64;
+    ///
+    /// # Errors
+    /// Returns [`ModelError::FeatureOutOfRange`] for ids outside the
+    /// model's weight layout.
+    fn weight(&self, feature: u64) -> Result<f64, ModelError>;
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! test-scale ground truth ([`enumerate`]).
 
 pub mod enumerate;
+pub mod error;
 pub mod factor;
 pub mod feature;
 pub mod graph;
@@ -17,6 +18,7 @@ pub mod model;
 pub mod variable;
 pub mod world;
 
+pub use error::ModelError;
 pub use factor::{log_linear, Factor, FnFactor, TableFactor};
 pub use feature::{FeatureVector, Learnable};
 pub use graph::FactorGraph;

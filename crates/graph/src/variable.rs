@@ -73,6 +73,12 @@ impl Domain {
         &self.values[idx]
     }
 
+    /// Checked value lookup: `None` when `idx` is outside the domain (the
+    /// non-panicking accessor for paths fed by untrusted proposals).
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
     /// Index of a value, if present.
     pub fn index_of(&self, v: &Value) -> Option<usize> {
         self.values.iter().position(|x| x == v)

@@ -6,6 +6,7 @@
 //! entries at a time; the representation is a flat `Vec<u16>` of domain
 //! indexes so a walk step touches a couple of cache lines.
 
+use crate::error::ModelError;
 use crate::variable::{Domain, VariableId};
 use fgdb_relational::Value;
 use std::sync::Arc;
@@ -68,12 +69,20 @@ impl World {
         old as usize
     }
 
-    /// Sets a variable by value. Panics if the value is not in the domain.
-    pub fn set_value(&mut self, v: VariableId, value: &Value) -> usize {
-        let idx = self.domains[v.index()]
-            .index_of(value)
-            .unwrap_or_else(|| panic!("value {value} not in domain of {v}"));
-        self.set(v, idx)
+    /// Sets a variable by value, returning the previous domain index.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ValueNotInDomain`] when the value is not in the
+    /// variable's domain — a malformed proposal must not abort the engine
+    /// thread applying it.
+    pub fn set_value(&mut self, v: VariableId, value: &Value) -> Result<usize, ModelError> {
+        let idx = self.domains[v.index()].index_of(value).ok_or_else(|| {
+            ModelError::ValueNotInDomain {
+                variable: v,
+                value: value.to_string(),
+            }
+        })?;
+        Ok(self.set(v, idx))
     }
 
     /// Domain of a variable.
@@ -137,15 +146,24 @@ mod tests {
     fn set_value_resolves_domain_index() {
         let mut w = World::new(vec![bio()]);
         let v = VariableId(0);
-        w.set_value(v, &Value::str("I-PER"));
+        assert_eq!(w.set_value(v, &Value::str("I-PER")), Ok(0));
         assert_eq!(w.get(v), 2);
     }
 
     #[test]
-    #[should_panic(expected = "not in domain")]
-    fn set_value_rejects_foreign_value() {
+    fn set_value_rejects_foreign_value_without_panicking() {
         let mut w = World::new(vec![bio()]);
-        w.set_value(VariableId(0), &Value::str("B-ORG"));
+        w.set(VariableId(0), 1);
+        let err = w.set_value(VariableId(0), &Value::str("B-ORG"));
+        assert_eq!(
+            err,
+            Err(ModelError::ValueNotInDomain {
+                variable: VariableId(0),
+                value: "B-ORG".into()
+            })
+        );
+        // The world is untouched by the failed assignment.
+        assert_eq!(w.get(VariableId(0)), 1);
     }
 
     #[test]

@@ -22,7 +22,9 @@
 
 use crate::bio::{Label, NUM_LABELS};
 use crate::corpus::Corpus;
-use fgdb_graph::{Domain, EvalStats, FeatureVector, Learnable, Model, VariableId, World};
+use fgdb_graph::{
+    Domain, EvalStats, FeatureVector, Learnable, Model, ModelError, VariableId, World,
+};
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -470,7 +472,18 @@ impl Learnable for Crf {
         fv
     }
 
-    fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64) {
+    fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64) -> Result<(), ModelError> {
+        // Validate every id first so a malformed gradient cannot leave the
+        // weights half-updated (and cannot abort the thread, as the old
+        // panic here did).
+        for (id, _) in grad.iter() {
+            if id >= self.layout.prev {
+                return Err(ModelError::FeatureOutOfRange {
+                    id,
+                    num_features: self.layout.prev,
+                });
+            }
+        }
         for (id, g) in grad.iter() {
             let delta = lr * g;
             if id < self.layout.emission {
@@ -481,16 +494,15 @@ impl Learnable for Crf {
                 self.bias[(id - self.layout.transition) as usize] += delta;
             } else if id < self.layout.skip {
                 self.skip[(id - self.layout.bias) as usize] += delta;
-            } else if id < self.layout.prev {
-                self.prev_emission[(id - self.layout.skip) as usize] += delta;
             } else {
-                panic!("feature id {id} out of range");
+                self.prev_emission[(id - self.layout.skip) as usize] += delta;
             }
         }
+        Ok(())
     }
 
-    fn weight(&self, id: u64) -> f64 {
-        if id < self.layout.emission {
+    fn weight(&self, id: u64) -> Result<f64, ModelError> {
+        Ok(if id < self.layout.emission {
             self.emission[id as usize]
         } else if id < self.layout.transition {
             self.transition[(id - self.layout.emission) as usize]
@@ -501,8 +513,11 @@ impl Learnable for Crf {
         } else if id < self.layout.prev {
             self.prev_emission[(id - self.layout.skip) as usize]
         } else {
-            panic!("feature id {id} out of range")
-        }
+            return Err(ModelError::FeatureOutOfRange {
+                id,
+                num_features: self.layout.prev,
+            });
+        })
     }
 }
 
@@ -637,7 +652,10 @@ mod tests {
             let vars = [VariableId(t as u32)];
             let score = crf.score_neighborhood(&world, &vars, &mut stats);
             let feats = crf.features_neighborhood(&world, &vars);
-            let dot: f64 = feats.iter().map(|(id, v)| v * crf.weight(id)).sum();
+            let dot: f64 = feats
+                .iter()
+                .map(|(id, v)| v * crf.weight(id).unwrap())
+                .sum();
             assert!((score - dot).abs() < 1e-9, "score {score} vs φ·θ {dot}");
         }
     }
@@ -652,11 +670,33 @@ mod tests {
         grad.add(crf.layout.emission, 2.0); // first transition weight
         grad.add(crf.layout.transition, 3.0); // first bias weight
         grad.add(crf.layout.bias, 4.0); // first skip weight
-        crf.apply_gradient(&grad, 0.5);
-        assert_eq!(crf.weight(0), 0.5);
-        assert_eq!(crf.weight(crf.layout.emission), 1.0);
-        assert_eq!(crf.weight(crf.layout.transition), 1.5);
-        assert_eq!(crf.weight(crf.layout.bias), 2.0);
+        crf.apply_gradient(&grad, 0.5).unwrap();
+        assert_eq!(crf.weight(0).unwrap(), 0.5);
+        assert_eq!(crf.weight(crf.layout.emission).unwrap(), 1.0);
+        assert_eq!(crf.weight(crf.layout.transition).unwrap(), 1.5);
+        assert_eq!(crf.weight(crf.layout.bias).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn out_of_range_feature_ids_error_without_partial_updates() {
+        let c = tiny_corpus();
+        let data = TokenSeqData::from_corpus(&c, 8);
+        let mut crf = Crf::skip_chain(data);
+        let bad_id = crf.layout.prev + 10;
+        assert_eq!(
+            crf.weight(bad_id),
+            Err(ModelError::FeatureOutOfRange {
+                id: bad_id,
+                num_features: crf.layout.prev
+            })
+        );
+        // A gradient mixing valid and invalid ids is rejected atomically:
+        // no weight moves.
+        let mut grad = FeatureVector::new();
+        grad.add(0, 1.0);
+        grad.add(bad_id, 1.0);
+        assert!(crf.apply_gradient(&grad, 0.5).is_err());
+        assert_eq!(crf.weight(0).unwrap(), 0.0, "no partial update on error");
     }
 
     #[test]

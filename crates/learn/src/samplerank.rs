@@ -19,7 +19,7 @@
 //! update is O(|neighborhood|), independent of database size.
 
 use crate::objective::Objective;
-use fgdb_graph::{EvalStats, FeatureVector, Learnable, VariableId, World};
+use fgdb_graph::{EvalStats, FeatureVector, Learnable, ModelError, VariableId, World};
 use fgdb_mcmc::{DynRng, Proposer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,13 +81,18 @@ pub struct TrainStats {
 
 /// Trains `model` in place against `objective`, walking `world` with
 /// `proposer`. Returns counters; the world ends wherever the chain left it.
+///
+/// # Errors
+/// Propagates [`ModelError`] from the model's gradient application (e.g. a
+/// feature id outside the weight layout). The walk stops at the failing
+/// step; weights hold the last successfully applied update.
 pub fn train<M, O>(
     model: &mut M,
     world: &mut World,
     proposer: &mut dyn Proposer,
     objective: &O,
     config: &SampleRankConfig,
-) -> TrainStats
+) -> Result<TrainStats, ModelError>
 where
     M: Learnable,
     O: Objective + ?Sized,
@@ -132,11 +137,11 @@ where
         // truth-preferred world must win by at least `margin`.
         if obj_after > obj_before && score_after - score_before < config.margin {
             let grad = feats_after.minus(&feats_before);
-            model.apply_gradient(&grad, config.learning_rate);
+            model.apply_gradient(&grad, config.learning_rate)?;
             stats.updates += 1;
         } else if obj_after < obj_before && score_before - score_after < config.margin {
             let grad = feats_before.minus(&feats_after);
-            model.apply_gradient(&grad, config.learning_rate);
+            model.apply_gradient(&grad, config.learning_rate)?;
             stats.updates += 1;
         }
 
@@ -158,7 +163,7 @@ where
     }
 
     stats.final_objective = objective.score(world);
-    stats
+    Ok(stats)
 }
 
 /// Averaged-perceptron helper: accumulates weight snapshots so callers can
@@ -177,11 +182,25 @@ impl WeightAverager {
     }
 
     /// Records the current value of the listed features.
-    pub fn record<M: Learnable>(&mut self, model: &M, feature_ids: impl Iterator<Item = u64>) {
+    ///
+    /// # Errors
+    /// Propagates [`ModelError`] for ids outside the model's layout. The
+    /// failing snapshot contributes nothing — weights are read before any
+    /// of them accumulate, so an error cannot leave a partial snapshot.
+    pub fn record<M: Learnable>(
+        &mut self,
+        model: &M,
+        feature_ids: impl Iterator<Item = u64>,
+    ) -> Result<(), ModelError> {
+        let mut read = Vec::new();
         for id in feature_ids {
-            self.sum.add(id, model.weight(id));
+            read.push((id, model.weight(id)?));
+        }
+        for (id, w) in read {
+            self.sum.add(id, w);
         }
         self.snapshots += 1;
+        Ok(())
     }
 
     /// Number of snapshots recorded.
@@ -237,13 +256,28 @@ mod tests {
             }
             f
         }
-        fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64) {
+        fn apply_gradient(&mut self, grad: &FeatureVector, lr: f64) -> Result<(), ModelError> {
+            for (id, _) in grad.iter() {
+                if id as usize >= self.weights.len() {
+                    return Err(ModelError::FeatureOutOfRange {
+                        id,
+                        num_features: self.weights.len() as u64,
+                    });
+                }
+            }
             for (id, g) in grad.iter() {
                 self.weights[id as usize] += lr * g;
             }
+            Ok(())
         }
-        fn weight(&self, feature: u64) -> f64 {
-            self.weights[feature as usize]
+        fn weight(&self, feature: u64) -> Result<f64, ModelError> {
+            self.weights
+                .get(feature as usize)
+                .copied()
+                .ok_or(ModelError::FeatureOutOfRange {
+                    id: feature,
+                    num_features: self.weights.len() as u64,
+                })
         }
     }
 
@@ -271,14 +305,15 @@ mod tests {
             seed: 7,
             ..Default::default()
         };
-        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg);
+        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg).unwrap();
         assert!(
             stats.updates > 0,
             "ranking disagreements must trigger updates"
         );
         // The "right" label's weight must dominate.
         assert!(
-            model.weight(1) > model.weight(0) && model.weight(1) > model.weight(2),
+            model.weight(1).unwrap() > model.weight(0).unwrap()
+                && model.weight(1).unwrap() > model.weight(2).unwrap(),
             "weights: {:?}",
             model.weights
         );
@@ -300,7 +335,7 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        train(&mut model, &mut world, &mut proposer, &obj, &cfg);
+        train(&mut model, &mut world, &mut proposer, &obj, &cfg).unwrap();
         // Score the all-truth world vs one with a wrong label.
         let mut truth_world = world.clone();
         for &v in &vars {
@@ -323,9 +358,9 @@ mod tests {
             drive: Drive::Model,
             ..Default::default()
         };
-        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg);
+        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg).unwrap();
         assert!(stats.updates > 0);
-        assert!(model.weight(1) > model.weight(0));
+        assert!(model.weight(1).unwrap() > model.weight(0).unwrap());
     }
 
     #[test]
@@ -336,19 +371,20 @@ mod tests {
             steps: 0,
             ..Default::default()
         };
-        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg);
+        let stats = train(&mut model, &mut world, &mut proposer, &obj, &cfg).unwrap();
         assert_eq!(stats.steps, 0);
         assert_eq!(stats.updates, 0);
-        assert_eq!(model.weight(0), 0.0);
+        assert_eq!(model.weight(0).unwrap(), 0.0);
     }
 
     #[test]
     fn weight_averager_averages() {
         let (mut model, _, _) = setup(1);
         let mut avg = WeightAverager::new();
-        avg.record(&model, 0..3u64);
+        avg.record(&model, 0..3u64).unwrap();
         model.weights[1] = 2.0;
-        avg.record(&model, 0..3u64);
+        avg.record(&model, 0..3u64).unwrap();
+        assert!(avg.record(&model, 0..99u64).is_err());
         assert_eq!(avg.snapshots(), 2);
         assert_eq!(avg.averaged(1), 1.0);
         assert_eq!(avg.averaged(0), 0.0);

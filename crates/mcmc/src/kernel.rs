@@ -101,6 +101,21 @@ impl<M: Model> MetropolisHastings<M> {
         proposal: Proposal,
         rng: &mut DynRng<'_>,
     ) -> StepOutcome {
+        // A malformed proposal — a variable id outside the world or a
+        // domain index outside the variable's domain — must not abort the
+        // engine thread applying it (indexing would panic even in release).
+        // It is treated as a rejected no-op move.
+        let malformed = proposal
+            .changes
+            .iter()
+            .any(|&(v, idx)| v.index() >= world.num_variables() || idx >= world.domain(v).len());
+        if malformed {
+            return StepOutcome {
+                accepted: false,
+                changes: Vec::new(),
+            };
+        }
+
         // Distinct touched variables.
         self.touched.clear();
         for (v, _) in &proposal.changes {
@@ -318,6 +333,49 @@ mod tests {
         let out = k.step(&mut world, &mut rng);
         assert!(!out.accepted);
         assert_eq!(world.get(VariableId(0)), 0, "reverted to original");
+    }
+
+    #[test]
+    fn malformed_proposals_are_rejected_not_panics() {
+        // Out-of-range variable ids and domain indexes must be treated as
+        // rejected no-op moves — a bad proposer cannot abort the thread.
+        struct Malformed {
+            support: Vec<VariableId>,
+            mode: usize,
+        }
+        impl Proposer for Malformed {
+            fn propose(&mut self, _world: &World, _rng: &mut DynRng<'_>) -> Proposal {
+                let changes = match self.mode {
+                    // Variable id beyond the world.
+                    0 => vec![(VariableId(999), 0)],
+                    // Domain index beyond the variable's domain.
+                    1 => vec![(VariableId(0), 99)],
+                    // Valid change mixed with an invalid one.
+                    _ => vec![(VariableId(0), 1), (VariableId(999), 7)],
+                };
+                Proposal::symmetric(changes)
+            }
+            fn support(&self) -> &[VariableId] {
+                &self.support
+            }
+        }
+        for mode in 0..3 {
+            let (g, mut world, _) = ising2();
+            let snapshot = world.assignment().to_vec();
+            let mut k = MetropolisHastings::new(
+                g,
+                Box::new(Malformed {
+                    support: vec![VariableId(0)],
+                    mode,
+                }),
+            );
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut rng = DynRng::from(&mut rng);
+            let out = k.step(&mut world, &mut rng);
+            assert!(!out.accepted, "mode {mode}");
+            assert!(out.changes.is_empty(), "mode {mode}");
+            assert_eq!(world.assignment(), &snapshot[..], "world untouched");
+        }
     }
 
     #[test]

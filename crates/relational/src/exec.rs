@@ -26,6 +26,13 @@ pub struct ExecStats {
     pub tuples_scanned: u64,
     /// Intermediate rows processed by operators above the scans.
     pub rows_processed: u64,
+    /// Distinct tuples *constructed* into intermediate results by
+    /// tuple-building operators (π, ×, ⋈, γ, δ, ∪, ∖, ∩). Scans and
+    /// selections pass existing tuples through and do not count. This is
+    /// the metric the [`crate::planner`] optimizer provably never
+    /// increases: pushing a selection below a tuple-building operator can
+    /// only shrink that operator's output.
+    pub intermediate_tuples: u64,
 }
 
 impl ExecStats {
@@ -33,6 +40,7 @@ impl ExecStats {
     pub fn absorb(&mut self, other: ExecStats) {
         self.tuples_scanned += other.tuples_scanned;
         self.rows_processed += other.rows_processed;
+        self.intermediate_tuples += other.intermediate_tuples;
     }
 }
 
@@ -145,6 +153,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 stats.rows_processed += 1;
                 out.add(t.project(&indices), c);
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Product { left, right } => {
@@ -157,6 +166,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                     out.add(lt.concat(rt), lc * rc);
                 }
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Join { left, right, on } => {
@@ -185,6 +195,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                     }
                 }
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Aggregate {
@@ -217,6 +228,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 vals.extend(accs.iter().map(AggAcc::finish));
                 out.add(Tuple::new(vals), 1);
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Distinct { input } => {
@@ -226,6 +238,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 stats.rows_processed += 1;
                 out.add(t.clone(), 1);
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Union { left, right } => {
@@ -233,6 +246,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             let r = eval(right, db, stats)?;
             stats.rows_processed += r.distinct_len() as u64;
             l.merge_owned(r);
+            stats.intermediate_tuples += l.distinct_len() as u64;
             Ok(l)
         }
         Plan::Difference { left, right } => {
@@ -244,6 +258,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 let c = (lc - r.count(t)).max(0);
                 out.add(t.clone(), c);
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
         Plan::Intersect { left, right } => {
@@ -255,6 +270,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
                 let c = lc.min(r.count(t)).max(0);
                 out.add(t.clone(), c);
             }
+            stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
     }
@@ -346,11 +362,19 @@ pub(crate) fn bind_aggs(aggs: &[AggExpr], cols: &[Arc<str>]) -> Result<Vec<AggSp
 #[derive(Clone, Debug)]
 pub(crate) enum AggAcc {
     Count(i64),
+    /// SUM keeps an exact `i128` accumulator for integer inputs (a delta
+    /// stream can push partial sums far past 2⁵³, where an `f64` would
+    /// silently round) and a separate float accumulator for float inputs.
     Sum {
-        sum: f64,
+        int: i128,
+        float: f64,
         n: i64,
+        saw_float: bool,
     },
     /// Min/Max keep a multiset of values so deletions can be undone.
+    /// Retractions of never-seen values (Δ⁻ arriving before its Δ⁺ inside
+    /// one view-maintenance batch) legitimately drive entries negative;
+    /// such entries are bookkeeping only and must never win `finish`.
     Extremum {
         values: std::collections::BTreeMap<Value, i64>,
         max: bool,
@@ -361,7 +385,12 @@ impl AggAcc {
     pub fn new(spec: &AggSpec) -> AggAcc {
         match spec.kind {
             AggKind::Count => AggAcc::Count(0),
-            AggKind::Sum(_) => AggAcc::Sum { sum: 0.0, n: 0 },
+            AggKind::Sum(_) => AggAcc::Sum {
+                int: 0,
+                float: 0.0,
+                n: 0,
+                saw_float: false,
+            },
             AggKind::Min(_) => AggAcc::Extremum {
                 values: Default::default(),
                 max: false,
@@ -382,12 +411,27 @@ impl AggAcc {
         }
         match (self, &spec.kind) {
             (AggAcc::Count(n), AggKind::Count) => *n += mult,
-            (AggAcc::Sum { sum, n }, AggKind::Sum(col)) => {
-                if let Some(v) = row.get(*col).as_float() {
-                    *sum += v * mult as f64;
+            (
+                AggAcc::Sum {
+                    int,
+                    float,
+                    n,
+                    saw_float,
+                },
+                AggKind::Sum(col),
+            ) => match row.get(*col) {
+                Value::Int(v) => {
+                    *int += *v as i128 * mult as i128;
                     *n += mult;
                 }
-            }
+                Value::Float(f) => {
+                    *float += f.get() * mult as f64;
+                    *saw_float = true;
+                    *n += mult;
+                }
+                // NULLs and non-numeric values are skipped, as before.
+                _ => {}
+            },
             (AggAcc::Extremum { values, .. }, AggKind::Min(col) | AggKind::Max(col)) => {
                 let v = row.get(*col);
                 if !v.is_null() {
@@ -406,19 +450,32 @@ impl AggAcc {
     pub fn finish(&self) -> Value {
         match self {
             AggAcc::Count(n) => Value::Int(*n),
-            AggAcc::Sum { sum, n } => {
+            AggAcc::Sum {
+                int,
+                float,
+                n,
+                saw_float,
+            } => {
                 if *n == 0 {
                     Value::Null
+                } else if *saw_float {
+                    // Mixed or float column: float semantics.
+                    Value::float(*int as f64 + *float)
                 } else {
-                    Value::float(*sum)
+                    // Pure integer column: exact. Only a sum that genuinely
+                    // overflows i64 falls back to an approximate float.
+                    match i64::try_from(*int) {
+                        Ok(v) => Value::Int(v),
+                        Err(_) => Value::float(*int as f64),
+                    }
                 }
             }
             AggAcc::Extremum { values, max } => {
-                let pick = if *max {
-                    values.iter().next_back()
-                } else {
-                    values.iter().next()
-                };
+                // Only entries with positive multiplicity are real members
+                // of the group; negative entries are pending retractions of
+                // values whose matching insertion has not been seen yet.
+                let mut live = values.iter().filter(|(_, c)| **c > 0);
+                let pick = if *max { live.next_back() } else { live.next() };
                 match pick {
                     Some((v, _)) => v.clone(),
                     None => Value::Null,
@@ -598,8 +655,76 @@ mod tests {
             ],
         );
         let res = execute_simple(&p, &db).unwrap();
-        assert!(res.rows.contains(&tuple![1i64, 1i64, 3i64, 6.0f64]));
-        assert!(res.rows.contains(&tuple![3i64, 7i64, 8i64, 15.0f64]));
+        // SUM over an INT column is exact and integer-typed.
+        assert!(res.rows.contains(&tuple![1i64, 1i64, 3i64, 6i64]));
+        assert!(res.rows.contains(&tuple![3i64, 7i64, 8i64, 15i64]));
+    }
+
+    #[test]
+    fn integer_sum_is_exact_past_f64_precision() {
+        // Two values of 2⁵³ + 1: the f64 path would round each to 2⁵³ and
+        // report 2⁵⁴; the exact path reports 2⁵⁴ + 2.
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("g", ValueType::Int), ("v", ValueType::Int)]).unwrap();
+        db.create_relation("BIG", schema).unwrap();
+        let big = (1i64 << 53) + 1;
+        let rel = db.relation_mut("BIG").unwrap();
+        rel.insert(tuple![1i64, big]).unwrap();
+        rel.insert(tuple![1i64, big]).unwrap();
+        let p = Plan::scan("BIG").aggregate(
+            &["g"],
+            vec![AggExpr::new(AggFunc::Sum(Arc::from("v")), "s")],
+        );
+        let res = execute_simple(&p, &db).unwrap();
+        assert_eq!(
+            res.rows.sorted_support(),
+            vec![tuple![1i64, (1i64 << 54) + 2]],
+            "integer SUM must not round through f64"
+        );
+    }
+
+    #[test]
+    fn float_sum_stays_float_and_empty_sum_is_null() {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[("g", ValueType::Int), ("v", ValueType::Float)]).unwrap();
+        db.create_relation("F", schema).unwrap();
+        let rel = db.relation_mut("F").unwrap();
+        rel.insert(tuple![1i64, 0.5f64]).unwrap();
+        rel.insert(tuple![1i64, 0.25f64]).unwrap();
+        rel.insert(Tuple::new(vec![Value::Int(2), Value::Null]))
+            .unwrap();
+        let p = Plan::scan("F").aggregate(
+            &["g"],
+            vec![AggExpr::new(AggFunc::Sum(Arc::from("v")), "s")],
+        );
+        let res = execute_simple(&p, &db).unwrap();
+        assert!(res.rows.contains(&tuple![1i64, 0.75f64]));
+        // Group 2 has only a NULL input: SUM is NULL.
+        assert!(res
+            .rows
+            .contains(&Tuple::new(vec![Value::Int(2), Value::Null])));
+    }
+
+    #[test]
+    fn extremum_retraction_of_unseen_value_is_never_a_candidate() {
+        // Regression: a Δ⁻ arriving before its Δ⁺ (legal inside one view
+        // maintenance batch) drives a never-seen value to count −1. finish()
+        // must ignore it rather than report a MIN/MAX outside the group.
+        let cols: Vec<Arc<str>> = vec![Arc::from("v")];
+        let specs = bind_aggs(&[AggExpr::new(AggFunc::Min(Arc::from("v")), "lo")], &cols).unwrap();
+        let mut acc = AggAcc::new(&specs[0]);
+        acc.update(&specs[0], &tuple![7i64], 1);
+        // Retract value 3, which was never inserted.
+        acc.update(&specs[0], &tuple![3i64], -1);
+        assert_eq!(acc.finish(), Value::Int(7), "phantom MIN candidate");
+        // The matching Δ⁺ arrives later in the batch: 3 becomes real.
+        acc.update(&specs[0], &tuple![3i64], 2);
+        assert_eq!(acc.finish(), Value::Int(3));
+        // All positives retracted → NULL, even with negative entries left.
+        acc.update(&specs[0], &tuple![3i64], -1);
+        acc.update(&specs[0], &tuple![7i64], -1);
+        acc.update(&specs[0], &tuple![99i64], -1);
+        assert_eq!(acc.finish(), Value::Null);
     }
 
     #[test]

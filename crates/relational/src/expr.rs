@@ -28,7 +28,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn apply(self, ord: std::cmp::Ordering) -> bool {
+    /// Applies the comparison to an ordering (`a op b` where `ord` is the
+    /// ordering of `a` relative to `b`).
+    pub fn apply(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CmpOp::Eq => ord == Equal,

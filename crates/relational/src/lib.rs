@@ -13,6 +13,11 @@
 //!   images (the MCMC write path);
 //! * [`expr`] / [`algebra`] — predicates and plans (σ, π, ×, ⋈, γ, δ),
 //!   including [`algebra::paper_queries`], the four evaluation queries of §5;
+//! * [`parser`] / [`planner`] — the SQL text frontend
+//!   ([`parser::paper_sql`] carries the §5 queries as text) and the rule- +
+//!   cost-based optimizer (pushdown, product→join rewrite, projection
+//!   pruning, cardinality-driven join ordering) that turn a query string
+//!   into an executable plan ([`planner::compile_query`]);
 //! * [`exec`] — full from-scratch execution with work accounting (what the
 //!   *naive* sampling evaluator pays per sample);
 //! * [`counted`] / [`delta`] / [`view`] — counted multisets, Δ⁻/Δ⁺ auxiliary
@@ -26,6 +31,8 @@ pub mod delta;
 pub mod exec;
 pub mod expr;
 pub mod fasthash;
+pub mod parser;
+pub mod planner;
 pub mod schema;
 pub mod storage;
 pub mod tuple;
@@ -39,6 +46,8 @@ pub use delta::DeltaSet;
 pub use exec::{execute, execute_simple, ExecError, ExecStats, QueryResult};
 pub use expr::{BoundExpr, CmpOp, Expr};
 pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher, TupleMap};
+pub use parser::{parse, parse_plan, ParseError, SqlQuery};
+pub use planner::{compile_query, optimize, PlannerReport, QueryError};
 pub use schema::{Column, Schema, SchemaError};
 pub use storage::{Relation, RowId, StorageError};
 pub use tuple::Tuple;

@@ -1,0 +1,1649 @@
+//! A SQL-style text frontend for the relational layer.
+//!
+//! The paper poses its four evaluation queries (§5) as SQL over the TOKEN
+//! relation; this module parses that dialect into the existing [`Plan`]
+//! algebra so callers no longer hand-assemble ASTs. Supported surface:
+//!
+//! * `SELECT [DISTINCT] <items> FROM <tables> [WHERE …] [GROUP BY …]
+//!   [HAVING …]` — items are columns or aggregates (`COUNT(*)`,
+//!   `SUM/MIN/MAX(col)`, each with an optional
+//!   `FILTER (WHERE …)` clause and `AS` alias);
+//! * `FROM` lists tables (`TOKEN`, `TOKEN T1`) separated by commas or
+//!   `JOIN … ON a = b [AND …]`;
+//! * predicates with `= <> < <= > >= AND OR NOT IS [NOT] NULL`,
+//!   parentheses, string/number/boolean/NULL literals;
+//! * `UNION / EXCEPT / INTERSECT`, each with an optional `ALL`
+//!   (`INTERSECT` binds tighter than `UNION`/`EXCEPT`, as in standard SQL).
+//!
+//! Parsing produces a [`SqlQuery`] AST whose [`fmt::Display`] prints
+//! canonical SQL — `parse ∘ print` is a fixpoint, which the round-trip
+//! tests assert. [`SqlQuery::to_plan`] lowers the AST to a naive [`Plan`]:
+//! joins become cross products under a selection, exactly the shape the
+//! [`crate::planner`] optimizer then rewrites into pushed-down hash joins.
+//!
+//! The parser never panics: every malformed input surfaces as a
+//! [`ParseError`] carrying the byte offset of the offending token.
+
+use crate::algebra::{AggExpr, AggFunc, Plan};
+use crate::expr::{CmpOp, Expr};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse or lowering failure: what went wrong and (when known) the byte
+/// offset in the input where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the offending token, when attributable.
+    pub offset: Option<usize>,
+}
+
+impl ParseError {
+    fn at(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} (at byte {o})", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------- tokens --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    /// Bare identifier or keyword (case preserved; keywords matched
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal text (sign included when adjacent).
+    Number(String),
+    /// String literal contents (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+fn tokenize(sql: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = sql.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::at("unterminated string literal", start)),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one whole UTF-8 scalar, not one byte.
+                            let rest = &sql[i..];
+                            let c = rest.chars().next().expect("in-bounds char");
+                            s.push(c);
+                            i += c.len_utf8();
+                        }
+                    }
+                }
+                toks.push((Tok::Str(s), start));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                i = scan_number(bytes, i);
+                toks.push((Tok::Number(sql[start..i].to_string()), start));
+            }
+            b'-' if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
+                let start = i;
+                i = scan_number(bytes, i + 1);
+                toks.push((Tok::Number(sql[start..i].to_string()), start));
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(sql[start..i].to_string()), start));
+            }
+            b'<' => {
+                let sym = match bytes.get(i + 1) {
+                    Some(b'>') => "<>",
+                    Some(b'=') => "<=",
+                    _ => "<",
+                };
+                toks.push((Tok::Sym(sym), i));
+                i += sym.len();
+            }
+            b'>' => {
+                let sym = if bytes.get(i + 1) == Some(&b'=') {
+                    ">="
+                } else {
+                    ">"
+                };
+                toks.push((Tok::Sym(sym), i));
+                i += sym.len();
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                toks.push((Tok::Sym("<>"), i));
+                i += 2;
+            }
+            b'=' => {
+                toks.push((Tok::Sym("="), i));
+                i += 1;
+            }
+            b'(' | b')' | b',' | b'.' | b'*' => {
+                let sym = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b',' => ",",
+                    b'.' => ".",
+                    _ => "*",
+                };
+                toks.push((Tok::Sym(sym), i));
+                i += 1;
+            }
+            _ => {
+                let c = sql[i..].chars().next().expect("in-bounds char");
+                return Err(ParseError::at(format!("unexpected character `{c}`"), i));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Scans digits, an optional fraction, and an optional exponent starting at
+/// `i` (first digit already known present at `i` or `i-1`).
+fn scan_number(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = j;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+// ------------------------------------------------------------------- AST --
+
+/// An aggregate function call: `COUNT(*)`, `SUM(col)`, `MIN(col)`,
+/// `MAX(col)`, each optionally restricted by `FILTER (WHERE …)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggCall {
+    /// The aggregate function (reuses the algebra's [`AggFunc`]).
+    pub func: AggFunc,
+    /// Optional `FILTER (WHERE …)` predicate.
+    pub filter: Option<Box<SqlExpr>>,
+}
+
+/// A scalar/boolean expression as written, before lowering to [`Expr`].
+/// Unlike [`Expr`] it may contain aggregate calls (legal in `SELECT` items
+/// and `HAVING`, rejected in `WHERE` and `FILTER`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Possibly-qualified column reference.
+    Column(Arc<str>),
+    /// Literal value.
+    Literal(Value),
+    /// Aggregate call.
+    Agg(AggCall),
+    /// Binary comparison.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical AND.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical OR.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical NOT.
+    Not(Box<SqlExpr>),
+    /// `IS NULL` test.
+    IsNull(Box<SqlExpr>),
+}
+
+/// One `SELECT` list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain column reference.
+    Column(Arc<str>),
+    /// Aggregate call with an optional `AS` output name.
+    Aggregate {
+        /// The call.
+        call: AggCall,
+        /// Output column name (`AS name`); synthesized when absent.
+        alias: Option<Arc<str>>,
+    },
+}
+
+/// A base table reference with an optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Relation name.
+    pub relation: Arc<str>,
+    /// Optional alias (`TOKEN T1` or `TOKEN AS T1`).
+    pub alias: Option<Arc<str>>,
+}
+
+/// One `JOIN table ON a = b [AND …]` clause attached to a FROM item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// Equality pairs from the `ON` clause, as written.
+    pub on: Vec<(Arc<str>, Arc<str>)>,
+}
+
+/// One comma-separated FROM entry: a base table plus its JOIN chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// The base table.
+    pub base: TableRef,
+    /// Chained joins, in order.
+    pub joins: Vec<JoinClause>,
+}
+
+/// One `SELECT` block (no set operations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// `SELECT *` (mutually exclusive with `items`).
+    pub star: bool,
+    /// Select-list entries (empty iff `star`).
+    pub items: Vec<SelectItem>,
+    /// FROM clause entries.
+    pub from: Vec<FromItem>,
+    /// WHERE predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<Arc<str>>,
+    /// HAVING predicate (may contain aggregate calls).
+    pub having: Option<SqlExpr>,
+}
+
+/// A set operation connective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// `UNION` (bag union with `ALL`, set union otherwise).
+    Union,
+    /// `EXCEPT` (monus with `ALL`, set difference otherwise).
+    Except,
+    /// `INTERSECT` (bag min with `ALL`, set intersection otherwise).
+    Intersect,
+}
+
+/// A full query: one `SELECT` or a left-associative set-operation tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlQuery {
+    /// A single SELECT block.
+    Select(Box<SelectStmt>),
+    /// `left <op> [ALL] right`.
+    SetOp {
+        /// The connective.
+        op: SetOp,
+        /// `ALL` keeps multiplicities; without it both sides are dedup'd.
+        all: bool,
+        /// Left input.
+        left: Box<SqlQuery>,
+        /// Right input.
+        right: Box<SqlQuery>,
+    },
+}
+
+/// Parses a SQL query into its AST.
+pub fn parse(sql: &str) -> Result<SqlQuery, ParseError> {
+    let toks = tokenize(sql)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: sql.len(),
+        expr_depth: 0,
+        expr_nodes: 0,
+        selects: 0,
+    };
+    let q = p.query()?;
+    if let Some((_, off)) = p.peek_raw() {
+        return Err(ParseError::at("trailing input after query", *off));
+    }
+    Ok(q)
+}
+
+/// Parses a SQL query and lowers it to a naive (unoptimized) [`Plan`].
+pub fn parse_plan(sql: &str) -> Result<Plan, ParseError> {
+    parse(sql)?.to_plan()
+}
+
+// ---------------------------------------------------------------- parser --
+
+/// Resource caps keeping every recursive structure shallow enough that no
+/// downstream pass (lowering, folding, printing, execution) can overflow
+/// the stack on hostile input. Generous for real queries.
+const MAX_EXPR_DEPTH: usize = 256;
+const MAX_EXPR_NODES: usize = 4096;
+const MAX_SELECTS: usize = 256;
+const MAX_FROM_TABLES: usize = 64;
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+    /// Current parenthesis/clause nesting inside `expr`.
+    expr_depth: usize,
+    /// Expression nodes built so far (whole statement).
+    expr_nodes: usize,
+    /// SELECT blocks seen so far (set-operation chains).
+    selects: usize,
+}
+
+impl Parser {
+    fn peek_raw(&self) -> Option<&(Tok, usize)> {
+        self.toks.get(self.pos)
+    }
+
+    fn offset(&self) -> usize {
+        self.peek_raw().map_or(self.end, |(_, o)| *o)
+    }
+
+    /// True when the next token is the keyword `kw` (case-insensitive).
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek_raw(), Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::at(format!("expected `{kw}`"), self.offset()))
+        }
+    }
+
+    fn peek_sym(&self, sym: &str) -> bool {
+        matches!(self.peek_raw(), Some((Tok::Sym(s), _)) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.peek_sym(sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(ParseError::at(format!("expected `{sym}`"), self.offset()))
+        }
+    }
+
+    /// A bare identifier that is not a reserved keyword.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek_raw() {
+            Some((Tok::Ident(s), off)) => {
+                if RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                    return Err(ParseError::at(
+                        format!("expected identifier, found keyword `{s}`"),
+                        *off,
+                    ));
+                }
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(ParseError::at("expected identifier", self.offset())),
+        }
+    }
+
+    /// A possibly-qualified column name (`col` or `alias.col`).
+    fn column_name(&mut self) -> Result<Arc<str>, ParseError> {
+        let head = self.ident()?;
+        if self.eat_sym(".") {
+            let tail = self.ident()?;
+            Ok(Arc::from(format!("{head}.{tail}")))
+        } else {
+            Ok(Arc::from(head))
+        }
+    }
+
+    // query := intersect_term ((UNION|EXCEPT) [ALL] intersect_term)*
+    //
+    // INTERSECT binds tighter than UNION/EXCEPT, as in standard SQL:
+    // `A UNION B INTERSECT C` is `A UNION (B INTERSECT C)`.
+    fn query(&mut self) -> Result<SqlQuery, ParseError> {
+        let mut left = self.intersect_term()?;
+        loop {
+            let op = if self.eat_kw("UNION") {
+                SetOp::Union
+            } else if self.eat_kw("EXCEPT") {
+                SetOp::Except
+            } else {
+                break;
+            };
+            let all = self.eat_kw("ALL");
+            let right = self.intersect_term()?;
+            left = SqlQuery::SetOp {
+                op,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    // intersect_term := select_stmt (INTERSECT [ALL] select_stmt)*
+    fn intersect_term(&mut self) -> Result<SqlQuery, ParseError> {
+        let mut left = SqlQuery::Select(Box::new(self.select_stmt()?));
+        while self.eat_kw("INTERSECT") {
+            let all = self.eat_kw("ALL");
+            let right = SqlQuery::Select(Box::new(self.select_stmt()?));
+            left = SqlQuery::SetOp {
+                op: SetOp::Intersect,
+                all,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn select_stmt(&mut self) -> Result<SelectStmt, ParseError> {
+        self.selects += 1;
+        if self.selects > MAX_SELECTS {
+            return Err(ParseError::at(
+                format!("more than {MAX_SELECTS} SELECT blocks in one query"),
+                self.offset(),
+            ));
+        }
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let (star, items) = if self.eat_sym("*") {
+            (true, Vec::new())
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_sym(",") {
+                items.push(self.select_item()?);
+            }
+            (false, items)
+        };
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_with_joins()?];
+        while self.eat_sym(",") {
+            from.push(self.table_with_joins()?);
+        }
+        let n_tables: usize = from.iter().map(|f| 1 + f.joins.len()).sum();
+        if n_tables > MAX_FROM_TABLES {
+            return Err(ParseError::at(
+                format!("more than {MAX_FROM_TABLES} tables in one FROM clause"),
+                self.offset(),
+            ));
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.column_name()?);
+            while self.eat_sym(",") {
+                group_by.push(self.column_name()?);
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(SelectStmt {
+            distinct,
+            star,
+            items,
+            from,
+            where_clause,
+            group_by,
+            having,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if let Some(call) = self.try_agg_call()? {
+            let alias = if self.eat_kw("AS") {
+                Some(Arc::from(self.ident()?))
+            } else {
+                None
+            };
+            return Ok(SelectItem::Aggregate { call, alias });
+        }
+        let off = self.offset();
+        let name = self.column_name()?;
+        if self.eat_kw("AS") {
+            return Err(ParseError::at(
+                "AS is only supported on aggregates (plain columns keep their name)",
+                off,
+            ));
+        }
+        Ok(SelectItem::Column(name))
+    }
+
+    /// Parses an aggregate call if the next tokens start one.
+    fn try_agg_call(&mut self) -> Result<Option<AggCall>, ParseError> {
+        let func = if self.peek_kw("COUNT") {
+            self.pos += 1;
+            self.expect_sym("(")?;
+            self.expect_sym("*")?;
+            self.expect_sym(")")?;
+            AggFunc::Count
+        } else if self.peek_kw("SUM") || self.peek_kw("MIN") || self.peek_kw("MAX") {
+            let which = match self.peek_raw() {
+                Some((Tok::Ident(s), _)) => s.to_ascii_uppercase(),
+                _ => unreachable!("peeked above"),
+            };
+            self.pos += 1;
+            self.expect_sym("(")?;
+            let col = self.column_name()?;
+            self.expect_sym(")")?;
+            match which.as_str() {
+                "SUM" => AggFunc::Sum(col),
+                "MIN" => AggFunc::Min(col),
+                _ => AggFunc::Max(col),
+            }
+        } else {
+            return Ok(None);
+        };
+        let filter = if self.eat_kw("FILTER") {
+            self.expect_sym("(")?;
+            self.expect_kw("WHERE")?;
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            Some(Box::new(e))
+        } else {
+            None
+        };
+        Ok(Some(AggCall { func, filter }))
+    }
+
+    fn table_with_joins(&mut self) -> Result<FromItem, ParseError> {
+        let base = self.table_ref()?;
+        let mut joins = Vec::new();
+        while self.eat_kw("JOIN") {
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let mut on = vec![self.join_pair()?];
+            while self.eat_kw("AND") {
+                on.push(self.join_pair()?);
+            }
+            joins.push(JoinClause { table, on });
+        }
+        Ok(FromItem { base, joins })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let relation = Arc::from(self.ident()?);
+        let aliased = self.eat_kw("AS")
+            || matches!(self.peek_raw(), Some((Tok::Ident(s), _))
+                if !RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k)));
+        let alias = if aliased {
+            Some(Arc::from(self.ident()?))
+        } else {
+            None
+        };
+        Ok(TableRef { relation, alias })
+    }
+
+    fn join_pair(&mut self) -> Result<(Arc<str>, Arc<str>), ParseError> {
+        let a = self.column_name()?;
+        self.expect_sym("=")?;
+        let b = self.column_name()?;
+        Ok((a, b))
+    }
+
+    /// Accounts one AST node against the statement budget.
+    fn bump_node(&mut self) -> Result<(), ParseError> {
+        self.expr_nodes += 1;
+        if self.expr_nodes > MAX_EXPR_NODES {
+            return Err(ParseError::at(
+                format!("expression too large (more than {MAX_EXPR_NODES} terms)"),
+                self.offset(),
+            ));
+        }
+        Ok(())
+    }
+
+    // expr := and_expr (OR and_expr)*, with a nesting guard: parenthesized
+    // sub-expressions re-enter here, so unbounded input cannot recurse the
+    // parser (or any later tree walk) into a stack overflow.
+    fn expr(&mut self) -> Result<SqlExpr, ParseError> {
+        self.expr_depth += 1;
+        if self.expr_depth > MAX_EXPR_DEPTH {
+            return Err(ParseError::at(
+                format!("expression nesting deeper than {MAX_EXPR_DEPTH}"),
+                self.offset(),
+            ));
+        }
+        let result = self.or_expr();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            self.bump_node()?;
+            let right = self.and_expr()?;
+            left = SqlExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // and_expr := not_expr (AND not_expr)*
+    fn and_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            self.bump_node()?;
+            let right = self.not_expr()?;
+            left = SqlExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    // not_expr := NOT* comparison (NOT runs consumed iteratively so a long
+    // chain cannot recurse the parser; each wrap still pays the node budget)
+    fn not_expr(&mut self) -> Result<SqlExpr, ParseError> {
+        let mut nots = 0usize;
+        while self.eat_kw("NOT") {
+            self.bump_node()?;
+            nots += 1;
+        }
+        let mut e = self.comparison()?;
+        for _ in 0..nots {
+            e = SqlExpr::Not(Box::new(e));
+        }
+        Ok(e)
+    }
+
+    // comparison := operand [cmp_op operand | IS [NOT] NULL]
+    fn comparison(&mut self) -> Result<SqlExpr, ParseError> {
+        self.bump_node()?;
+        let left = self.operand()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let test = SqlExpr::IsNull(Box::new(left));
+            return Ok(if negated {
+                SqlExpr::Not(Box::new(test))
+            } else {
+                test
+            });
+        }
+        for (sym, op) in [
+            ("=", CmpOp::Eq),
+            ("<>", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat_sym(sym) {
+                let right = self.operand()?;
+                return Ok(SqlExpr::Cmp(op, Box::new(left), Box::new(right)));
+            }
+        }
+        Ok(left)
+    }
+
+    // operand := literal | agg_call | column | '(' expr ')'
+    fn operand(&mut self) -> Result<SqlExpr, ParseError> {
+        if self.eat_sym("(") {
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        match self.peek_raw() {
+            Some((Tok::Number(text), off)) => {
+                let (text, off) = (text.clone(), *off);
+                self.pos += 1;
+                let v = parse_number(&text)
+                    .ok_or_else(|| ParseError::at(format!("bad number `{text}`"), off))?;
+                Ok(SqlExpr::Literal(v))
+            }
+            Some((Tok::Str(s), _)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::str(s)))
+            }
+            Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Null))
+            }
+            Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case("TRUE") => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Bool(true)))
+            }
+            Some((Tok::Ident(s), _)) if s.eq_ignore_ascii_case("FALSE") => {
+                self.pos += 1;
+                Ok(SqlExpr::Literal(Value::Bool(false)))
+            }
+            _ => {
+                if let Some(call) = self.try_agg_call()? {
+                    return Ok(SqlExpr::Agg(call));
+                }
+                Ok(SqlExpr::Column(self.column_name()?))
+            }
+        }
+    }
+}
+
+fn parse_number(text: &str) -> Option<Value> {
+    if text.contains('.') || text.contains('e') || text.contains('E') {
+        // Overflowing literals (e.g. `1e999` → ∞) are rejected: there is no
+        // SQL literal for non-finite floats, so accepting one would break
+        // the parse ∘ print fixpoint.
+        text.parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(Value::float)
+    } else {
+        text.parse::<i64>().ok().map(Value::Int)
+    }
+}
+
+/// Keywords that cannot be used as bare identifiers.
+const RESERVED: &[&str] = &[
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "HAVING",
+    "JOIN",
+    "ON",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "IS",
+    "TRUE",
+    "FALSE",
+    "AS",
+    "UNION",
+    "EXCEPT",
+    "INTERSECT",
+    "ALL",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "FILTER",
+];
+
+// -------------------------------------------------------------- lowering --
+
+impl SqlQuery {
+    /// Lowers the AST to a naive [`Plan`]: FROM items become left-deep cross
+    /// products, `JOIN … ON` and `WHERE` conditions land in one selection
+    /// above them, grouping/HAVING become γ/σ, and the select list becomes a
+    /// projection. The result is deliberately *unoptimized* — run it through
+    /// [`crate::planner::optimize`] to push predicates down and recover hash
+    /// joins.
+    pub fn to_plan(&self) -> Result<Plan, ParseError> {
+        match self {
+            SqlQuery::Select(s) => s.to_plan(),
+            SqlQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let mut l = left.to_plan()?;
+                let mut r = right.to_plan()?;
+                Ok(match (op, *all) {
+                    (SetOp::Union, true) => l.union(r),
+                    // δ(L ∪ R) ≡ δ(δL ∪ δR): one outer dedup suffices.
+                    (SetOp::Union, false) => l.union(r).distinct(),
+                    (SetOp::Except, true) => l.difference(r),
+                    (SetOp::Intersect, true) => l.intersect(r),
+                    // Set (not bag) semantics need both sides dedup'd first.
+                    (SetOp::Except, false) | (SetOp::Intersect, false) => {
+                        l = l.distinct();
+                        r = r.distinct();
+                        match op {
+                            SetOp::Except => l.difference(r),
+                            _ => l.intersect(r),
+                        }
+                    }
+                })
+            }
+        }
+    }
+}
+
+impl SelectStmt {
+    fn to_plan(&self) -> Result<Plan, ParseError> {
+        // FROM: left-deep products; JOIN ON conditions collect as predicates.
+        let mut plan: Option<Plan> = None;
+        let mut conds: Vec<Expr> = Vec::new();
+        for item in &self.from {
+            let mut p = scan_of(&item.base);
+            for j in &item.joins {
+                p = p.product(scan_of(&j.table));
+                for (a, b) in &j.on {
+                    conds.push(Expr::Column(Arc::clone(a)).eq(Expr::Column(Arc::clone(b))));
+                }
+            }
+            plan = Some(match plan {
+                None => p,
+                Some(q) => q.product(p),
+            });
+        }
+        let mut plan = plan.ok_or_else(|| ParseError::new("FROM clause is required"))?;
+
+        // WHERE (no aggregates allowed) joins the ON conditions.
+        if let Some(w) = &self.where_clause {
+            conds.push(lower_scalar(w, "WHERE")?);
+        }
+        if let Some(pred) = conds.into_iter().reduce(Expr::and) {
+            plan = plan.filter(pred);
+        }
+
+        let select_has_agg = self
+            .items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Aggregate { .. }));
+        let grouped = select_has_agg || !self.group_by.is_empty() || self.having.is_some();
+
+        if grouped {
+            if self.star {
+                return Err(ParseError::new("SELECT * cannot be combined with GROUP BY"));
+            }
+            // Build the aggregate list: select-list aggregates first (in
+            // order), then any HAVING-only aggregates under synthesized
+            // names. Plain select items must be grouping columns.
+            let mut aggs: Vec<AggExpr> = Vec::new();
+            let mut out_names: Vec<Arc<str>> = Vec::new();
+            for item in &self.items {
+                match item {
+                    SelectItem::Column(name) => {
+                        if !self.group_by.contains(name) {
+                            return Err(ParseError::new(format!(
+                                "column `{name}` must appear in GROUP BY or an aggregate"
+                            )));
+                        }
+                        out_names.push(Arc::clone(name));
+                    }
+                    SelectItem::Aggregate { call, alias } => {
+                        let filter = call
+                            .filter
+                            .as_ref()
+                            .map(|f| lower_scalar(f, "FILTER"))
+                            .transpose()?;
+                        let name = alias
+                            .clone()
+                            .unwrap_or_else(|| default_agg_name(&call.func));
+                        aggs.push(AggExpr {
+                            func: call.func.clone(),
+                            filter,
+                            name: Arc::clone(&name),
+                        });
+                        out_names.push(name);
+                    }
+                }
+            }
+            // HAVING: replace aggregate calls with references to (possibly
+            // newly appended) aggregate output columns.
+            let having = self
+                .having
+                .as_ref()
+                .map(|h| lower_having(h, &mut aggs))
+                .transpose()?;
+            // Project to the select list unless it already equals the
+            // aggregate's natural output (grouping columns then aggregates,
+            // which is what γ emits).
+            let natural: Vec<Arc<str>> = self
+                .group_by
+                .iter()
+                .cloned()
+                .chain(aggs.iter().map(|a| Arc::clone(&a.name)))
+                .collect();
+            plan = Plan::Aggregate {
+                input: Box::new(plan),
+                group_by: self.group_by.clone(),
+                aggs,
+            };
+            if let Some(h) = having {
+                plan = plan.filter(h);
+            }
+            if out_names != natural {
+                plan = Plan::Project {
+                    input: Box::new(plan),
+                    columns: out_names,
+                };
+            }
+        } else if !self.star {
+            let columns: Vec<Arc<str>> = self
+                .items
+                .iter()
+                .map(|i| match i {
+                    SelectItem::Column(c) => Arc::clone(c),
+                    SelectItem::Aggregate { .. } => unreachable!("grouped handled above"),
+                })
+                .collect();
+            plan = Plan::Project {
+                input: Box::new(plan),
+                columns,
+            };
+        }
+
+        if self.distinct {
+            plan = plan.distinct();
+        }
+        Ok(plan)
+    }
+}
+
+fn scan_of(t: &TableRef) -> Plan {
+    Plan::Scan {
+        relation: Arc::clone(&t.relation),
+        alias: t.alias.clone(),
+    }
+}
+
+/// Default output name for an unaliased aggregate.
+fn default_agg_name(func: &AggFunc) -> Arc<str> {
+    match func {
+        AggFunc::Count => Arc::from("count"),
+        AggFunc::Sum(c) => Arc::from(format!("sum_{}", c.replace('.', "_"))),
+        AggFunc::Min(c) => Arc::from(format!("min_{}", c.replace('.', "_"))),
+        AggFunc::Max(c) => Arc::from(format!("max_{}", c.replace('.', "_"))),
+    }
+}
+
+/// Lowers an aggregate-free expression to an [`Expr`]; `context` names the
+/// clause for error reporting.
+fn lower_scalar(e: &SqlExpr, context: &str) -> Result<Expr, ParseError> {
+    Ok(match e {
+        SqlExpr::Column(c) => Expr::Column(Arc::clone(c)),
+        SqlExpr::Literal(v) => Expr::Literal(v.clone()),
+        SqlExpr::Agg(_) => {
+            return Err(ParseError::new(format!(
+                "aggregate calls are not allowed in {context}"
+            )))
+        }
+        SqlExpr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(lower_scalar(a, context)?),
+            Box::new(lower_scalar(b, context)?),
+        ),
+        SqlExpr::And(a, b) => Expr::And(
+            Box::new(lower_scalar(a, context)?),
+            Box::new(lower_scalar(b, context)?),
+        ),
+        SqlExpr::Or(a, b) => Expr::Or(
+            Box::new(lower_scalar(a, context)?),
+            Box::new(lower_scalar(b, context)?),
+        ),
+        SqlExpr::Not(a) => Expr::Not(Box::new(lower_scalar(a, context)?)),
+        SqlExpr::IsNull(a) => Expr::IsNull(Box::new(lower_scalar(a, context)?)),
+    })
+}
+
+/// Lowers a HAVING expression: aggregate calls become references to
+/// aggregate output columns, appending new (synthetically named) aggregates
+/// when the call does not already appear in the select list.
+fn lower_having(e: &SqlExpr, aggs: &mut Vec<AggExpr>) -> Result<Expr, ParseError> {
+    Ok(match e {
+        SqlExpr::Column(c) => Expr::Column(Arc::clone(c)),
+        SqlExpr::Literal(v) => Expr::Literal(v.clone()),
+        SqlExpr::Agg(call) => {
+            let filter = call
+                .filter
+                .as_ref()
+                .map(|f| lower_scalar(f, "FILTER"))
+                .transpose()?;
+            // Reuse an existing aggregate with the same function and filter.
+            if let Some(existing) = aggs
+                .iter()
+                .find(|a| a.func == call.func && a.filter == filter)
+            {
+                Expr::Column(Arc::clone(&existing.name))
+            } else {
+                let name: Arc<str> = Arc::from(format!("__h{}", aggs.len()));
+                aggs.push(AggExpr {
+                    func: call.func.clone(),
+                    filter,
+                    name: Arc::clone(&name),
+                });
+                Expr::Column(name)
+            }
+        }
+        SqlExpr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(lower_having(a, aggs)?),
+            Box::new(lower_having(b, aggs)?),
+        ),
+        SqlExpr::And(a, b) => Expr::And(
+            Box::new(lower_having(a, aggs)?),
+            Box::new(lower_having(b, aggs)?),
+        ),
+        SqlExpr::Or(a, b) => Expr::Or(
+            Box::new(lower_having(a, aggs)?),
+            Box::new(lower_having(b, aggs)?),
+        ),
+        SqlExpr::Not(a) => Expr::Not(Box::new(lower_having(a, aggs)?)),
+        SqlExpr::IsNull(a) => Expr::IsNull(Box::new(lower_having(a, aggs)?)),
+    })
+}
+
+// -------------------------------------------------------------- printing --
+
+impl fmt::Display for SqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlQuery::Select(s) => write!(f, "{s}"),
+            SqlQuery::SetOp {
+                op,
+                all,
+                left,
+                right,
+            } => {
+                let kw = match op {
+                    SetOp::Union => "UNION",
+                    SetOp::Except => "EXCEPT",
+                    SetOp::Intersect => "INTERSECT",
+                };
+                write!(f, "{left} {kw}{} {right}", if *all { " ALL" } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        if self.star {
+            f.write_str("*")?;
+        } else {
+            for (i, item) in self.items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                match item {
+                    SelectItem::Column(c) => f.write_str(c)?,
+                    SelectItem::Aggregate { call, alias } => {
+                        write!(f, "{call}")?;
+                        if let Some(a) = alias {
+                            write!(f, " AS {a}")?;
+                        }
+                    }
+                }
+            }
+        }
+        f.write_str(" FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}", item.base)?;
+            for j in &item.joins {
+                write!(f, " JOIN {} ON ", j.table)?;
+                for (k, (a, b)) in j.on.iter().enumerate() {
+                    if k > 0 {
+                        f.write_str(" AND ")?;
+                    }
+                    write!(f, "{a} = {b}")?;
+                }
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                f.write_str(g)?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} {a}", self.relation),
+            None => f.write_str(&self.relation),
+        }
+    }
+}
+
+impl fmt::Display for AggCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            AggFunc::Count => f.write_str("COUNT(*)")?,
+            AggFunc::Sum(c) => write!(f, "SUM({c})")?,
+            AggFunc::Min(c) => write!(f, "MIN({c})")?,
+            AggFunc::Max(c) => write!(f, "MAX({c})")?,
+        }
+        if let Some(p) = &self.filter {
+            write!(f, " FILTER (WHERE {p})")?;
+        }
+        Ok(())
+    }
+}
+
+impl SqlExpr {
+    /// Printing precedence: higher binds tighter.
+    fn prec(&self) -> u8 {
+        match self {
+            SqlExpr::Or(..) => 1,
+            SqlExpr::And(..) => 2,
+            SqlExpr::Not(..) => 3,
+            SqlExpr::Cmp(..) | SqlExpr::IsNull(..) => 4,
+            SqlExpr::Column(_) | SqlExpr::Literal(_) | SqlExpr::Agg(_) => 5,
+        }
+    }
+
+    fn fmt_child(&self, f: &mut fmt::Formatter<'_>, min_prec: u8) -> fmt::Result {
+        if self.prec() < min_prec {
+            write!(f, "({self})")
+        } else {
+            write!(f, "{self}")
+        }
+    }
+}
+
+impl fmt::Display for SqlExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlExpr::Column(c) => f.write_str(c),
+            SqlExpr::Literal(v) => fmt_literal(v, f),
+            SqlExpr::Agg(call) => write!(f, "{call}"),
+            SqlExpr::Cmp(op, a, b) => {
+                a.fmt_child(f, 5)?;
+                write!(f, " {op} ")?;
+                b.fmt_child(f, 5)
+            }
+            SqlExpr::And(a, b) => {
+                a.fmt_child(f, 2)?;
+                f.write_str(" AND ")?;
+                b.fmt_child(f, 3)
+            }
+            SqlExpr::Or(a, b) => {
+                a.fmt_child(f, 1)?;
+                f.write_str(" OR ")?;
+                b.fmt_child(f, 2)
+            }
+            // `NOT (x IS NULL)` prints as the idiomatic `x IS NOT NULL`,
+            // which parses back to the same tree.
+            SqlExpr::Not(inner) => match &**inner {
+                SqlExpr::IsNull(a) => {
+                    a.fmt_child(f, 5)?;
+                    f.write_str(" IS NOT NULL")
+                }
+                _ => {
+                    f.write_str("NOT ")?;
+                    inner.fmt_child(f, 3)
+                }
+            },
+            SqlExpr::IsNull(a) => {
+                a.fmt_child(f, 5)?;
+                f.write_str(" IS NULL")
+            }
+        }
+    }
+}
+
+/// Prints a literal in re-parseable form: strings quoted with `''` escaping,
+/// floats always carrying a `.` or exponent so they stay floats.
+fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        Value::Float(x) => {
+            let s = x.get().to_string();
+            if s.contains('.') || s.contains('e') || s.contains('E') {
+                f.write_str(&s)
+            } else {
+                write!(f, "{s}.0")
+            }
+        }
+        Value::Null => f.write_str("NULL"),
+        Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        Value::Int(i) => write!(f, "{i}"),
+    }
+}
+
+// The paper's four evaluation queries as SQL text (mirrors
+// [`crate::algebra::paper_queries`]).
+/// SQL text of the paper's §5 evaluation queries over a TOKEN relation.
+pub mod paper_sql {
+    /// Query 1: person-mention strings.
+    pub fn query1(token: &str) -> String {
+        format!("SELECT string FROM {token} WHERE label = 'B-PER'")
+    }
+
+    /// Query 2: global filtered person count.
+    pub fn query2(token: &str) -> String {
+        format!("SELECT COUNT(*) FILTER (WHERE label = 'B-PER') AS n_person FROM {token}")
+    }
+
+    /// Query 3: documents whose B-PER and B-ORG counts balance.
+    pub fn query3(token: &str) -> String {
+        format!(
+            "SELECT doc_id FROM {token} GROUP BY doc_id \
+             HAVING COUNT(*) FILTER (WHERE label = 'B-PER') = \
+             COUNT(*) FILTER (WHERE label = 'B-ORG')"
+        )
+    }
+
+    /// Query 4: person strings co-occurring with an org-sense "Boston".
+    pub fn query4(token: &str) -> String {
+        format!(
+            "SELECT T2.string FROM {token} T1, {token} T2 \
+             WHERE T1.string = 'Boston' AND T1.label = 'B-ORG' \
+             AND T1.doc_id = T2.doc_id AND T2.label = 'B-PER'"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::exec::execute_simple;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn token_db() -> Database {
+        let mut db = Database::new();
+        let schema = Schema::from_pairs(&[
+            ("tok_id", ValueType::Int),
+            ("doc_id", ValueType::Int),
+            ("string", ValueType::Str),
+            ("label", ValueType::Str),
+            ("truth", ValueType::Str),
+        ])
+        .unwrap()
+        .with_primary_key("tok_id")
+        .unwrap();
+        db.create_relation("TOKEN", schema).unwrap();
+        let rows = vec![
+            (1, 1, "Bill", "B-PER"),
+            (2, 1, "said", "O"),
+            (3, 1, "Boston", "B-ORG"),
+            (4, 2, "Boston", "B-LOC"),
+            (5, 2, "hired", "O"),
+            (6, 2, "Ann", "B-PER"),
+            (7, 3, "IBM", "B-ORG"),
+            (8, 3, "Ann", "B-PER"),
+        ];
+        let rel = db.relation_mut("TOKEN").unwrap();
+        for (id, doc, s, l) in rows {
+            rel.insert(tuple![id as i64, doc as i64, s, l, l]).unwrap();
+        }
+        db
+    }
+
+    fn roundtrip(sql: &str) -> SqlQuery {
+        let ast = parse(sql).unwrap_or_else(|e| panic!("parse `{sql}`: {e}"));
+        let printed = ast.to_string();
+        let again = parse(&printed).unwrap_or_else(|e| panic!("reparse `{printed}`: {e}"));
+        assert_eq!(ast, again, "parse∘print not a fixpoint for `{sql}`");
+        ast
+    }
+
+    #[test]
+    fn paper_queries_match_hand_built_plans_on_results() {
+        use crate::algebra::paper_queries;
+        let db = token_db();
+        for (sql, plan) in [
+            (paper_sql::query1("TOKEN"), paper_queries::query1("TOKEN")),
+            (paper_sql::query2("TOKEN"), paper_queries::query2("TOKEN")),
+            (paper_sql::query3("TOKEN"), paper_queries::query3("TOKEN")),
+            (paper_sql::query4("TOKEN"), paper_queries::query4("TOKEN")),
+        ] {
+            let parsed = parse_plan(&sql).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            let a = execute_simple(&parsed, &db).unwrap();
+            let b = execute_simple(&plan, &db).unwrap();
+            assert_eq!(a.rows.sorted_entries(), b.rows.sorted_entries(), "{sql}");
+            assert_eq!(a.columns.len(), b.columns.len(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn query1_lowered_shape() {
+        let plan = parse_plan("SELECT string FROM TOKEN WHERE label = 'B-PER'").unwrap();
+        assert_eq!(plan.to_string(), "π[string](σ(Scan(TOKEN)))");
+    }
+
+    #[test]
+    fn join_lowers_to_product_plus_selection() {
+        let plan = parse_plan(
+            "SELECT T2.string FROM TOKEN T1 JOIN TOKEN T2 ON T1.doc_id = T2.doc_id \
+             WHERE T1.label = 'B-ORG'",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "π[T2.string](σ((Scan(TOKEN AS T1) × Scan(TOKEN AS T2))))"
+        );
+    }
+
+    #[test]
+    fn round_trips_are_fixpoints() {
+        for sql in [
+            "SELECT string FROM TOKEN WHERE label = 'B-PER'",
+            "SELECT DISTINCT string FROM TOKEN",
+            "SELECT * FROM TOKEN",
+            "SELECT COUNT(*) FILTER (WHERE label = 'B-PER') AS n FROM TOKEN",
+            "SELECT doc_id, SUM(tok_id) AS s, MIN(tok_id) AS lo, MAX(tok_id) AS hi \
+             FROM TOKEN GROUP BY doc_id",
+            "SELECT doc_id FROM TOKEN GROUP BY doc_id HAVING COUNT(*) > 2",
+            "SELECT T2.string FROM TOKEN T1, TOKEN T2 WHERE T1.doc_id = T2.doc_id",
+            "SELECT T2.string FROM TOKEN T1 JOIN TOKEN T2 ON T1.doc_id = T2.doc_id AND \
+             T1.tok_id = T2.tok_id",
+            "SELECT string FROM TOKEN WHERE NOT (label = 'O' OR label = 'B-LOC')",
+            "SELECT string FROM TOKEN WHERE truth IS NOT NULL AND doc_id >= 2",
+            "SELECT string FROM TOKEN WHERE doc_id < 3 UNION ALL SELECT string FROM TOKEN \
+             WHERE label = 'O'",
+            "SELECT string FROM TOKEN EXCEPT SELECT string FROM TOKEN WHERE label = 'O'",
+            "SELECT string FROM TOKEN INTERSECT ALL SELECT string FROM TOKEN",
+            "SELECT string FROM TOKEN WHERE string = 'O''Brien'",
+            "SELECT string FROM TOKEN WHERE doc_id = -2 OR doc_id > 1.5",
+            "SELECT string FROM TOKEN WHERE FALSE OR string = 'x'",
+        ] {
+            roundtrip(sql);
+        }
+        for q in 1..=4 {
+            let sql = match q {
+                1 => paper_sql::query1("TOKEN"),
+                2 => paper_sql::query2("TOKEN"),
+                3 => paper_sql::query3("TOKEN"),
+                _ => paper_sql::query4("TOKEN"),
+            };
+            roundtrip(&sql);
+        }
+    }
+
+    #[test]
+    fn float_literals_stay_floats_through_printing() {
+        let ast = parse("SELECT string FROM TOKEN WHERE doc_id > 2.0").unwrap();
+        let printed = ast.to_string();
+        assert!(
+            printed.contains("2.0") || printed.contains("2e"),
+            "{printed}"
+        );
+        roundtrip(&printed);
+    }
+
+    #[test]
+    fn union_dedups_without_all() {
+        let db = token_db();
+        let all = parse_plan(
+            "SELECT string FROM TOKEN WHERE label = 'B-PER' UNION ALL \
+             SELECT string FROM TOKEN WHERE label = 'B-PER'",
+        )
+        .unwrap();
+        let res = execute_simple(&all, &db).unwrap();
+        assert_eq!(res.rows.count(&tuple!["Ann"]), 4);
+        let set = parse_plan(
+            "SELECT string FROM TOKEN WHERE label = 'B-PER' UNION \
+             SELECT string FROM TOKEN WHERE label = 'B-PER'",
+        )
+        .unwrap();
+        let res = execute_simple(&set, &db).unwrap();
+        assert_eq!(res.rows.count(&tuple!["Ann"]), 1);
+    }
+
+    #[test]
+    fn group_by_without_aggregates_is_projection_to_groups() {
+        let db = token_db();
+        let plan = parse_plan("SELECT doc_id FROM TOKEN GROUP BY doc_id").unwrap();
+        let res = execute_simple(&plan, &db).unwrap();
+        assert_eq!(
+            res.rows.sorted_support(),
+            vec![tuple![1i64], tuple![2i64], tuple![3i64]]
+        );
+    }
+
+    #[test]
+    fn having_reuses_select_list_aggregates() {
+        let db = token_db();
+        let plan = parse_plan(
+            "SELECT doc_id, COUNT(*) AS n FROM TOKEN GROUP BY doc_id HAVING COUNT(*) > 2",
+        )
+        .unwrap();
+        let res = execute_simple(&plan, &db).unwrap();
+        // Docs 1 (3 tokens) and 2 (3 tokens); the COUNT column rides along.
+        assert_eq!(
+            res.rows.sorted_support(),
+            vec![tuple![1i64, 3i64], tuple![2i64, 3i64]]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets_and_never_panic() {
+        for bad in [
+            "",
+            "SELECT",
+            "SELECT FROM TOKEN",
+            "SELECT * FROM",
+            "SELECT * FROM TOKEN WHERE",
+            "SELECT * FROM TOKEN WHERE label =",
+            "SELECT * FROM TOKEN WHERE (label = 'x'",
+            "SELECT * FROM TOKEN GROUP",
+            "SELECT * FROM TOKEN GROUP BY",
+            "SELECT COUNT(*) FILTER (label='x') FROM TOKEN",
+            "SELECT COUNT(tok_id) FROM TOKEN",
+            "SELECT string FROM TOKEN trailing garbage ,,,",
+            "SELECT 'unterminated FROM TOKEN",
+            "SELECT string FROM TOKEN WHERE label ~ 'x'",
+            "SELECT string, * FROM TOKEN",
+            "SELECT SELECT FROM TOKEN",
+            "SELECT string AS s FROM TOKEN",
+            "SELECT * FROM TOKEN HAVING",
+            "SELECT a.b.c FROM TOKEN",
+            "SELECT string FROM TOKEN UNION",
+        ] {
+            let r = parse(bad);
+            assert!(r.is_err(), "`{bad}` should fail");
+        }
+        // Lowering errors (parse succeeds, to_plan rejects).
+        for bad in [
+            "SELECT * FROM TOKEN GROUP BY doc_id",
+            "SELECT string FROM TOKEN GROUP BY doc_id",
+            "SELECT string FROM TOKEN WHERE COUNT(*) > 1",
+            "SELECT COUNT(*) FILTER (WHERE COUNT(*) > 1) FROM TOKEN",
+        ] {
+            let ast = parse(bad).unwrap_or_else(|e| panic!("`{bad}` should parse: {e}"));
+            assert!(ast.to_plan().is_err(), "`{bad}` should fail lowering");
+        }
+    }
+
+    #[test]
+    fn intersect_binds_tighter_than_union() {
+        // Standard SQL precedence: A UNION B INTERSECT C = A UNION (B ∩ C).
+        let sql = "SELECT string FROM TOKEN UNION SELECT string FROM TOKEN \
+                   WHERE label = 'O' INTERSECT SELECT truth FROM TOKEN";
+        let ast = roundtrip(sql);
+        match &ast {
+            SqlQuery::SetOp {
+                op: SetOp::Union,
+                right,
+                ..
+            } => {
+                assert!(
+                    matches!(
+                        &**right,
+                        SqlQuery::SetOp {
+                            op: SetOp::Intersect,
+                            ..
+                        }
+                    ),
+                    "INTERSECT must group under the UNION's right arm"
+                );
+            }
+            other => panic!("expected UNION at the root, got {other:?}"),
+        }
+        // And a leading INTERSECT run groups before a trailing EXCEPT.
+        let ast = roundtrip(
+            "SELECT string FROM TOKEN INTERSECT SELECT truth FROM TOKEN \
+             EXCEPT SELECT string FROM TOKEN WHERE label = 'O'",
+        );
+        assert!(matches!(
+            ast,
+            SqlQuery::SetOp {
+                op: SetOp::Except,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn overflowing_numeric_literals_are_rejected() {
+        // `1e999` parses to f64 infinity, which has no SQL literal form and
+        // would break the parse∘print fixpoint — reject at parse time.
+        assert!(parse("SELECT string FROM TOKEN WHERE doc_id = 1e999").is_err());
+        assert!(parse("SELECT string FROM TOKEN WHERE doc_id = 99999999999999999999").is_err());
+        // Large-but-finite values are fine.
+        roundtrip("SELECT string FROM TOKEN WHERE doc_id = 1e300");
+    }
+
+    #[test]
+    fn plain_union_lowers_with_one_distinct() {
+        // δ(L ∪ R) ≡ δ(δL ∪ δR); the lowering emits only the outer dedup.
+        let plan = parse_plan("SELECT string FROM TOKEN UNION SELECT truth FROM TOKEN").unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "δ((π[string](Scan(TOKEN)) ∪ π[truth](Scan(TOKEN))))"
+        );
+    }
+
+    #[test]
+    fn pathological_inputs_error_instead_of_overflowing_the_stack() {
+        // Deep parenthesis nesting.
+        let deep = format!(
+            "SELECT string FROM TOKEN WHERE {}1 = 1{}",
+            "(".repeat(100_000),
+            ")".repeat(100_000)
+        );
+        assert!(parse(&deep).is_err());
+        // Long NOT chains.
+        let nots = format!(
+            "SELECT string FROM TOKEN WHERE {}TRUE",
+            "NOT ".repeat(100_000)
+        );
+        assert!(parse(&nots).is_err());
+        // Huge AND chains (left-deep trees would recurse every later pass).
+        let ands = format!(
+            "SELECT string FROM TOKEN WHERE {}",
+            vec!["1 = 1"; 100_000].join(" AND ")
+        );
+        assert!(parse(&ands).is_err());
+        // Endless set-operation chains.
+        let unions = vec!["SELECT string FROM TOKEN"; 10_000].join(" UNION ");
+        assert!(parse(&unions).is_err());
+        // A FROM clause the optimizer/executor would recurse over.
+        let tables = (0..1000)
+            .map(|i| format!("TOKEN T{i}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        assert!(parse(&format!("SELECT T0.string FROM {tables}")).is_err());
+        // Reasonable nesting and chains still parse.
+        let ok = format!(
+            "SELECT string FROM TOKEN WHERE {}1 = 1{}",
+            "(".repeat(64),
+            ")".repeat(64)
+        );
+        roundtrip(&ok);
+        let ok = format!(
+            "SELECT string FROM TOKEN WHERE {}",
+            vec!["doc_id > 0"; 100].join(" AND ")
+        );
+        roundtrip(&ok);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_identifiers_are_not() {
+        let a = parse("select string from TOKEN where label = 'x'").unwrap();
+        let b = parse("SELECT string FROM TOKEN WHERE label = 'x'").unwrap();
+        assert_eq!(a, b);
+        let c = parse("SELECT STRING FROM TOKEN").unwrap();
+        assert_ne!(b, c, "identifier case must be preserved");
+    }
+
+    #[test]
+    fn filtered_sum_min_max_lower_and_execute() {
+        let db = token_db();
+        let plan = parse_plan(
+            "SELECT doc_id, SUM(tok_id) FILTER (WHERE label <> 'O') AS s \
+             FROM TOKEN GROUP BY doc_id",
+        )
+        .unwrap();
+        let res = execute_simple(&plan, &db).unwrap();
+        // doc 1: tok 1 + 3 = 4 (tok 2 is O).
+        assert!(res.rows.contains(&tuple![1i64, 4i64]));
+    }
+}

@@ -1,0 +1,431 @@
+//! Optimizer soundness and parser round-trip property suite.
+//!
+//! For random databases and random well-typed SQL queries (plus the paper's
+//! queries 1–4 as text):
+//!
+//! * the optimized plan's `QueryResult` is *identical* to the naive plan's
+//!   (same columns, same multiset of rows);
+//! * the optimized plan constructs no more intermediate tuples than the
+//!   naive plan ([`ExecStats::intermediate_tuples`]);
+//! * the optimized plan drives a [`MaterializedView`] to the same answers
+//!   as naive re-execution under random delta streams (the same text
+//!   serves Algorithm 3 and Algorithm 1);
+//! * `parse ∘ print` is a fixpoint of the SQL AST.
+
+use fgdb_relational::algebra::paper_queries;
+use fgdb_relational::parser::{self, paper_sql};
+use fgdb_relational::planner::{optimize, optimize_with_report};
+use fgdb_relational::{
+    execute, tuple, Database, DeltaSet, MaterializedView, Schema, Value, ValueType,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ------------------------------------------------------------ tiny PRNG --
+
+/// Splitmix64 — deterministic, dependency-free stream for building random
+/// databases and queries from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    fn chance(&mut self, percent: usize) -> bool {
+        self.below(100) < percent
+    }
+}
+
+const LABELS: &[&str] = &["O", "B-PER", "B-ORG", "B-LOC"];
+const STRINGS: &[&str] = &["Boston", "Ann", "Bill", "IBM", "said", "hired"];
+const TOPICS: &[&str] = &["sports", "business", "none"];
+
+/// A random database: a TOKEN-shaped relation (so the paper queries run on
+/// it too) plus a small DOC relation for cross-relation joins.
+fn random_db(seed: u64) -> Database {
+    let mut rng = Rng(seed);
+    let mut db = Database::new();
+    let token = Schema::from_pairs(&[
+        ("tok_id", ValueType::Int),
+        ("doc_id", ValueType::Int),
+        ("string", ValueType::Str),
+        ("label", ValueType::Str),
+        ("truth", ValueType::Str),
+        ("score", ValueType::Float),
+    ])
+    .unwrap()
+    .with_primary_key("tok_id")
+    .unwrap();
+    db.create_relation("TOKEN", token).unwrap();
+    let n_docs = 1 + rng.below(4);
+    let n_tokens = rng.below(30);
+    {
+        let rel = db.relation_mut("TOKEN").unwrap();
+        for i in 0..n_tokens {
+            let score = if rng.chance(20) {
+                Value::Null
+            } else {
+                Value::float(rng.below(8) as f64 / 2.0)
+            };
+            rel.insert(fgdb_relational::Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.below(n_docs) as i64),
+                Value::str(*rng.pick(STRINGS)),
+                Value::str(*rng.pick(LABELS)),
+                Value::str(*rng.pick(LABELS)),
+                score,
+            ]))
+            .unwrap();
+        }
+    }
+    let doc = Schema::from_pairs(&[("doc", ValueType::Int), ("topic", ValueType::Str)]).unwrap();
+    db.create_relation("DOC", doc).unwrap();
+    {
+        let rel = db.relation_mut("DOC").unwrap();
+        for d in 0..n_docs {
+            rel.insert(tuple![d as i64, *rng.pick(TOPICS)]).unwrap();
+        }
+    }
+    db
+}
+
+/// Columns available for predicates, per FROM shape: (name, is_string).
+type Cols = Vec<(&'static str, bool)>;
+
+fn token_cols(prefix: &str) -> Cols {
+    match prefix {
+        "" => vec![
+            ("tok_id", false),
+            ("doc_id", false),
+            ("string", true),
+            ("label", true),
+            ("truth", true),
+        ],
+        "T1" => vec![
+            ("T1.tok_id", false),
+            ("T1.doc_id", false),
+            ("T1.string", true),
+            ("T1.label", true),
+            ("T1.truth", true),
+        ],
+        "T2" => vec![
+            ("T2.tok_id", false),
+            ("T2.doc_id", false),
+            ("T2.string", true),
+            ("T2.label", true),
+            ("T2.truth", true),
+        ],
+        _ => unreachable!("known prefixes only"),
+    }
+}
+
+/// One random conjunct over the available columns (SQL text).
+fn random_conjunct(rng: &mut Rng, cols: &Cols) -> String {
+    let ops = ["=", "<>", "<", "<=", ">", ">="];
+    match rng.below(6) {
+        // Column vs literal, type-matched.
+        0..=2 => {
+            let (c, is_str) = *rng.pick(cols);
+            let op = *rng.pick(&ops);
+            if is_str {
+                let pool: Vec<&str> = STRINGS.iter().chain(LABELS.iter()).copied().collect();
+                format!("{c} {op} '{}'", rng.pick(&pool))
+            } else {
+                format!("{c} {op} {}", rng.below(8))
+            }
+        }
+        // Column vs column of the same type.
+        3 => {
+            let (a, ta) = *rng.pick(cols);
+            let same: Vec<(&str, bool)> = cols.iter().copied().filter(|(_, t)| *t == ta).collect();
+            let (b, _) = *rng.pick(&same);
+            format!("{a} = {b}")
+        }
+        // NULL tests and constants (fodder for constant folding).
+        4 => {
+            let (c, _) = *rng.pick(cols);
+            if rng.chance(50) {
+                format!("{c} IS NOT NULL")
+            } else {
+                format!("{c} IS NULL")
+            }
+        }
+        _ => (*rng.pick(&[
+            "TRUE",
+            "1 = 1",
+            "1 = 2",
+            "NULL = 3",
+            "NOT FALSE",
+            "'a' = 'a'",
+            "2 > 1 AND TRUE",
+        ]))
+        .to_string(),
+    }
+}
+
+fn random_where(rng: &mut Rng, cols: &Cols, extra: Option<String>) -> String {
+    let mut conjuncts: Vec<String> = extra.into_iter().collect();
+    for _ in 0..rng.below(3) {
+        conjuncts.push(random_conjunct(rng, cols));
+    }
+    if conjuncts.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", conjuncts.join(" AND "))
+    }
+}
+
+/// A random single SELECT statement (no set operations).
+fn random_select(rng: &mut Rng) -> String {
+    match rng.below(4) {
+        // Single table, plain select or aggregate.
+        0..=1 => {
+            let cols = token_cols("");
+            let where_sql = random_where(rng, &cols, None);
+            if rng.chance(40) {
+                // Aggregate query over doc_id groups (or global).
+                let global = rng.chance(30);
+                let group = if global { "" } else { " GROUP BY doc_id" };
+                let mut items: Vec<String> = if global {
+                    vec![]
+                } else {
+                    vec!["doc_id".into()]
+                };
+                let aggs = [
+                    "COUNT(*)",
+                    "COUNT(*) FILTER (WHERE label = 'B-PER')",
+                    "SUM(tok_id)",
+                    "MIN(tok_id)",
+                    "MAX(string)",
+                    "SUM(score)",
+                ];
+                let n_aggs = 1 + rng.below(2);
+                for i in 0..n_aggs {
+                    items.push(format!("{} AS a{i}", rng.pick(&aggs)));
+                }
+                let having = if rng.chance(40) {
+                    " HAVING COUNT(*) FILTER (WHERE label = 'B-ORG') >= 1"
+                } else {
+                    ""
+                };
+                format!(
+                    "SELECT {} FROM TOKEN{where_sql}{group}{having}",
+                    items.join(", ")
+                )
+            } else {
+                let distinct = if rng.chance(30) { "DISTINCT " } else { "" };
+                let lists = ["string", "string, label", "doc_id, string", "*"];
+                format!(
+                    "SELECT {distinct}{} FROM TOKEN{where_sql}",
+                    rng.pick(&lists)
+                )
+            }
+        }
+        // Self-join via comma FROM (the naive cross-product shape).
+        2 => {
+            let mut cols = token_cols("T1");
+            cols.extend(token_cols("T2"));
+            let equi = "T1.doc_id = T2.doc_id".to_string();
+            let where_sql = random_where(rng, &cols, Some(equi));
+            let lists = ["T2.string", "T1.string, T2.label", "T1.doc_id, T2.string"];
+            format!(
+                "SELECT {} FROM TOKEN T1, TOKEN T2{where_sql}",
+                rng.pick(&lists)
+            )
+        }
+        // Cross-relation JOIN ... ON.
+        _ => {
+            let mut cols = token_cols("T1");
+            cols.push(("D.doc", false));
+            cols.push(("D.topic", true));
+            let where_sql = random_where(rng, &cols, None);
+            format!(
+                "SELECT T1.string, D.topic FROM TOKEN T1 JOIN DOC D ON T1.doc_id = D.doc{where_sql}"
+            )
+        }
+    }
+}
+
+/// A random query: one select, or a set operation between two
+/// single-column selects (guaranteed arity match).
+fn random_query(rng: &mut Rng) -> String {
+    if rng.chance(25) {
+        let arm = |rng: &mut Rng| {
+            let cols = token_cols("");
+            let where_sql = random_where(rng, &cols, None);
+            format!("SELECT string FROM TOKEN{where_sql}")
+        };
+        let op = *rng.pick(&["UNION", "UNION ALL", "EXCEPT", "EXCEPT ALL", "INTERSECT"]);
+        format!("{} {op} {}", arm(rng), arm(rng))
+    } else {
+        random_select(rng)
+    }
+}
+
+/// The soundness check: identical results, no more intermediate tuples.
+fn check_optimizer_soundness(sql: &str, db: &Database) {
+    let naive = match parser::parse_plan(sql) {
+        Ok(p) => p,
+        Err(e) => panic!("generated SQL must parse: `{sql}`: {e}"),
+    };
+    // Generated queries are well-typed by construction.
+    naive
+        .output_columns(db)
+        .unwrap_or_else(|e| panic!("generated SQL must validate: `{sql}`: {e}"));
+    let (opt, _rep) = optimize_with_report(&naive, db).unwrap();
+    let (naive_res, naive_stats) = execute(&naive, db).unwrap();
+    let (opt_res, opt_stats) = execute(&opt, db).unwrap();
+    assert_eq!(
+        naive_res.columns, opt_res.columns,
+        "columns changed for `{sql}`:\n  naive: {naive}\n  opt:   {opt}"
+    );
+    assert_eq!(
+        naive_res.rows.sorted_entries(),
+        opt_res.rows.sorted_entries(),
+        "rows changed for `{sql}`:\n  naive: {naive}\n  opt:   {opt}"
+    );
+    assert!(
+        opt_stats.intermediate_tuples <= naive_stats.intermediate_tuples,
+        "optimizer built more intermediate tuples ({} > {}) for `{sql}`:\n  naive: {naive}\n  opt: {opt}",
+        opt_stats.intermediate_tuples,
+        naive_stats.intermediate_tuples
+    );
+}
+
+/// Applies a random relabeling delta batch to TOKEN, returning the deltas.
+fn random_delta(rng: &mut Rng, db: &mut Database) -> DeltaSet {
+    let mut deltas = DeltaSet::new();
+    let rel = db.relation_mut("TOKEN").unwrap();
+    let n = rel.len();
+    if n == 0 {
+        return deltas;
+    }
+    let label_col = rel.schema().index_of("label").unwrap();
+    let ids: Vec<i64> = (0..n as i64).collect();
+    for _ in 0..1 + rng.below(4) {
+        let id = *rng.pick(&ids);
+        let Some(rid) = rel.find_by_pk(&Value::Int(id)) else {
+            continue;
+        };
+        let (old, new) = rel
+            .update_field(rid, label_col, Value::str(*rng.pick(LABELS)))
+            .unwrap();
+        deltas.record_update(&Arc::from("TOKEN"), old, new);
+    }
+    deltas.compact();
+    deltas
+}
+
+proptest! {
+    /// Random well-typed queries: optimizing never changes the answer and
+    /// never constructs more intermediate tuples.
+    #[test]
+    fn optimized_plans_are_sound_and_no_more_expensive(seed in 0u64..1u64 << 48) {
+        let db = random_db(seed);
+        let mut rng = Rng(seed ^ 0xABCD);
+        for _ in 0..4 {
+            let sql = random_query(&mut rng);
+            check_optimizer_soundness(&sql, &db);
+        }
+    }
+
+    /// The paper's four queries as SQL text, over random databases: the
+    /// optimized text query matches the hand-built plan exactly.
+    #[test]
+    fn paper_queries_as_text_match_hand_built_plans(seed in 0u64..1u64 << 48) {
+        let db = random_db(seed);
+        for (sql, hand) in [
+            (paper_sql::query1("TOKEN"), paper_queries::query1("TOKEN")),
+            (paper_sql::query2("TOKEN"), paper_queries::query2("TOKEN")),
+            (paper_sql::query3("TOKEN"), paper_queries::query3("TOKEN")),
+            (paper_sql::query4("TOKEN"), paper_queries::query4("TOKEN")),
+        ] {
+            check_optimizer_soundness(&sql, &db);
+            let opt = optimize(&parser::parse_plan(&sql).unwrap(), &db).unwrap();
+            let (text_res, _) = execute(&opt, &db).unwrap();
+            let (hand_res, _) = execute(&hand, &db).unwrap();
+            prop_assert_eq!(
+                text_res.rows.sorted_entries(),
+                hand_res.rows.sorted_entries(),
+                "text vs hand-built diverged for `{}`", sql
+            );
+        }
+    }
+
+    /// The optimized plan drives incremental view maintenance to the same
+    /// answers as naive re-execution under random delta streams — one text
+    /// query serves both Algorithm 3 and Algorithm 1.
+    #[test]
+    fn optimized_views_track_deltas_identically(seed in 0u64..1u64 << 48) {
+        let mut db = random_db(seed);
+        let mut rng = Rng(seed ^ 0x5EED);
+        let sql = random_query(&mut rng);
+        let naive = parser::parse_plan(&sql).unwrap();
+        let opt = optimize(&naive, &db).unwrap();
+        let mut view = MaterializedView::new(&opt, &db).unwrap();
+        for _ in 0..4 {
+            let deltas = random_delta(&mut rng, &mut db);
+            view.apply_delta(&deltas);
+            let fresh = execute(&naive, &db).unwrap().0;
+            prop_assert_eq!(
+                view.result().sorted_entries(),
+                fresh.rows.sorted_entries(),
+                "optimized view diverged from naive re-execution for `{}`", sql
+            );
+        }
+    }
+
+    /// parse ∘ print is a fixpoint on random generated queries.
+    #[test]
+    fn parse_print_parse_is_a_fixpoint(seed in 0u64..1u64 << 48) {
+        let mut rng = Rng(seed);
+        for _ in 0..4 {
+            let sql = random_query(&mut rng);
+            let ast = parser::parse(&sql)
+                .unwrap_or_else(|e| panic!("generated SQL must parse: `{sql}`: {e}"));
+            let printed = ast.to_string();
+            let reparsed = parser::parse(&printed)
+                .unwrap_or_else(|e| panic!("printed SQL must re-parse: `{printed}`: {e}"));
+            prop_assert_eq!(&ast, &reparsed, "fixpoint failed: `{}` vs `{}`", sql, printed);
+            // And printing the reparsed AST is byte-stable.
+            prop_assert_eq!(printed, reparsed.to_string());
+        }
+    }
+
+    /// The parser never panics, whatever the input: mutate valid queries
+    /// into garbage and feed raw junk.
+    #[test]
+    fn parser_never_panics_on_mutated_input(seed in 0u64..1u64 << 48) {
+        let mut rng = Rng(seed);
+        let base = random_query(&mut rng);
+        // Truncations at every char boundary.
+        let cut = rng.below(base.len().max(1));
+        let prefix: String = base.chars().take(cut).collect();
+        let _ = parser::parse(&prefix);
+        // Random byte splice from a hostile alphabet.
+        let alphabet = ['(', ')', '\'', '.', ',', '=', '<', 'S', '9', ' ', '*', '!', 'π'];
+        let junk: String = (0..rng.below(30)).map(|_| *rng.pick(&alphabet)).collect();
+        let _ = parser::parse(&junk);
+        let spliced = format!("{prefix}{junk}");
+        if let Ok(ast) = parser::parse(&spliced) {
+            // Anything that parses must lower or error — never panic — and
+            // anything that lowers must print round-trip.
+            if let Ok(_plan) = ast.to_plan() {
+                let _ = parser::parse(&ast.to_string()).unwrap();
+            }
+        }
+    }
+}

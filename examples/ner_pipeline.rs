@@ -25,7 +25,7 @@ fn main() {
     // Train a skip-chain CRF (intractable for exact inference; fine for MCMC).
     let data = TokenSeqData::from_corpus(&corpus, 8);
     let mut model = Crf::skip_chain(Arc::clone(&data));
-    let stats = train_ner_model(&corpus, &mut model, 50_000, 11);
+    let stats = train_ner_model(&corpus, &mut model, 50_000, 11).expect("training");
     println!(
         "trained: {} updates, {:.1}% accuracy",
         stats.updates,

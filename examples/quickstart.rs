@@ -31,7 +31,7 @@ fn main() {
     println!("skip edges: {}", data.num_skip_edges());
     let mut model = Crf::skip_chain(Arc::clone(&data));
     let t0 = std::time::Instant::now();
-    let stats = train_ner_model(&corpus, &mut model, 30_000, 7);
+    let stats = train_ner_model(&corpus, &mut model, 30_000, 7).expect("training");
     println!(
         "SampleRank: {} steps, {} weight updates, {:.1}% final accuracy, {:?}",
         stats.steps,

@@ -5,7 +5,7 @@ use crate::test_runner::TestRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// Accepted size specifications for [`vec`], mirroring
+/// Accepted size specifications for [`vec()`], mirroring
 /// `proptest::collection::SizeRange` conversions: an exact length, `a..b`,
 /// or `a..=b`.
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

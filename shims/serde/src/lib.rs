@@ -1,6 +1,6 @@
 //! Offline drop-in shim for the slice of `serde` this workspace uses.
 //!
-//! The only consumer is `fgdb-bench`, whose [`Report`] derives `Serialize`
+//! The only consumer is `fgdb-bench`, whose `Report` derives `Serialize`
 //! as a forward-compatibility marker and hand-rolls its fixed-shape JSON
 //! emitter (the workspace's sanctioned dependency set never included
 //! `serde_json`). The shim therefore exposes `Serialize`/`Deserialize` as

@@ -84,9 +84,11 @@ pub mod prelude {
         Proposal, Proposer, TargetedProposer, UniformRelabel,
     };
     pub use fgdb_relational::algebra::paper_queries;
+    pub use fgdb_relational::parser::paper_sql;
     pub use fgdb_relational::{
-        execute, execute_simple, AggExpr, AggFunc, CountedSet, Database, DeltaSet, Expr,
-        MaterializedView, Plan, QueryResult, Schema, Tuple, Value, ValueType,
+        compile_query, execute, execute_simple, optimize, parse, parse_plan, AggExpr, AggFunc,
+        CountedSet, Database, DeltaSet, Expr, MaterializedView, ParseError, Plan, PlannerReport,
+        QueryError, QueryResult, Schema, SqlQuery, Tuple, Value, ValueType,
     };
 }
 

@@ -23,7 +23,7 @@ fn tiny_setup(seed: u64) -> (Corpus, Arc<Crf>) {
     let data = TokenSeqData::from_corpus(&corpus, 8);
     let mut model = Crf::skip_chain(data);
     model.seed_from_truth(&corpus, 2.0);
-    train_ner_model(&corpus, &mut model, 20_000, seed ^ 1);
+    train_ner_model(&corpus, &mut model, 20_000, seed ^ 1).expect("training");
     (corpus, Arc::new(model))
 }
 
@@ -249,7 +249,7 @@ fn training_beats_untrained_model_on_truth_query() {
     let untrained = Arc::new(Crf::skip_chain(Arc::clone(&data)));
     // Trained.
     let mut trained = Crf::skip_chain(Arc::clone(&data));
-    train_ner_model(&corpus, &mut trained, 40_000, 2);
+    train_ner_model(&corpus, &mut trained, 40_000, 2).expect("training");
     let trained = Arc::new(trained);
 
     // Deterministic truth answer of Query 1.
