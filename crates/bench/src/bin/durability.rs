@@ -1,0 +1,197 @@
+//! durability — WAL append throughput and crash-recovery time.
+//!
+//! Mounts a fig8-style TOKEN probabilistic database on the durable store
+//! and measures, per fsync policy (`never`, group commit `every=8`,
+//! `always`):
+//!
+//! * **append throughput** — logged thinning intervals per second and WAL
+//!   bytes per second, median over repeated runs;
+//! * **recovery time** — wall time of `ProbabilisticDB::recover` replaying
+//!   the full WAL, median over repeated runs;
+//! * **recovery parity** — after every recovery the four paper queries are
+//!   executed on the recovered database and on an undamaged in-memory twin
+//!   driven by the same seeds; any mismatch aborts the run (this is the CI
+//!   recovery-smoke assertion).
+//!
+//! Scales with `FGDB_SCALE` (default 1.0). Emits `BENCH_durability.json`.
+//!
+//! ```sh
+//! cargo run --release -p fgdb-bench --bin durability
+//! ```
+
+use fgdb_bench::report::Report;
+use fgdb_bench::{print_csv, print_table, scaled, timed};
+use fgdb_core::fixtures::{biased_token_pdb, relabel_proposer};
+use fgdb_core::{DurabilityConfig, FsyncPolicy, ProbabilisticDB};
+use fgdb_graph::FactorGraph;
+use fgdb_mcmc::UniformRelabel;
+use fgdb_relational::parser::paper_sql;
+use std::sync::Arc;
+
+const DOC_SIZE: usize = 24;
+
+/// The shared fig8-style TOKEN fixture (same workload as the
+/// crash-recovery acceptance suite in `crates/core/tests`, so the CI
+/// recovery smoke and that suite cannot drift apart).
+fn build_pdb(n_tokens: usize, seed: u64) -> ProbabilisticDB<Arc<FactorGraph>> {
+    biased_token_pdb(n_tokens, DOC_SIZE, seed)
+}
+
+fn proposer(n_tokens: usize) -> Box<UniformRelabel> {
+    relabel_proposer(n_tokens)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs[xs.len() / 2]
+}
+
+fn query_fingerprint(pdb: &ProbabilisticDB<Arc<FactorGraph>>) -> Vec<String> {
+    [
+        paper_sql::query1("TOKEN"),
+        paper_sql::query2("TOKEN"),
+        paper_sql::query3("TOKEN"),
+        paper_sql::query4("TOKEN"),
+    ]
+    .iter()
+    .map(|sql| format!("{:?}", pdb.query(sql).unwrap().rows.sorted_entries()))
+    .collect()
+}
+
+fn main() {
+    let n_tokens = scaled(2_000);
+    let intervals = scaled(200);
+    let k = 50; // walk steps per interval
+    let runs = std::env::var("FGDB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize)
+        .max(1);
+
+    let policies: [(&str, FsyncPolicy); 3] = [
+        ("never", FsyncPolicy::Never),
+        ("every=8", FsyncPolicy::EveryN(8)),
+        ("always", FsyncPolicy::Always),
+    ];
+
+    let mut report = Report::new(
+        "durability",
+        &[
+            "fsync",
+            "intervals",
+            "median_append_s",
+            "intervals_per_s",
+            "wal_mb_per_s",
+            "median_recover_s",
+            "replayed",
+        ],
+    );
+    report
+        .param("n_tokens", n_tokens)
+        .param("intervals", intervals)
+        .param("k", k)
+        .param("runs", runs);
+
+    let mut rows = Vec::new();
+    for (name, fsync) in policies {
+        // `always` pays a real fsync per interval; cap its interval count
+        // so the bench stays in budget at high scales.
+        let intervals = if matches!(fsync, FsyncPolicy::Always) {
+            intervals.min(scaled(50).max(8))
+        } else {
+            intervals
+        };
+        let cfg = DurabilityConfig { fsync };
+        let mut append_times = Vec::new();
+        let mut recover_times = Vec::new();
+        let mut wal_bytes = 0u64;
+        let mut replayed = 0u64;
+        for run in 0..runs {
+            let seed = 42 + run as u64;
+            let dir = fgdb_durability::test_dir("bench-durability");
+
+            // Append phase: `intervals` logged thinning intervals.
+            let mut durable = build_pdb(n_tokens, seed)
+                .open_durable(&dir, cfg)
+                .expect("fresh bench dir");
+            let (_, append_s) = timed(|| {
+                for _ in 0..intervals {
+                    durable.step(k).expect("logged interval");
+                }
+                durable.sync().expect("final sync");
+            });
+            append_times.push(append_s);
+            wal_bytes = std::fs::metadata(dir.join("wal.fgdb"))
+                .map(|m| m.len())
+                .unwrap_or(0);
+            drop(durable);
+
+            // The undamaged twin for the parity check.
+            let mut twin = build_pdb(n_tokens, seed);
+            for _ in 0..intervals {
+                twin.step(k).expect("twin interval");
+            }
+
+            // Recovery phase: full WAL replay.
+            let model = Arc::clone(twin.model());
+            let (recovered, recover_s) = timed(|| {
+                ProbabilisticDB::recover(&dir, model, proposer(n_tokens), cfg)
+                    .expect("recovery succeeds")
+            });
+            recover_times.push(recover_s);
+            replayed = recovered.1.replayed;
+
+            // Parity: recovered answers ≡ twin answers on the four paper
+            // queries, and the worlds agree exactly.
+            assert_eq!(
+                query_fingerprint(recovered.0.pdb()),
+                query_fingerprint(&twin),
+                "recovery parity violated (policy {name}, run {run})"
+            );
+            assert_eq!(
+                recovered.0.world().assignment(),
+                twin.world().assignment(),
+                "recovered world diverged (policy {name}, run {run})"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        let append_s = median(append_times);
+        let recover_s = median(recover_times);
+        rows.push(vec![
+            name.to_string(),
+            intervals.to_string(),
+            format!("{append_s:.4}"),
+            format!("{:.1}", intervals as f64 / append_s),
+            format!("{:.2}", wal_bytes as f64 / append_s / 1e6),
+            format!("{recover_s:.4}"),
+            replayed.to_string(),
+        ]);
+    }
+
+    for r in &rows {
+        report.row(r.clone());
+    }
+    print_table(
+        "durability: append throughput + recovery time (parity-checked)",
+        &[
+            "fsync",
+            "intervals",
+            "append s (med)",
+            "intervals/s",
+            "WAL MB/s",
+            "recover s (med)",
+            "replayed",
+        ],
+        &rows,
+    );
+    print_csv(
+        "durability",
+        "fsync,intervals,median_append_s,intervals_per_s,wal_mb_per_s,median_recover_s,replayed",
+        &rows.iter().map(|r| r.join(",")).collect::<Vec<_>>(),
+    );
+    report.write_if_configured();
+    println!("\nrecovery parity: OK (all policies, all runs)");
+}

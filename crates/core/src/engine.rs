@@ -37,6 +37,62 @@
 //! their RNG streams, rounds collect in chain order, and merging averages
 //! in chain order — thread interleaving cannot change a single bit of the
 //! answer.
+//!
+//! # Example
+//!
+//! ```
+//! use fgdb_core::{EngineConfig, FieldBinding, ParallelEngine, ProbabilisticDB};
+//! use fgdb_graph::{Domain, FactorGraph, TableFactor, VariableId, World};
+//! use fgdb_mcmc::UniformRelabel;
+//! use fgdb_relational::{Database, Schema, Tuple, Value, ValueType};
+//! use std::sync::Arc;
+//!
+//! // A tiny uncertain TOKEN relation: two rows, label ∈ {O, B-PER}.
+//! let mut db = Database::new();
+//! let schema = Schema::from_pairs(&[("tok_id", ValueType::Int), ("label", ValueType::Str)])
+//!     .unwrap()
+//!     .with_primary_key("tok_id")
+//!     .unwrap();
+//! db.create_relation("TOKEN", schema).unwrap();
+//! let rows: Vec<_> = (0..2i64)
+//!     .map(|i| {
+//!         db.relation_mut("TOKEN")
+//!             .unwrap()
+//!             .insert(Tuple::from_iter_values([Value::Int(i), Value::str("O")]))
+//!             .unwrap()
+//!     })
+//!     .collect();
+//! let dom = Domain::of_labels(&["O", "B-PER"]);
+//! let world = World::new(vec![dom.clone(), dom]);
+//! let mut g = FactorGraph::new();
+//! g.add_factor(Box::new(TableFactor::new(
+//!     vec![VariableId(0)], vec![2], vec![0.0, 1.2], "bias",
+//! )));
+//! let binding = FieldBinding::new(&db, "TOKEN", "label", rows).unwrap();
+//! let vars = vec![VariableId(0), VariableId(1)];
+//! let pdb = ProbabilisticDB::new(
+//!     db, Arc::new(g), Box::new(UniformRelabel::new(vars.clone())), world, binding, 7,
+//! ).unwrap();
+//!
+//! // Four chains answer Query-1-style SQL with a convergence gate.
+//! let cfg = EngineConfig {
+//!     chains: 4,
+//!     thinning: 10,
+//!     checkpoint_samples: 20,
+//!     max_samples: 200,
+//!     ..EngineConfig::default()
+//! };
+//! let mut engine = ParallelEngine::query(
+//!     &pdb,
+//!     "SELECT tok_id FROM TOKEN WHERE label = 'B-PER'",
+//!     cfg,
+//!     |_chain| Box::new(UniformRelabel::new(vars.clone())),
+//! ).unwrap();
+//! let answer = engine.run().unwrap();
+//! for row in &answer.rows {
+//!     assert!(row.probability > 0.0 && row.probability <= 1.0);
+//! }
+//! ```
 
 use crate::evaluate::{EvaluateError, QueryEvaluator};
 use crate::marginals::MarginalTable;

@@ -201,6 +201,31 @@ impl QueryEvaluator {
         pdb: &mut ProbabilisticDB<M>,
     ) -> Result<SampleWork, EvaluateError> {
         let deltas = pdb.step(self.k)?;
+        self.observe(&deltas, pdb.database())
+    }
+
+    /// The answer-observation half of [`Self::sample`], with the interval's
+    /// delta produced externally: records one sample from `deltas` and the
+    /// current stored world. This is how a durability-wrapped database
+    /// drives an evaluator — `crate::durable::DurablePdb::step` logs the
+    /// interval to the WAL and returns the same delta `sample` would have
+    /// produced, which is then observed here:
+    ///
+    /// ```no_run
+    /// # fn demo(
+    /// #     durable: &mut fgdb_core::DurablePdb<fgdb_graph::FactorGraph>,
+    /// #     eval: &mut fgdb_core::QueryEvaluator,
+    /// # ) -> Result<(), Box<dyn std::error::Error>> {
+    /// let deltas = durable.step(eval.thinning())?; // logged interval
+    /// eval.observe(&deltas, durable.database())?; // marginal update
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn observe(
+        &mut self,
+        deltas: &fgdb_relational::DeltaSet,
+        db: &fgdb_relational::Database,
+    ) -> Result<SampleWork, EvaluateError> {
         let mut sample_work = SampleWork {
             delta_magnitude: deltas.magnitude() as u64,
             ..Default::default()
@@ -208,7 +233,7 @@ impl QueryEvaluator {
         match &mut self.state {
             StrategyState::Naive => {
                 // Algorithm 3 line 5: s ← Q(w).
-                let (result, stats) = execute(&self.plan, pdb.database())?;
+                let (result, stats) = execute(&self.plan, db)?;
                 sample_work.tuples_scanned = stats.tuples_scanned;
                 self.work.tuples_scanned += stats.tuples_scanned;
                 self.marginals.record(&result.rows);
@@ -216,7 +241,7 @@ impl QueryEvaluator {
             StrategyState::Materialized(view) => {
                 // Algorithm 1 line 5: s ← s − Q'(w,Δ⁻) ∪ Q'(w,Δ⁺).
                 let before = view.stats().delta_rows_processed;
-                view.apply_delta(&deltas);
+                view.apply_delta(deltas);
                 let used = view.stats().delta_rows_processed - before;
                 sample_work.delta_rows = used;
                 self.work.delta_rows += used;

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # fgdb-core — the probabilistic database of Wick, McCallum & Miklau
 //! (VLDB 2010)
 //!
@@ -16,20 +17,27 @@
 //! * [`metrics`] — squared-error loss, normalized loss curves, and
 //!   time-to-half-loss (§5.2/§5.3);
 //! * [`ner`] — assembly of the end-to-end NER pipeline on the synthetic
-//!   corpus.
+//!   corpus;
+//! * [`durable`] — WAL-backed stepping and crash recovery on top of the
+//!   `fgdb-durability` storage engine: `ProbabilisticDB::open_durable`,
+//!   logged intervals, checkpoints, `ProbabilisticDB::recover`.
 
+pub mod durable;
 pub mod engine;
 pub mod evaluate;
+pub mod fixtures;
 pub mod marginals;
 pub mod metrics;
 pub mod ner;
 pub mod pdb;
 
+pub use durable::{DurableError, DurablePdb};
 pub use engine::{
     chain_seed, AnswerRow, ChainReport, EngineAnswer, EngineConfig, EngineError, EngineReport,
     ParallelEngine, RHatPoint,
 };
 pub use evaluate::{evaluate_parallel, EvaluateError, QueryEvaluator, SampleWork};
+pub use fgdb_durability::{DurabilityConfig, FsyncPolicy, RecoveryReport};
 pub use fgdb_relational::{compile_query, optimize, QueryError};
 pub use marginals::{MarginalTable, ValueDistribution};
 pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};

@@ -17,7 +17,7 @@
 
 use crate::evaluate::EvaluateError;
 use fgdb_graph::{Model, World};
-use fgdb_mcmc::{Chain, KernelStats, Proposer};
+use fgdb_mcmc::{Chain, KernelStats, NetChange, Proposer};
 use fgdb_relational::{
     compile_query, execute, Database, DeltaSet, ExecStats, QueryResult, RowId, Value,
 };
@@ -177,6 +177,13 @@ impl<M: Model> ProbabilisticDB<M> {
     /// outside its domain (a malformed proposer must surface as an error on
     /// the serving path, not abort the engine thread).
     pub fn step(&mut self, k: usize) -> Result<DeltaSet, EvaluateError> {
+        self.step_logged(k).map(|(deltas, _)| deltas)
+    }
+
+    /// [`Self::step`], additionally returning the net variable changes that
+    /// produced the delta — the replay script the durability layer logs
+    /// ahead of the interval's write-back (see [`crate::durable`]).
+    pub fn step_logged(&mut self, k: usize) -> Result<(DeltaSet, Vec<NetChange>), EvaluateError> {
         self.chain.run(k);
         let changes = self.chain.take_changes();
         // Validate the whole batch before writing anything: an error
@@ -205,19 +212,29 @@ impl<M: Model> ProbabilisticDB<M> {
                 },
             ));
         }
+        let deltas = self.write_back(&changes)?;
+        Ok((deltas, changes))
+    }
+
+    /// Writes a validated net-change batch through to the stored relation,
+    /// returning the resulting compacted delta set. Shared between the live
+    /// sampling path ([`Self::step_logged`], which derives changes from the
+    /// chain) and WAL replay ([`Self::apply_logged_interval`], which reads
+    /// them from the log).
+    fn write_back(&mut self, changes: &[NetChange]) -> Result<DeltaSet, EvaluateError> {
         let mut deltas = DeltaSet::new();
         let rel = self
             .db
             .relation_mut(&self.binding.relation)
             .expect("binding validated at construction");
-        for (v, _old_idx, new_idx) in changes {
+        for &(v, _old_idx, new_idx) in changes {
             let value: Value = self
                 .chain
                 .world()
                 .domain(v)
                 .get(new_idx)
                 .cloned()
-                .expect("validated above");
+                .expect("validated by caller");
             let row = self.binding.rows[v.index()];
             let (old, new) = rel
                 .update_field(row, self.binding.column, value)
@@ -230,6 +247,75 @@ impl<M: Model> ProbabilisticDB<M> {
         // left by exact ± cancellation are dropped once per interval here.
         deltas.compact();
         Ok(deltas)
+    }
+
+    /// Replays one logged interval: applies the net changes to the
+    /// in-memory world and writes them through to the store, returning the
+    /// recomputed delta set. This is the WAL recovery path; it runs the
+    /// same batch-validation and write-back logic as the live
+    /// [`Self::step`], so a record that would have been rejected live is
+    /// rejected on replay too.
+    ///
+    /// # Errors
+    /// [`EvaluateError::Model`] when a change names a variable or domain
+    /// index outside the world, or its old index disagrees with the current
+    /// world (the log does not describe this state);
+    /// [`EvaluateError::Storage`] on write-back failures.
+    pub fn apply_logged_interval(
+        &mut self,
+        changes: &[NetChange],
+    ) -> Result<DeltaSet, EvaluateError> {
+        for &(v, old_idx, new_idx) in changes {
+            let in_world = v.index() < self.chain.world().num_variables();
+            if !in_world || self.chain.world().domain(v).get(new_idx).is_none() {
+                return Err(EvaluateError::Model(
+                    fgdb_graph::ModelError::ValueNotInDomain {
+                        variable: v,
+                        value: format!("<domain index {new_idx}>"),
+                    },
+                ));
+            }
+            if self.chain.world().get(v) != old_idx {
+                return Err(EvaluateError::Model(
+                    fgdb_graph::ModelError::ValueNotInDomain {
+                        variable: v,
+                        value: format!(
+                            "<logged old index {old_idx} vs world {}>",
+                            self.chain.world().get(v)
+                        ),
+                    },
+                ));
+            }
+        }
+        // World first (untracked initialization-style writes), then the
+        // shared store write-back.
+        for &(v, _old_idx, new_idx) in changes {
+            self.chain.world_mut().set(v, new_idx);
+        }
+        self.write_back(changes)
+    }
+
+    /// The variable ↔ field binding.
+    pub fn binding(&self) -> &FieldBinding {
+        &self.binding
+    }
+
+    /// The chain RNG's serialized internal state (see [`Chain::rng_state`]).
+    pub fn rng_state(&self) -> [u8; 32] {
+        self.chain.rng_state()
+    }
+
+    /// Restores the chain position persisted by the durability layer: RNG
+    /// state plus lifetime counters. Only meaningful at an interval
+    /// boundary (no changes pending), which recovery guarantees.
+    pub fn restore_chain_position(
+        &mut self,
+        rng_state: [u8; 32],
+        steps_taken: u64,
+        stats: KernelStats,
+    ) {
+        self.chain.restore_rng_state(rng_state);
+        self.chain.restore_counters(steps_taken, stats);
     }
 
     /// Deep-snapshots this probabilistic database into an independent

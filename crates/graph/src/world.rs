@@ -100,6 +100,43 @@ impl World {
         &self.assignment
     }
 
+    /// Per-variable domains, indexed by `VariableId` — the serialization
+    /// accessor the durability layer uses to persist a world. Domains shared
+    /// between variables are the same `Arc`, which an encoder can detect by
+    /// pointer identity to write each distinct domain once.
+    pub fn domains(&self) -> &[Arc<Domain>] {
+        &self.domains
+    }
+
+    /// Rebuilds a world from persisted parts: per-variable domains plus the
+    /// assignment vector. Inverse of ([`World::domains`], [`World::assignment`]).
+    ///
+    /// # Panics
+    /// Panics when the lengths differ, an index falls outside its domain, or
+    /// a domain exceeds the `u16` index space — persisted state that fails
+    /// these checks is corrupt, and the durability layer validates record
+    /// checksums before ever calling this.
+    pub fn from_parts(domains: Vec<Arc<Domain>>, assignment: Vec<u16>) -> Self {
+        assert_eq!(
+            domains.len(),
+            assignment.len(),
+            "world parts disagree: {} domains vs {} assignments",
+            domains.len(),
+            assignment.len()
+        );
+        for (d, &idx) in domains.iter().zip(&assignment) {
+            assert!(
+                d.len() <= u16::MAX as usize + 1,
+                "domain too large for u16 index"
+            );
+            assert!((idx as usize) < d.len(), "assignment index out of domain");
+        }
+        World {
+            domains,
+            assignment,
+        }
+    }
+
     /// Restores a previously captured assignment.
     pub fn restore(&mut self, assignment: &[u16]) {
         assert_eq!(assignment.len(), self.assignment.len());
@@ -176,6 +213,26 @@ mod tests {
         w.restore(&snap);
         assert_eq!(w.get(VariableId(0)), 1);
         assert_eq!(w.get(VariableId(1)), 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let mut w = World::new(vec![bio(), bio()]);
+        w.set(VariableId(0), 2);
+        let rebuilt = World::from_parts(w.domains().to_vec(), w.assignment().to_vec());
+        assert_eq!(rebuilt.assignment(), w.assignment());
+        assert_eq!(rebuilt.value(VariableId(0)), w.value(VariableId(0)));
+        // Shared domains stay shared through the accessor.
+        assert!(
+            Arc::ptr_eq(&rebuilt.domains()[0], &rebuilt.domains()[1])
+                == Arc::ptr_eq(&w.domains()[0], &w.domains()[1])
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "world parts disagree")]
+    fn from_parts_rejects_length_mismatch() {
+        World::from_parts(vec![bio()], vec![0, 0]);
     }
 
     #[test]

@@ -80,6 +80,12 @@ impl<M: Model> MetropolisHastings<M> {
         self.stats
     }
 
+    /// Overwrites the lifetime counters — the crash-recovery path restoring
+    /// a kernel to its persisted post-interval statistics.
+    pub fn restore_stats(&mut self, stats: KernelStats) {
+        self.stats = stats;
+    }
+
     /// Variables the proposer may modify.
     pub fn support(&self) -> &[VariableId] {
         self.proposer.support()

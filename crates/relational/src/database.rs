@@ -110,6 +110,18 @@ impl Database {
     pub fn snapshot(&self) -> Database {
         self.clone()
     }
+
+    /// Installs an already-built relation under its own name — the
+    /// deserialization path, where relations are rebuilt slot-for-slot via
+    /// [`Relation::from_raw_parts`] rather than grown through
+    /// [`Database::create_relation`].
+    pub fn adopt_relation(&mut self, rel: Relation) -> Result<(), CatalogError> {
+        if self.relations.contains_key(rel.name()) {
+            return Err(CatalogError::DuplicateRelation(rel.name().to_string()));
+        }
+        self.relations.insert(Arc::clone(rel.name()), rel);
+        Ok(())
+    }
 }
 
 impl fmt::Debug for Database {
@@ -209,6 +221,19 @@ mod tests {
                 .as_str(),
             Some("y")
         );
+    }
+
+    #[test]
+    fn adopt_relation_installs_and_rejects_duplicates() {
+        let mut db = Database::new();
+        let mut r = Relation::new("T", schema());
+        r.insert(tuple![1i64, "x"]).unwrap();
+        db.adopt_relation(r).unwrap();
+        assert_eq!(db.relation("T").unwrap().len(), 1);
+        assert!(matches!(
+            db.adopt_relation(Relation::new("T", schema())),
+            Err(CatalogError::DuplicateRelation(_))
+        ));
     }
 
     #[test]

@@ -162,6 +162,16 @@ impl DeltaSet {
         self.compact();
         self.per_relation
     }
+
+    /// Rebuilds a delta set from per-relation signed sets — the inverse of
+    /// [`DeltaSet::into_parts`], used when decoding a persisted delta.
+    /// Compacts on entry so `from_parts(d.into_parts()) == d` holds even for
+    /// inputs carrying empty per-relation sets.
+    pub fn from_parts(per_relation: BTreeMap<Arc<str>, CountedSet>) -> Self {
+        let mut d = DeltaSet { per_relation };
+        d.compact();
+        d
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +296,29 @@ mod tests {
         d.compact();
         assert!(d.is_empty());
         assert!(d.into_parts().is_empty());
+    }
+
+    #[test]
+    fn from_parts_inverts_into_parts() {
+        let mut d = DeltaSet::new();
+        d.record_update(&rel("T"), tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        d.record_insert(&rel("U"), tuple![9i64]);
+        let rebuilt = DeltaSet::from_parts(d.clone().into_parts());
+        assert_eq!(
+            rebuilt.added("T").sorted_entries(),
+            d.added("T").sorted_entries()
+        );
+        assert_eq!(
+            rebuilt.removed("T").sorted_entries(),
+            d.removed("T").sorted_entries()
+        );
+        assert_eq!(rebuilt.magnitude(), d.magnitude());
+        // Empty per-relation entries are compacted away on entry.
+        let mut parts = BTreeMap::new();
+        parts.insert(rel("E"), CountedSet::new());
+        let e = DeltaSet::from_parts(parts);
+        assert!(e.is_empty());
+        assert_eq!(e.relations().count(), 0);
     }
 
     #[test]

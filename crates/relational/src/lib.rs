@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # fgdb-relational — the deterministic relational substrate
 //!
 //! This crate is the "underlying relational database" of Wick, McCallum &

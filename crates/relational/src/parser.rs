@@ -23,6 +23,23 @@
 //!
 //! The parser never panics: every malformed input surfaces as a
 //! [`ParseError`] carrying the byte offset of the offending token.
+//!
+//! # Example
+//!
+//! ```
+//! use fgdb_relational::parser::{parse, parse_plan};
+//!
+//! // Text → AST → canonical text (parse ∘ print is a fixpoint)…
+//! let ast = parse("SELECT string FROM TOKEN WHERE label = 'B-PER'").unwrap();
+//! assert_eq!(ast.to_string(), "SELECT string FROM TOKEN WHERE label = 'B-PER'");
+//!
+//! // …and AST → naive plan (σ under π, ready for the planner).
+//! let plan = parse_plan("SELECT string FROM TOKEN WHERE label = 'B-PER'").unwrap();
+//! assert_eq!(plan.to_string(), "π[string](σ(Scan(TOKEN)))");
+//!
+//! // Malformed input is an error with a byte offset, never a panic.
+//! assert!(parse("SELECT FROM WHERE").is_err());
+//! ```
 
 use crate::algebra::{AggExpr, AggFunc, Plan};
 use crate::expr::{CmpOp, Expr};
@@ -1274,21 +1291,46 @@ fn fmt_literal(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     }
 }
 
-// The paper's four evaluation queries as SQL text (mirrors
-// [`crate::algebra::paper_queries`]).
-/// SQL text of the paper's §5 evaluation queries over a TOKEN relation.
 pub mod paper_sql {
-    /// Query 1: person-mention strings.
+    //! The four §5 evaluation queries of Wick, McCallum & Miklau (PVLDB
+    //! 2010) as SQL text over a TOKEN relation (mirrors
+    //! [`crate::algebra::paper_queries`], which builds the same queries as
+    //! plans). Each query maps to a figure of the paper's evaluation; the
+    //! `fig*` harness binaries in `fgdb-bench` reproduce those figures
+    //! from these queries.
+
+    /// **Query 1** — *person-mention strings*: the strings of every token
+    /// currently labeled `B-PER` (the beginning of a person mention).
+    ///
+    /// This is the paper's workhorse selection query: **Figure 4a**
+    /// (naive vs. materialized scalability in database size), **Figure 4b**
+    /// (loss-vs-samples curves), and **Figure 5** (parallel chains) all
+    /// evaluate it. Its answer set changes tuple-by-tuple as MCMC relabels
+    /// tokens, which is what makes the Δ-maintained evaluator shine.
     pub fn query1(token: &str) -> String {
         format!("SELECT string FROM {token} WHERE label = 'B-PER'")
     }
 
-    /// Query 2: global filtered person count.
+    /// **Query 2** — *how many person mentions are there?* A single global
+    /// aggregate: the count of `B-PER` tokens across the corpus.
+    ///
+    /// Reproduced in **Figure 6** (aggregate queries under view
+    /// maintenance) and **Figure 7**, which histograms the sampled count
+    /// values — the paper's example of a query whose *distribution* (not
+    /// just expectation) is recovered for free by MCMC evaluation, where
+    /// exact probabilistic databases struggle with aggregate uncertainty.
     pub fn query2(token: &str) -> String {
         format!("SELECT COUNT(*) FILTER (WHERE label = 'B-PER') AS n_person FROM {token}")
     }
 
-    /// Query 3: documents whose B-PER and B-ORG counts balance.
+    /// **Query 3** — *documents mentioning as many people as
+    /// organizations*: group tokens by document and keep the documents
+    /// whose `B-PER` and `B-ORG` counts balance.
+    ///
+    /// The grouped-aggregate-with-HAVING companion to Query 2 in
+    /// **Figure 6**: two filtered counts per group and an equality gate on
+    /// them, exercising grouped view maintenance (γ with per-group
+    /// accumulators) rather than one global accumulator.
     pub fn query3(token: &str) -> String {
         format!(
             "SELECT doc_id FROM {token} GROUP BY doc_id \
@@ -1297,7 +1339,18 @@ pub mod paper_sql {
         )
     }
 
-    /// Query 4: person strings co-occurring with an org-sense "Boston".
+    /// **Query 4** — *people co-occurring with the organization "Boston"*:
+    /// a self-join of TOKEN on `doc_id`, returning person-mention strings
+    /// from documents where the (ambiguous) string "Boston" is used in its
+    /// organization sense, e.g. the Boston Globe.
+    ///
+    /// The join query of **Figure 8**: its answer depends on label
+    /// assignments at *two* positions, so naive evaluation pays a full
+    /// join per sample while the maintained view pays only for deltas
+    /// touching either side — the paper's strongest systems case. As text
+    /// it lowers to `TOKEN × TOKEN` under one conjunction; the planner's
+    /// product→hash-join rewrite recovers the efficient shape (see the
+    /// `planner_opt` bench).
     pub fn query4(token: &str) -> String {
         format!(
             "SELECT T2.string FROM {token} T1, {token} T2 \

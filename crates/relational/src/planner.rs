@@ -26,6 +26,31 @@
 //! column names; [`optimize`] re-validates the output schema and falls back
 //! to the input plan if a rewrite ever disagreed (defense in depth — the
 //! property suite asserts it never fires).
+//!
+//! # Example
+//!
+//! ```
+//! use fgdb_relational::{optimize, parse_plan, Database, Schema, ValueType};
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::from_pairs(&[
+//!     ("doc_id", ValueType::Int),
+//!     ("label", ValueType::Str),
+//! ]).unwrap();
+//! db.create_relation("TOKEN", schema).unwrap();
+//!
+//! // SQL lowers to a cross product under one selection…
+//! let naive = parse_plan(
+//!     "SELECT T2.label FROM TOKEN T1, TOKEN T2 \
+//!      WHERE T1.doc_id = T2.doc_id AND T1.label = 'B-ORG'",
+//! ).unwrap();
+//! assert!(naive.to_string().contains('×'));
+//!
+//! // …which the optimizer rewrites into a pushed-down hash join.
+//! let optimized = optimize(&naive, &db).unwrap();
+//! assert!(optimized.to_string().contains('⋈'), "{optimized}");
+//! assert!(!optimized.to_string().contains('×'));
+//! ```
 
 use crate::algebra::{AggExpr, AggFunc, Plan, PlanError};
 use crate::database::Database;

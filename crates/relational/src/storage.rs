@@ -300,6 +300,106 @@ impl Relation {
     pub fn snapshot(&self) -> Relation {
         self.clone()
     }
+
+    /// The raw slot array, dead slots included — the serialization accessor
+    /// the durability layer uses to persist a relation with its `RowId`
+    /// address space intact (slot *i* holds the row addressed by
+    /// `RowId(i)`).
+    pub fn raw_slots(&self) -> &[Option<Tuple>] {
+        &self.rows
+    }
+
+    /// The free-slot stack in pop order (last entry is reused next). Part of
+    /// the persisted state so that a recovered relation hands out the same
+    /// `RowId` for the next insert as the original would have.
+    pub fn free_slots(&self) -> &[u32] {
+        &self.free
+    }
+
+    /// Columns carrying a secondary hash index, in creation order. The index
+    /// *contents* are derived state and are not persisted; recovery rebuilds
+    /// them from the rows via [`Relation::create_index`].
+    pub fn indexed_columns(&self) -> Vec<usize> {
+        self.secondary.iter().map(|ix| ix.column).collect()
+    }
+
+    /// Rebuilds a relation from persisted parts: the raw slot array (see
+    /// [`Relation::raw_slots`]), the free-slot stack, and the secondary-index
+    /// column set. Primary-key and secondary indexes are re-derived from the
+    /// slots in slot order.
+    ///
+    /// Validates everything an on-disk source could get wrong: every tuple
+    /// re-checked against the schema, primary keys re-checked for
+    /// uniqueness, and the free list required to name exactly the dead slots
+    /// (each once, in range).
+    pub fn from_raw_parts(
+        name: impl Into<Arc<str>>,
+        schema: Schema,
+        slots: Vec<Option<Tuple>>,
+        free: Vec<u32>,
+        indexed_columns: &[usize],
+    ) -> Result<Relation, StorageError> {
+        let mut seen = vec![false; slots.len()];
+        for &f in &free {
+            let slot = seen
+                .get_mut(f as usize)
+                .ok_or(StorageError::NoSuchRow(RowId(f)))?;
+            if *slot || slots[f as usize].is_some() {
+                // A free entry naming a live or already-freed slot.
+                return Err(StorageError::NoSuchRow(RowId(f)));
+            }
+            *slot = true;
+        }
+        let mut live = 0usize;
+        let mut pk_index = FxHashMap::default();
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Some(t) => {
+                    schema.check(t.values())?;
+                    if let Some(pk) = schema.primary_key() {
+                        let key = t.get(pk);
+                        if pk_index.insert(key.clone(), RowId(i as u32)).is_some() {
+                            return Err(StorageError::DuplicateKey(key.to_string()));
+                        }
+                    }
+                    live += 1;
+                }
+                None => {
+                    if !seen[i] {
+                        // A dead slot missing from the free list would be
+                        // unreachable for reuse forever.
+                        return Err(StorageError::NoSuchRow(RowId(i as u32)));
+                    }
+                }
+            }
+        }
+        let mut rel = Relation {
+            name: name.into(),
+            schema,
+            rows: slots,
+            free,
+            live,
+            pk_index,
+            secondary: Vec::new(),
+        };
+        for &col in indexed_columns {
+            if col >= rel.schema.arity() {
+                return Err(StorageError::NoSuchColumn(col));
+            }
+            if rel.has_index_on(col) {
+                continue;
+            }
+            let mut ix = HashIndex {
+                column: col,
+                map: FxHashMap::default(),
+            };
+            for (rid, t) in rel.iter() {
+                ix.insert(rid, t);
+            }
+            rel.secondary.push(ix);
+        }
+        Ok(rel)
+    }
 }
 
 impl fmt::Debug for Relation {
@@ -481,6 +581,83 @@ mod tests {
         let b2 = snap.insert(tuple![3i64, "Boston", "O"]).unwrap();
         assert_eq!(b2, b);
         assert_eq!(r.get(b).unwrap().get(0), &Value::Int(2));
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_with_dead_slots() {
+        let mut r = token_relation();
+        let a = r.insert(tuple![1i64, "IBM", "O"]).unwrap();
+        let b = r.insert(tuple![2i64, "said", "O"]).unwrap();
+        r.insert(tuple![3i64, "Boston", "O"]).unwrap();
+        r.delete(b).unwrap();
+        r.create_index("string").unwrap();
+        let col = r.schema().index_of("string").unwrap();
+
+        let rebuilt = Relation::from_raw_parts(
+            Arc::clone(r.name()),
+            r.schema().clone(),
+            r.raw_slots().to_vec(),
+            r.free_slots().to_vec(),
+            &r.indexed_columns(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.len(), r.len());
+        assert_eq!(rebuilt.get(a), r.get(a));
+        assert!(rebuilt.get(b).is_none());
+        assert_eq!(
+            rebuilt.find_by_pk(&Value::Int(3)),
+            r.find_by_pk(&Value::Int(3))
+        );
+        assert_eq!(rebuilt.index_lookup(col, &Value::str("IBM")).unwrap(), &[a]);
+        // The freed slot is reused identically on both sides.
+        let mut r2 = rebuilt;
+        let expect = r.insert(tuple![4i64, "x", "O"]).unwrap();
+        let got = r2.insert(tuple![4i64, "x", "O"]).unwrap();
+        assert_eq!(expect, got);
+        assert_eq!(expect, b);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_corrupt_parts() {
+        let r = token_relation();
+        let schema = r.schema().clone();
+        let live = Some(tuple![1i64, "a", "O"]);
+        // Free entry pointing at a live slot.
+        assert!(
+            Relation::from_raw_parts("T", schema.clone(), vec![live.clone()], vec![0], &[])
+                .is_err()
+        );
+        // Free entry out of range.
+        assert!(
+            Relation::from_raw_parts("T", schema.clone(), vec![live.clone()], vec![5], &[])
+                .is_err()
+        );
+        // Dead slot missing from the free list.
+        assert!(Relation::from_raw_parts("T", schema.clone(), vec![None], vec![], &[]).is_err());
+        // Duplicate free entry for one dead slot.
+        assert!(
+            Relation::from_raw_parts("T", schema.clone(), vec![None], vec![0, 0], &[]).is_err()
+        );
+        // Duplicate primary keys across slots.
+        assert!(Relation::from_raw_parts(
+            "T",
+            schema.clone(),
+            vec![live.clone(), Some(tuple![1i64, "b", "O"])],
+            vec![],
+            &[]
+        )
+        .is_err());
+        // Schema violation inside a slot.
+        assert!(Relation::from_raw_parts(
+            "T",
+            schema.clone(),
+            vec![Some(tuple!["not-an-int", "a", "O"])],
+            vec![],
+            &[]
+        )
+        .is_err());
+        // Index on a column the schema does not have.
+        assert!(Relation::from_raw_parts("T", schema, vec![live], vec![], &[9]).is_err());
     }
 
     #[test]

@@ -22,6 +22,32 @@
 //! evaluation queries of §5 — including the aggregate queries the paper
 //! highlights as trivially handled by sampling evaluation — and the full
 //! algebra beyond them.
+//!
+//! # Example
+//!
+//! ```
+//! use fgdb_relational::{
+//!     tuple, Database, DeltaSet, Expr, MaterializedView, Plan, Schema, Value, ValueType,
+//! };
+//! use std::sync::Arc;
+//!
+//! let mut db = Database::new();
+//! let schema = Schema::from_pairs(&[("id", ValueType::Int), ("label", ValueType::Str)])
+//!     .unwrap();
+//! db.create_relation("TOKEN", schema).unwrap();
+//! db.relation_mut("TOKEN").unwrap().insert(tuple![1i64, "B-PER"]).unwrap();
+//!
+//! // Materialize σ(label = 'B-PER') and maintain it under a delta.
+//! let plan = Plan::scan("TOKEN").filter(Expr::col("label").eq(Expr::lit("B-PER")));
+//! let mut view = MaterializedView::new(&plan, &db).unwrap();
+//! assert_eq!(view.result().total(), 1);
+//!
+//! let rel: Arc<str> = Arc::from("TOKEN");
+//! let mut delta = DeltaSet::new();
+//! delta.record_update(&rel, tuple![1i64, "B-PER"], tuple![1i64, "O"]);
+//! view.apply_delta(&delta); // Θ(|Δ|), not Θ(|w|)
+//! assert_eq!(view.result().total(), 0);
+//! ```
 
 use crate::algebra::{Plan, PlanError};
 use crate::counted::CountedSet;

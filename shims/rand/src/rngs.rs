@@ -14,6 +14,22 @@ pub struct StdRng {
 }
 
 impl StdRng {
+    /// Serializes the generator's internal state as 32 little-endian bytes.
+    ///
+    /// Passing the returned bytes to [`SeedableRng::from_seed`] reconstructs
+    /// a generator that continues the exact same stream — `from_seed` loads
+    /// the four xoshiro words verbatim. (A live xoshiro state is never
+    /// all-zero, so `from_seed`'s zero-state nudge cannot trigger on a
+    /// captured state.) This accessor is an extension over the upstream
+    /// `rand` API; the durability layer uses it to persist chain RNG state.
+    pub fn state(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(8).zip(self.s) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
     #[inline]
     fn next(&mut self) -> u64 {
         // xoshiro256++
@@ -80,6 +96,18 @@ mod tests {
     fn zero_seed_does_not_stick_at_zero() {
         let mut rng = StdRng::from_seed([0; 32]);
         assert!((0..8).map(|_| rng.next_u64()).any(|x| x != 0));
+    }
+
+    #[test]
+    fn state_round_trips_mid_stream() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            rng.next_u64();
+        }
+        let mut resumed = StdRng::from_seed(rng.state());
+        let a: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| resumed.next_u64()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

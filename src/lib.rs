@@ -53,9 +53,11 @@
 //! | [`fgdb_mcmc`] | Metropolis–Hastings kernel, proposers, chains, parallel fan-out, diagnostics |
 //! | [`fgdb_learn`] | SampleRank weight learning |
 //! | [`fgdb_ie`] | BIO labels, synthetic corpus, linear/skip-chain CRFs, entity resolution |
-//! | [`fgdb_core`] | the probabilistic DB façade, naive & materialized evaluators, metrics |
+//! | [`fgdb_durability`] | WAL + snapshot storage engine: versioned binary format (docs/FORMAT.md), group-commit log, crash recovery |
+//! | [`fgdb_core`] | the probabilistic DB façade, naive & materialized evaluators, parallel engine, durable wrapper, metrics |
 
 pub use fgdb_core as core;
+pub use fgdb_durability as durability;
 pub use fgdb_graph as graph;
 pub use fgdb_ie as ie;
 pub use fgdb_learn as learn;
@@ -66,9 +68,10 @@ pub use fgdb_relational as relational;
 pub mod prelude {
     pub use fgdb_core::{
         build_ner_pdb, chain_seed, evaluate_parallel, ner_proposer, squared_error, train_ner_model,
-        truth_database, AnswerRow, EngineAnswer, EngineConfig, EngineReport, FieldBinding,
-        LossCurve, MarginalTable, NerProposerConfig, ParallelEngine, ProbabilisticDB,
-        QueryEvaluator, ValueDistribution,
+        truth_database, AnswerRow, DurabilityConfig, DurableError, DurablePdb, EngineAnswer,
+        EngineConfig, EngineReport, FieldBinding, FsyncPolicy, LossCurve, MarginalTable,
+        NerProposerConfig, ParallelEngine, ProbabilisticDB, QueryEvaluator, RecoveryReport,
+        ValueDistribution,
     };
     pub use fgdb_graph::{
         Domain, EvalStats, FactorGraph, FeatureVector, Learnable, Model, TableFactor, VariableId,
