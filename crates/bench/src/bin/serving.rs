@@ -1,0 +1,228 @@
+//! serving — concurrent read latency over a live sampler, and the
+//! sampler-throughput cost of serving.
+//!
+//! Reproduces the PR-6 serving deliverable: a [`LiveSampler`] publishes
+//! snapshot-isolated epochs while `fgdb-serve` fronts it on localhost TCP
+//! and N concurrent clients issue the paper's SQL at a fixed pace.
+//! Measures:
+//!
+//! * **unserved baseline** — sampler walk-steps/second with no server and
+//!   no clients attached;
+//! * **serving** — client-observed request latency (p50/p95/p99) and
+//!   aggregate queries/second at N concurrent connections, plus the
+//!   sampler's walk-steps/second *during* that load;
+//! * **degradation** — the serving-vs-baseline sampler throughput drop.
+//!   The acceptance bound for this PR is ≤ 25% under paced load (the
+//!   harness machine is single-core, so clients and sampler share one
+//!   CPU; an unpaced closed loop would measure CPU division, not serving
+//!   overhead — the `saturate` row reports that regime separately).
+//!
+//! Scales with `FGDB_SCALE` (default 1.0); `FGDB_SERVE_CLIENTS` overrides
+//! the client count (default 8). Emits `BENCH_serving.json`.
+//!
+//! ```sh
+//! cargo run --release -p fgdb-bench --bin serving
+//! ```
+
+use fgdb_bench::report::Report;
+use fgdb_bench::{print_csv, print_table, scaled};
+use fgdb_core::fixtures::biased_token_pdb;
+use fgdb_core::{LiveSampler, ServingConfig};
+use fgdb_graph::FactorGraph;
+use fgdb_relational::parser::paper_sql;
+use fgdb_serve::{Client, Server};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DOC_SIZE: usize = 24;
+/// Pace between requests on each client connection (paced regime).
+const PACE: Duration = Duration::from_millis(25);
+
+fn build_sampler(n_tokens: usize, config: &ServingConfig) -> LiveSampler<Arc<FactorGraph>> {
+    let pdb = biased_token_pdb(n_tokens, DOC_SIZE, 0xBE7C);
+    let q1 = paper_sql::query1("TOKEN");
+    LiveSampler::spawn(pdb, &[("q1", q1.as_str())], config.clone()).expect("spawn sampler")
+}
+
+/// Sampler walk-steps/second over a sleep window.
+fn steps_per_sec(sampler: &LiveSampler<Arc<FactorGraph>>, window: Duration) -> f64 {
+    let start = sampler.reader().status().steps;
+    let t0 = Instant::now();
+    std::thread::sleep(window);
+    let steps = sampler.reader().status().steps - start;
+    steps as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// One client thread: issue the query mix against `addr` until the
+/// deadline, optionally pacing between requests. Returns per-request
+/// latencies in milliseconds.
+fn client_loop(
+    addr: &str,
+    queries: &[String],
+    deadline: Instant,
+    pace: Option<Duration>,
+) -> Vec<f64> {
+    let mut client = Client::connect(addr).expect("client connect");
+    let mut latencies = Vec::new();
+    let mut i = 0usize;
+    while Instant::now() < deadline {
+        let sql = &queries[i % queries.len()];
+        i += 1;
+        let t0 = Instant::now();
+        client.query(sql).expect("query under load");
+        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+        if let Some(p) = pace {
+            std::thread::sleep(p);
+        }
+    }
+    latencies
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives one serving regime; returns (latencies_ms sorted, qps, sampler steps/s).
+fn run_regime(
+    n_tokens: usize,
+    config: &ServingConfig,
+    n_clients: usize,
+    window: Duration,
+    pace: Option<Duration>,
+) -> (Vec<f64>, f64, f64) {
+    let sampler = build_sampler(n_tokens, config);
+    let server = Server::start(sampler.reader(), "127.0.0.1:0").expect("bind");
+    let addr = server.addr().to_string();
+    let queries: Arc<Vec<String>> = Arc::new(vec![
+        paper_sql::query1("TOKEN"),
+        paper_sql::query2("TOKEN"),
+        paper_sql::query3("TOKEN"),
+        paper_sql::query4("TOKEN"),
+    ]);
+
+    let t0 = Instant::now();
+    let deadline = t0 + window;
+    let handles: Vec<_> = (0..n_clients)
+        .map(|_| {
+            let addr = addr.clone();
+            let queries = Arc::clone(&queries);
+            std::thread::spawn(move || client_loop(&addr, &queries, deadline, pace))
+        })
+        .collect();
+
+    let steps_start = sampler.reader().status().steps;
+    let mut latencies: Vec<f64> = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let steps = sampler.reader().status().steps - steps_start;
+
+    server.stop();
+    sampler.stop().expect("clean sampler stop");
+
+    let qps = latencies.len() as f64 / elapsed;
+    latencies.sort_by(f64::total_cmp);
+    (latencies, qps, steps as f64 / elapsed)
+}
+
+fn main() {
+    let n_tokens = scaled(400).max(24);
+    let window = Duration::from_millis(scaled(3_000).max(500) as u64);
+    let n_clients = std::env::var("FGDB_SERVE_CLIENTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8usize)
+        .max(1);
+    let config = ServingConfig {
+        thinning: 50,
+        publish_every: 4,
+        window: 128,
+        ..Default::default()
+    };
+
+    // Unserved baseline: the sampler alone on the box.
+    let baseline = build_sampler(n_tokens, &config);
+    std::thread::sleep(window / 4); // warm-up: JIT-free but cache-warm
+    let baseline_sps = steps_per_sec(&baseline, window);
+    baseline.stop().expect("clean baseline stop");
+
+    let mut report = Report::new(
+        "serving",
+        &[
+            "regime",
+            "clients",
+            "queries",
+            "qps",
+            "p50_ms",
+            "p95_ms",
+            "p99_ms",
+            "sampler_steps_per_s",
+            "degradation_pct",
+        ],
+    );
+    report
+        .param("n_tokens", n_tokens)
+        .param("window_ms", window.as_millis())
+        .param("pace_ms", PACE.as_millis())
+        .param("thinning", config.thinning)
+        .param("publish_every", config.publish_every)
+        .param("baseline_steps_per_s", format!("{baseline_sps:.0}"));
+
+    let mut rows = Vec::new();
+    let mut paced_degradation = f64::NAN;
+    for (regime, pace) in [("paced", Some(PACE)), ("saturate", None)] {
+        let (lat, qps, sps) = run_regime(n_tokens, &config, n_clients, window, pace);
+        let degradation = (1.0 - sps / baseline_sps) * 100.0;
+        if regime == "paced" {
+            paced_degradation = degradation;
+        }
+        rows.push(vec![
+            regime.to_string(),
+            n_clients.to_string(),
+            lat.len().to_string(),
+            format!("{qps:.1}"),
+            format!("{:.3}", percentile(&lat, 0.50)),
+            format!("{:.3}", percentile(&lat, 0.95)),
+            format!("{:.3}", percentile(&lat, 0.99)),
+            format!("{sps:.0}"),
+            format!("{degradation:.1}"),
+        ]);
+    }
+
+    for r in &rows {
+        report.row(r.clone());
+    }
+    print_table(
+        "serving: concurrent read latency + sampler cost",
+        &[
+            "regime",
+            "clients",
+            "queries",
+            "qps",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "sampler steps/s",
+            "degradation %",
+        ],
+        &rows,
+    );
+    print_csv(
+        "serving",
+        "regime,clients,queries,qps,p50_ms,p95_ms,p99_ms,sampler_steps_per_s,degradation_pct",
+        &rows.iter().map(|r| r.join(",")).collect::<Vec<_>>(),
+    );
+    report.write_if_configured();
+    println!(
+        "\nbaseline sampler: {baseline_sps:.0} steps/s; paced degradation: {paced_degradation:.1}% (bound: 25%)"
+    );
+    if paced_degradation > 25.0 {
+        eprintln!("WARNING: paced serving degraded the sampler beyond the 25% bound");
+        std::process::exit(1);
+    }
+}

@@ -279,9 +279,26 @@ impl<M: Model> DurablePdb<M> {
 
     /// Unwraps the in-memory database, abandoning durability (the store
     /// directory keeps its last durable state; further steps on the
-    /// returned database are not logged).
+    /// returned database are not logged). The store's drop path flushes
+    /// any pending group commit best-effort; use [`Self::close`] instead
+    /// to *observe* that final flush.
     pub fn into_inner(self) -> ProbabilisticDB<M> {
         self.pdb
+    }
+
+    /// Dismounts the store after forcing the pending group commit onto
+    /// stable storage, surfacing the flush error that a plain drop (or
+    /// [`Self::into_inner`]) would have to swallow.
+    ///
+    /// Under [`FsyncPolicy::EveryN`](fgdb_durability::FsyncPolicy) up to
+    /// N−1 acknowledged intervals may sit in the OS page cache between
+    /// group fsyncs; an orderly shutdown must flush that tail *and learn
+    /// whether the flush succeeded* before reporting the intervals as
+    /// durable. [`Self::checkpoint`] gives the same guarantee mid-run (it
+    /// syncs the WAL before replacing the snapshot).
+    pub fn close(mut self) -> Result<ProbabilisticDB<M>, DurableError> {
+        self.store.sync()?;
+        Ok(self.pdb)
     }
 }
 

@@ -171,6 +171,10 @@ impl Default for EngineConfig {
 /// Errors raised by the engine.
 #[derive(Debug)]
 pub enum EngineError {
+    /// The configuration is degenerate (zero chains, zero checkpoint
+    /// interval, zero sample budget). Rejected up front so a served query
+    /// can never take the process down.
+    Config(String),
     /// Replica construction or evaluation failed.
     Evaluate(EvaluateError),
     /// A chain failed mid-round.
@@ -185,6 +189,7 @@ pub enum EngineError {
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EngineError::Config(message) => write!(f, "invalid engine config: {message}"),
             EngineError::Evaluate(e) => write!(f, "engine evaluation error: {e}"),
             EngineError::Chain { chain, message } => write!(f, "chain {chain} failed: {message}"),
         }
@@ -248,7 +253,7 @@ impl<M: Model> Replica<M> {
         let answer = self
             .eval
             .current_answer()
-            .expect("engine evaluators are materialized");
+            .ok_or(EvaluateError::NotMaterialized)?;
         self.trace.record(answer);
         Ok(())
     }
@@ -377,11 +382,10 @@ fn diagnose<M: Model>(replicas: &[Replica<M>], collect_per_tuple: bool) -> DiagS
     // Chains can be left at unequal lengths by a mid-round failure; compare
     // the common prefix so post-failure `answer()` stays total (R̂ asserts
     // equal lengths).
-    let n = replicas
-        .iter()
-        .map(|r| r.trace.samples)
-        .min()
-        .expect("engine has at least one replica");
+    // `unwrap_or(0)` keeps this total even for an (unconstructible, see
+    // `ParallelEngine::new`) replica-less engine: the summary degenerates
+    // to the trivially-converged empty-support verdict below.
+    let n = replicas.iter().map(|r| r.trace.samples).min().unwrap_or(0);
     let zeros = vec![0.0f64; n];
     let tuples: BTreeSet<&Tuple> = replicas.iter().flat_map(|r| r.trace.rows.keys()).collect();
     // An empty support (query answer empty in every sampled world so far)
@@ -428,18 +432,28 @@ impl<M: Model + Clone> ParallelEngine<M> {
     /// is recorded as every chain's first sample, as in Algorithm 1) and a
     /// proposer from `make_proposer(chain_index)`.
     ///
-    /// # Panics
-    /// Panics on nonsensical configuration (zero chains, zero checkpoint
-    /// interval, or `max_samples` of zero).
+    /// # Errors
+    /// Returns [`EngineError::Config`] on nonsensical configuration (zero
+    /// chains, zero checkpoint interval, or `max_samples` of zero) and
+    /// [`EngineError::Evaluate`] when replica construction fails. Never
+    /// panics: a served query must not take the process down.
     pub fn new(
         seed_pdb: &ProbabilisticDB<M>,
         plan: Plan,
         config: EngineConfig,
         mut make_proposer: impl FnMut(usize) -> Box<dyn Proposer>,
     ) -> Result<Self, EngineError> {
-        assert!(config.chains > 0, "engine needs at least one chain");
-        assert!(config.checkpoint_samples > 0, "zero checkpoint interval");
-        assert!(config.max_samples > 0, "zero sample budget");
+        if config.chains == 0 {
+            return Err(EngineError::Config(
+                "engine needs at least one chain".into(),
+            ));
+        }
+        if config.checkpoint_samples == 0 {
+            return Err(EngineError::Config("zero checkpoint interval".into()));
+        }
+        if config.max_samples == 0 {
+            return Err(EngineError::Config("zero sample budget".into()));
+        }
         let mut replicas = Vec::with_capacity(config.chains);
         for i in 0..config.chains {
             let mut pdb = seed_pdb.snapshot(make_proposer(i), chain_seed(config.base_seed, i));
@@ -452,7 +466,10 @@ impl<M: Model + Clone> ParallelEngine<M> {
             let eval = QueryEvaluator::materialized(plan.clone(), &pdb, config.thinning)
                 .map_err(EngineError::Evaluate)?;
             let mut trace = TraceStore::default();
-            trace.record(eval.current_answer().expect("materialized evaluator"));
+            trace.record(
+                eval.current_answer()
+                    .ok_or(EngineError::Evaluate(EvaluateError::NotMaterialized))?,
+            );
             replicas.push(Replica { pdb, eval, trace });
         }
         Ok(ParallelEngine {
@@ -493,11 +510,12 @@ impl<M: Model + Clone> ParallelEngine<M> {
     /// mid-round chain failure it reports the shortest chain, matching the
     /// common-prefix window the diagnostics compare.
     pub fn samples_per_chain(&self) -> usize {
+        // Construction guarantees ≥ 1 replica; stay total regardless.
         self.replicas
             .iter()
             .map(|r| r.trace.samples)
             .min()
-            .expect("engine has at least one replica")
+            .unwrap_or(0)
     }
 
     /// The R̂ / ESS trajectory recorded so far.
@@ -558,7 +576,8 @@ impl<M: Model + Clone> ParallelEngine<M> {
                 }
                 let diag = diagnose(replicas, false);
                 trajectory.push(RHatPoint {
-                    samples_per_chain: replicas[0].trace.samples as u64,
+                    samples_per_chain: replicas.first().map(|r| r.trace.samples).unwrap_or(0)
+                        as u64,
                     r_hat: diag.max_r_hat,
                     min_ess: diag.min_ess,
                 });
@@ -585,7 +604,11 @@ impl<M: Model + Clone> ParallelEngine<M> {
         let gate_armed = self.config.r_hat_threshold > 1.0;
         loop {
             self.run_rounds(1)?;
-            let last = *self.trajectory.last().expect("run_rounds pushed");
+            // `run_rounds(1)` pushes a trajectory point on every Ok return;
+            // fall back to the budget check rather than panicking if not.
+            let Some(&last) = self.trajectory.last() else {
+                break;
+            };
             let samples = self.samples_per_chain();
             if gate_armed
                 && samples >= self.config.min_samples
@@ -730,6 +753,57 @@ mod tests {
 
     fn proposer_for(n: usize) -> Box<dyn Proposer> {
         Box::new(UniformRelabel::new((0..n as u32).map(VariableId).collect()))
+    }
+
+    #[test]
+    fn degenerate_configs_are_errors_not_panics() {
+        let seed = seed_pdb(&[0.2], 1);
+        for (cfg, needle) in [
+            (
+                EngineConfig {
+                    chains: 0,
+                    ..EngineConfig::default()
+                },
+                "at least one chain",
+            ),
+            (
+                EngineConfig {
+                    checkpoint_samples: 0,
+                    ..EngineConfig::default()
+                },
+                "checkpoint interval",
+            ),
+            (
+                EngineConfig {
+                    max_samples: 0,
+                    ..EngineConfig::default()
+                },
+                "sample budget",
+            ),
+        ] {
+            let err = ParallelEngine::new(&seed, on_items(), cfg, |_| proposer_for(1))
+                .err()
+                .expect("degenerate config must be rejected");
+            assert!(
+                matches!(&err, EngineError::Config(m) if m.contains(needle)),
+                "unexpected error for {needle}: {err}"
+            );
+        }
+        // Zero chains through the parallel evaluator helper: Err, no panic.
+        let plan = on_items();
+        let res = crate::evaluate_parallel(0, |_| seed_pdb(&[0.2], 1), &plan, 5, 2);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn non_materialized_answer_is_a_typed_error() {
+        // A naive evaluator has no maintained answer between recomputes;
+        // asking for it yields EvaluateError::NotMaterialized, not a panic.
+        let pdb = seed_pdb(&[0.2], 2);
+        let eval = QueryEvaluator::naive(on_items(), &pdb, 2).unwrap();
+        assert!(eval.current_answer().is_none());
+        let rendered = EvaluateError::NotMaterialized.to_string();
+        assert!(rendered.contains("materialized"), "got: {rendered}");
     }
 
     #[test]

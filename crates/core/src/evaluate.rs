@@ -27,6 +27,10 @@ use std::fmt;
 /// Errors raised during evaluation.
 #[derive(Debug)]
 pub enum EvaluateError {
+    /// An operation needed the maintained answer of a materialized
+    /// evaluator but the evaluator runs the naive strategy (no view to
+    /// consult between full recomputations).
+    NotMaterialized,
     /// Query planning/execution failure.
     Exec(ExecError),
     /// Storage failure while applying MCMC changes.
@@ -41,6 +45,9 @@ pub enum EvaluateError {
 impl fmt::Display for EvaluateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            EvaluateError::NotMaterialized => {
+                write!(f, "operation requires a materialized evaluator")
+            }
             EvaluateError::Exec(e) => write!(f, "execution error: {e}"),
             EvaluateError::Storage(e) => write!(f, "storage error: {e}"),
             EvaluateError::Query(e) => write!(f, "query error: {e}"),
@@ -278,6 +285,9 @@ impl QueryEvaluator {
 /// probabilistic databases ("identical copies of the initial world" with
 /// distinct chain seeds), runs a materialized evaluator on each for
 /// `samples_per_chain` samples, and averages the marginal estimates.
+///
+/// Degenerate configurations are errors, not panics: `n_chains == 0`
+/// returns `Err` (a served query must never take the process down).
 pub fn evaluate_parallel<M, F>(
     n_chains: usize,
     make_pdb: F,
@@ -289,6 +299,9 @@ where
     M: Model,
     F: Fn(usize) -> ProbabilisticDB<M> + Sync,
 {
+    if n_chains == 0 {
+        return Err("evaluate_parallel needs at least one chain".to_string());
+    }
     let tables: Vec<Result<MarginalTable, String>> = fgdb_mcmc::run_chains(n_chains, |chain| {
         let mut pdb = make_pdb(chain);
         let mut eval =

@@ -30,6 +30,7 @@ pub mod marginals;
 pub mod metrics;
 pub mod ner;
 pub mod pdb;
+pub mod serving;
 
 pub use durable::{DurableError, DurablePdb};
 pub use engine::{
@@ -43,3 +44,7 @@ pub use marginals::{MarginalTable, ValueDistribution};
 pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};
 pub use ner::{build_ner_pdb, ner_proposer, train_ner_model, truth_database, NerProposerConfig};
 pub use pdb::{FieldBinding, ProbabilisticDB};
+pub use serving::{
+    EpochReader, EpochSnapshot, LiveSampler, QueryStatus, SamplerStatus, ServingConfig,
+    ServingError,
+};

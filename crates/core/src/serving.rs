@@ -1,0 +1,713 @@
+//! The concurrent serving core: a live MCMC sampler publishing
+//! snapshot-isolated, convergence-tagged epochs to concurrent readers.
+//!
+//! The paper's central operational claim is that a factor-graph
+//! probabilistic database *serves queries while inference runs
+//! continuously* — the sampler is never paused for a reader and a reader
+//! never observes a half-applied thinning interval. This module is that
+//! claim as an `fgdb-core` subsystem:
+//!
+//! * [`LiveSampler::spawn`] moves a [`ProbabilisticDB`] onto a dedicated
+//!   sampler thread which loops forever: one thinning interval
+//!   ([`ProbabilisticDB::step`]), incremental maintenance of every
+//!   *registered query*'s materialized view (Algorithm 1), and — every
+//!   `publish_every` samples — publication of a new [`EpochSnapshot`].
+//! * An epoch is an immutable, internally consistent picture of one
+//!   sampled world: a deep [`Database::snapshot`] plus each registered
+//!   query's current answer, full-run marginal estimates, and windowed
+//!   convergence diagnostics (split-R̂ / ESS over the last `window`
+//!   samples). Epochs are published by swapping an `Arc` behind a brief
+//!   write lock; they are never mutated afterwards.
+//! * Readers hold an [`EpochReader`] — a cheap-clone, non-generic handle.
+//!   [`EpochReader::pin`] clones the current `Arc` (a briefly held read
+//!   lock, never the sampler's own state) and from then on the reader
+//!   works against that pinned epoch exclusively: ad-hoc SQL via
+//!   [`EpochSnapshot::query`] runs on the epoch's own database copy, so a
+//!   long scan costs the sampler nothing and two queries in one pinned
+//!   epoch can never observe different worlds (snapshot isolation).
+//! * [`LiveSampler::stop`] is the graceful shutdown: it flags the loop,
+//!   joins the thread, and hands the database back (or the error that
+//!   killed the loop — a failed sampler also parks its error where every
+//!   reader can see it via [`EpochReader::status`]).
+//!
+//! The design intentionally trades staleness for isolation: a reader sees
+//! the world as of its pinned epoch, at most `publish_every` samples old,
+//! tagged with exactly how trustworthy each registered answer is
+//! (per-tuple split-R̂ gate, as in the engine's convergence gating).
+
+use crate::evaluate::{EvaluateError, QueryEvaluator};
+use crate::pdb::ProbabilisticDB;
+use fgdb_graph::Model;
+use fgdb_mcmc::{effective_sample_size, split_r_hat};
+use fgdb_relational::{compile_query, execute, CountedSet, Database, QueryResult, Tuple};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+
+/// Serving-loop configuration.
+#[derive(Clone, Debug)]
+pub struct ServingConfig {
+    /// Thinning interval k: MH walk-steps per sample.
+    pub thinning: usize,
+    /// Samples between epoch publications (staleness bound: a pinned epoch
+    /// is at most this many samples behind the live chain).
+    pub publish_every: usize,
+    /// Convergence-diagnostic window: split-R̂ / ESS are computed over the
+    /// last `window` samples of each registered tuple's membership trace.
+    /// Bounds the sampler's memory regardless of how long it serves.
+    pub window: usize,
+    /// Per-tuple split-R̂ gate for the `converged` tag (values ≤ 1 disarm
+    /// the gate, exactly as in [`crate::EngineConfig`]).
+    pub r_hat_threshold: f64,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            thinning: 100,
+            publish_every: 8,
+            window: 256,
+            r_hat_threshold: 1.1,
+        }
+    }
+}
+
+/// Errors raised by the serving layer.
+#[derive(Debug)]
+pub enum ServingError {
+    /// Registering a query or building its view failed at spawn time.
+    Evaluate(EvaluateError),
+    /// The sampler loop died (the rendered evaluate error).
+    Sampler(String),
+    /// The sampler thread panicked.
+    Panicked,
+    /// Degenerate configuration (zero thinning/publish interval/window).
+    Config(String),
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Evaluate(e) => write!(f, "serving evaluate error: {e}"),
+            ServingError::Sampler(m) => write!(f, "sampler loop failed: {m}"),
+            ServingError::Panicked => write!(f, "sampler thread panicked"),
+            ServingError::Config(m) => write!(f, "invalid serving config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {}
+
+impl From<EvaluateError> for ServingError {
+    fn from(e: EvaluateError) -> Self {
+        ServingError::Evaluate(e)
+    }
+}
+
+/// Per-tuple 0/1 membership traces over a bounded trailing window —
+/// the serving-loop analogue of the engine's `TraceStore`, with eviction:
+/// a tuple whose trace left the window entirely (all zeros) is dropped, so
+/// memory is bounded by (answer support within the window) × `window`.
+#[derive(Debug)]
+struct WindowedTraces {
+    window: usize,
+    len: usize,
+    rows: HashMap<Tuple, Vec<f64>>,
+}
+
+impl WindowedTraces {
+    fn new(window: usize) -> Self {
+        WindowedTraces {
+            window,
+            len: 0,
+            rows: HashMap::new(),
+        }
+    }
+
+    fn record(&mut self, answer: &CountedSet) {
+        for trace in self.rows.values_mut() {
+            trace.push(0.0);
+        }
+        for t in answer.support() {
+            match self.rows.get_mut(t) {
+                Some(trace) => *trace.last_mut().expect("pushed above") = 1.0,
+                None => {
+                    let mut trace = vec![0.0; self.len];
+                    trace.push(1.0);
+                    self.rows.insert(t.clone(), trace);
+                }
+            }
+        }
+        self.len += 1;
+        if self.len > self.window {
+            self.len = self.window;
+            self.rows.retain(|_, trace| {
+                trace.remove(0);
+                trace.iter().any(|&x| x != 0.0)
+            });
+        }
+    }
+
+    /// Worst split-R̂ and smallest ESS across the windowed support.
+    /// An empty support is trivially converged with the full window as ESS.
+    fn diagnose(&self) -> (f64, f64) {
+        let mut max_r_hat = 1.0f64;
+        let mut min_ess = self.len as f64;
+        for trace in self.rows.values() {
+            max_r_hat = max_r_hat.max(split_r_hat(trace));
+            min_ess = min_ess.min(effective_sample_size(trace));
+        }
+        (max_r_hat, min_ess)
+    }
+}
+
+/// One registered query's state inside an [`EpochSnapshot`]:
+/// convergence-tagged answer and marginal estimates, frozen at
+/// publication.
+#[derive(Clone, Debug)]
+pub struct QueryStatus {
+    /// Registration name (e.g. `"q1"`).
+    pub name: Arc<str>,
+    /// The registered SQL text.
+    pub sql: Arc<str>,
+    /// Output column names of the registered plan.
+    pub columns: Vec<Arc<str>>,
+    /// The epoch world's deterministic answer (the maintained view's
+    /// result at publication).
+    pub answer: CountedSet,
+    /// Full-run MCMC marginal estimates: `(tuple, membership probability)`
+    /// sorted by tuple (Eq. 5 running averages since spawn).
+    pub marginals: Vec<(Tuple, f64)>,
+    /// Worst per-tuple split-R̂ over the diagnostic window.
+    pub r_hat: f64,
+    /// Smallest per-tuple effective sample size over the window.
+    pub min_ess: f64,
+    /// Samples in the diagnostic window at publication.
+    pub window_len: u64,
+    /// True when the window is warm (≥ 16 samples) and every tuple's R̂
+    /// passed the configured gate.
+    pub converged: bool,
+}
+
+/// An immutable, internally consistent picture of one published sampler
+/// state: pin it and every read — registered statuses and ad-hoc SQL
+/// alike — observes the same world (snapshot isolation by construction:
+/// the epoch owns a deep [`Database::snapshot`] no later interval ever
+/// touches).
+#[derive(Debug)]
+pub struct EpochSnapshot {
+    /// Publication number (0 = the initial pre-sampling epoch).
+    pub epoch: u64,
+    /// Total MH walk-steps the chain had taken at publication.
+    pub steps: u64,
+    /// Total samples (thinning intervals) drawn at publication.
+    pub samples: u64,
+    db: Database,
+    queries: Vec<QueryStatus>,
+}
+
+impl EpochSnapshot {
+    /// Every registered query's status, in registration order.
+    pub fn registered(&self) -> &[QueryStatus] {
+        &self.queries
+    }
+
+    /// One registered query's status by name.
+    pub fn status(&self, name: &str) -> Option<&QueryStatus> {
+        self.queries.iter().find(|q| &*q.name == name)
+    }
+
+    /// Answers ad-hoc SQL against this epoch's pinned world. Runs entirely
+    /// on the epoch's own database copy: it cannot block the sampler, and
+    /// repeated calls within one pinned epoch always see the same world.
+    pub fn query(&self, sql: &str) -> Result<QueryResult, EvaluateError> {
+        let plan = compile_query(sql, &self.db)?;
+        let (result, _) = execute(&plan, &self.db)?;
+        Ok(result)
+    }
+
+    /// The pinned deterministic store (read-only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// The swap cell epochs are published through: readers clone the `Arc`
+/// under a briefly held read lock, the sampler replaces it under a write
+/// lock only at publication instants — it never holds the lock while
+/// stepping, so readers cannot stall inference (nor vice versa).
+struct EpochCell {
+    current: RwLock<Arc<EpochSnapshot>>,
+}
+
+impl EpochCell {
+    fn load(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    fn store(&self, snap: Arc<EpochSnapshot>) {
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+}
+
+/// Shared sampler counters (updated with relaxed atomics on the hot loop;
+/// readers only ever need a monotonic, eventually fresh picture).
+struct SharedStats {
+    steps: AtomicU64,
+    samples: AtomicU64,
+    running: AtomicBool,
+    error: Mutex<Option<String>>,
+}
+
+/// A point-in-time picture of the sampler, via [`EpochReader::status`].
+#[derive(Clone, Debug)]
+pub struct SamplerStatus {
+    /// Latest published epoch number.
+    pub epoch: u64,
+    /// Total MH walk-steps taken (live counter, ahead of the epoch).
+    pub steps: u64,
+    /// Total samples drawn (live counter).
+    pub samples: u64,
+    /// True while the sampler loop is running.
+    pub running: bool,
+    /// The error that killed the loop, when it died.
+    pub error: Option<String>,
+}
+
+/// The cheap-clone reader handle: pin epochs and observe sampler health.
+/// Deliberately non-generic (no model parameter) so serving layers can
+/// hold it without knowing the model type.
+#[derive(Clone)]
+pub struct EpochReader {
+    cell: Arc<EpochCell>,
+    stats: Arc<SharedStats>,
+}
+
+impl EpochReader {
+    /// Pins the latest published epoch. The returned snapshot is immutable
+    /// and stays valid (and consistent) for as long as the reader holds
+    /// the `Arc`, regardless of how far the live chain advances.
+    pub fn pin(&self) -> Arc<EpochSnapshot> {
+        self.cell.load()
+    }
+
+    /// Live sampler counters and health. The epoch number is read from
+    /// the publication cell itself, so it can never lag behind what a
+    /// concurrent [`EpochReader::pin`] returns.
+    pub fn status(&self) -> SamplerStatus {
+        SamplerStatus {
+            epoch: self.cell.load().epoch,
+            steps: self.stats.steps.load(Ordering::Relaxed),
+            samples: self.stats.samples.load(Ordering::Relaxed),
+            running: self.stats.running.load(Ordering::Acquire),
+            error: self
+                .stats
+                .error
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+        }
+    }
+}
+
+/// One registered query's live machinery on the sampler thread.
+struct Registered {
+    name: Arc<str>,
+    sql: Arc<str>,
+    columns: Vec<Arc<str>>,
+    eval: QueryEvaluator,
+    traces: WindowedTraces,
+}
+
+impl Registered {
+    fn status(&self, threshold: f64) -> Result<QueryStatus, EvaluateError> {
+        let answer = self
+            .eval
+            .current_answer()
+            .ok_or(EvaluateError::NotMaterialized)?
+            .clone();
+        let mut marginals: Vec<(Tuple, f64)> = self.eval.marginals().as_map().into_iter().collect();
+        marginals.sort_by(|a, b| a.0.cmp(&b.0));
+        let (r_hat, min_ess) = self.traces.diagnose();
+        let window_len = self.traces.len as u64;
+        Ok(QueryStatus {
+            name: Arc::clone(&self.name),
+            sql: Arc::clone(&self.sql),
+            columns: self.columns.clone(),
+            answer,
+            marginals,
+            r_hat,
+            min_ess,
+            window_len,
+            converged: threshold > 1.0 && window_len >= 16 && r_hat < threshold,
+        })
+    }
+}
+
+/// The live sampler: owns the sampler thread and hands back the database
+/// at [`LiveSampler::stop`]. Dropping it without `stop` flags and joins
+/// the thread (best effort, result discarded).
+pub struct LiveSampler<M> {
+    reader: EpochReader,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<Result<ProbabilisticDB<M>, String>>>,
+}
+
+impl<M: Model + 'static> LiveSampler<M> {
+    /// Validates and registers `queries` (`(name, sql)` pairs, each
+    /// becoming an incrementally maintained view), publishes epoch 0 from
+    /// the initial world, and starts the sampler loop on its own thread.
+    ///
+    /// # Errors
+    /// [`ServingError::Config`] on degenerate knobs and
+    /// [`ServingError::Evaluate`] when a registered query fails to parse,
+    /// plan, or materialize — all before any thread is spawned.
+    pub fn spawn(
+        pdb: ProbabilisticDB<M>,
+        queries: &[(&str, &str)],
+        config: ServingConfig,
+    ) -> Result<Self, ServingError> {
+        if config.thinning == 0 {
+            return Err(ServingError::Config("zero thinning interval".into()));
+        }
+        if config.publish_every == 0 {
+            return Err(ServingError::Config("zero publish interval".into()));
+        }
+        if config.window < 4 {
+            return Err(ServingError::Config(
+                "diagnostic window must hold at least 4 samples".into(),
+            ));
+        }
+        let mut registered = Vec::with_capacity(queries.len());
+        for (name, sql) in queries {
+            let plan = compile_query(sql, pdb.database())
+                .map_err(|e| ServingError::Evaluate(EvaluateError::Query(e)))?;
+            let columns = plan
+                .output_columns(pdb.database())
+                .map_err(|e| ServingError::Evaluate(EvaluateError::Exec(e.into())))?;
+            let eval = QueryEvaluator::materialized(plan, &pdb, config.thinning)?;
+            let mut traces = WindowedTraces::new(config.window);
+            traces.record(
+                eval.current_answer()
+                    .ok_or(EvaluateError::NotMaterialized)?,
+            );
+            registered.push(Registered {
+                name: Arc::from(*name),
+                sql: Arc::from(*sql),
+                columns,
+                eval,
+                traces,
+            });
+        }
+
+        let epoch0 = publish_snapshot(&pdb, &registered, &config, 0)?;
+        let cell = Arc::new(EpochCell {
+            current: RwLock::new(Arc::new(epoch0)),
+        });
+        let stats = Arc::new(SharedStats {
+            steps: AtomicU64::new(pdb.steps_taken()),
+            samples: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+            error: Mutex::new(None),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = EpochReader {
+            cell: Arc::clone(&cell),
+            stats: Arc::clone(&stats),
+        };
+
+        let t_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fgdb-sampler".into())
+            .spawn(move || sampler_loop(pdb, registered, config, cell, stats, t_stop))
+            .map_err(|e| ServingError::Sampler(format!("spawn failed: {e}")))?;
+
+        Ok(LiveSampler {
+            reader,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// A reader handle (clone freely; hand to server worker threads).
+    pub fn reader(&self) -> EpochReader {
+        self.reader.clone()
+    }
+
+    /// Graceful shutdown: flags the loop, joins the thread, and returns
+    /// the database at its final position — or the error that had already
+    /// killed the loop.
+    pub fn stop(mut self) -> Result<ProbabilisticDB<M>, ServingError> {
+        self.stop.store(true, Ordering::Release);
+        match self.handle.take() {
+            None => Err(ServingError::Panicked),
+            Some(h) => match h.join() {
+                Err(_) => Err(ServingError::Panicked),
+                Ok(Ok(pdb)) => Ok(pdb),
+                Ok(Err(message)) => Err(ServingError::Sampler(message)),
+            },
+        }
+    }
+}
+
+impl<M> Drop for LiveSampler<M> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Builds one publishable epoch from the sampler's current state.
+fn publish_snapshot<M: Model>(
+    pdb: &ProbabilisticDB<M>,
+    registered: &[Registered],
+    config: &ServingConfig,
+    epoch: u64,
+) -> Result<EpochSnapshot, EvaluateError> {
+    let mut queries = Vec::with_capacity(registered.len());
+    for r in registered {
+        queries.push(r.status(config.r_hat_threshold)?);
+    }
+    Ok(EpochSnapshot {
+        epoch,
+        steps: pdb.steps_taken(),
+        samples: registered
+            .first()
+            .map(|r| r.eval.marginals().samples().saturating_sub(1))
+            .unwrap_or(0),
+        db: pdb.database().snapshot(),
+        queries,
+    })
+}
+
+/// The sampler thread body: step, maintain every registered view, publish.
+fn sampler_loop<M: Model>(
+    mut pdb: ProbabilisticDB<M>,
+    mut registered: Vec<Registered>,
+    config: ServingConfig,
+    cell: Arc<EpochCell>,
+    stats: Arc<SharedStats>,
+    stop: Arc<AtomicBool>,
+) -> Result<ProbabilisticDB<M>, String> {
+    let mut epoch = 0u64;
+    let mut since_publish = 0usize;
+    let result = loop {
+        if stop.load(Ordering::Acquire) {
+            break Ok(());
+        }
+        match step_once(&mut pdb, &mut registered) {
+            Ok(()) => {
+                stats.steps.store(pdb.steps_taken(), Ordering::Relaxed);
+                stats.samples.fetch_add(1, Ordering::Relaxed);
+                since_publish += 1;
+                if since_publish >= config.publish_every {
+                    since_publish = 0;
+                    epoch += 1;
+                    match publish_snapshot(&pdb, &registered, &config, epoch) {
+                        Ok(snap) => cell.store(Arc::new(snap)),
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    // Final publication so late readers see the terminal state; loop
+    // errors park where every reader's `status()` can see them.
+    match result {
+        Ok(()) => {
+            if since_publish > 0 {
+                epoch += 1;
+                if let Ok(snap) = publish_snapshot(&pdb, &registered, &config, epoch) {
+                    cell.store(Arc::new(snap));
+                }
+            }
+            stats.running.store(false, Ordering::Release);
+            Ok(pdb)
+        }
+        Err(e) => {
+            let message = e.to_string();
+            *stats.error.lock().unwrap_or_else(|p| p.into_inner()) = Some(message.clone());
+            stats.running.store(false, Ordering::Release);
+            Err(message)
+        }
+    }
+}
+
+/// One thinning interval: k walk-steps, then incremental maintenance and
+/// trace extension of every registered view.
+fn step_once<M: Model>(
+    pdb: &mut ProbabilisticDB<M>,
+    registered: &mut [Registered],
+) -> Result<(), EvaluateError> {
+    let k = registered.first().map(|r| r.eval.thinning()).unwrap_or(100);
+    let delta = pdb.step(k)?;
+    for r in registered.iter_mut() {
+        r.eval.observe(&delta, pdb.database())?;
+        let answer = r
+            .eval
+            .current_answer()
+            .ok_or(EvaluateError::NotMaterialized)?;
+        r.traces.record(answer);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::biased_token_pdb;
+    use fgdb_relational::parser::paper_sql;
+
+    const N: usize = 12;
+
+    fn spawn_fixture(config: ServingConfig) -> LiveSampler<Arc<fgdb_graph::FactorGraph>> {
+        let pdb = biased_token_pdb(N, 4, 99);
+        let q1 = paper_sql::query1("TOKEN");
+        let q2 = paper_sql::query2("TOKEN");
+        LiveSampler::spawn(pdb, &[("q1", &q1), ("q2", &q2)], config).unwrap()
+    }
+
+    #[test]
+    fn epochs_advance_and_stop_returns_the_db() {
+        let sampler = spawn_fixture(ServingConfig {
+            thinning: 5,
+            publish_every: 2,
+            ..ServingConfig::default()
+        });
+        let reader = sampler.reader();
+        let first = reader.pin();
+        // Epoch 0 exists before any stepping.
+        assert_eq!(first.registered().len(), 2);
+        assert!(first.status("q1").is_some());
+        assert!(first.status("nope").is_none());
+        // Wait until at least two epochs are published.
+        while reader.status().epoch < 2 {
+            std::thread::yield_now();
+        }
+        let pinned = reader.pin();
+        assert!(pinned.epoch >= 2);
+        assert!(pinned.steps >= pinned.samples * 5);
+        let pdb = sampler.stop().unwrap();
+        assert!(pdb.steps_taken() > 0);
+        pdb.check_synchronized().unwrap();
+        assert!(!reader.status().running);
+        assert!(reader.status().error.is_none());
+    }
+
+    #[test]
+    fn pinned_epochs_are_snapshot_isolated() {
+        let sampler = spawn_fixture(ServingConfig {
+            thinning: 3,
+            publish_every: 1,
+            ..ServingConfig::default()
+        });
+        let reader = sampler.reader();
+        while reader.status().epoch < 1 {
+            std::thread::yield_now();
+        }
+        let pinned = reader.pin();
+        // Repeated ad-hoc queries against a pinned epoch are identical even
+        // while the sampler keeps rewriting the live store.
+        let q = paper_sql::query1("TOKEN");
+        let a = pinned.query(&q).unwrap();
+        for _ in 0..20 {
+            let b = pinned.query(&q).unwrap();
+            assert_eq!(a.rows.sorted_entries(), b.rows.sorted_entries());
+        }
+        // Label partition: counting every label in the pinned world sums to
+        // the relation size — a torn snapshot could not guarantee this.
+        let counts = pinned
+            .query("SELECT label, COUNT(*) AS n FROM TOKEN GROUP BY label")
+            .unwrap();
+        let total: i64 = counts
+            .rows
+            .sorted_entries()
+            .iter()
+            .map(|(t, _)| match t.values().get(1) {
+                Some(fgdb_relational::Value::Int(n)) => *n,
+                other => panic!("count column must be Int, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(total, N as i64);
+        sampler.stop().unwrap();
+    }
+
+    #[test]
+    fn registered_statuses_carry_convergence_tags() {
+        let sampler = spawn_fixture(ServingConfig {
+            thinning: 4,
+            publish_every: 4,
+            window: 64,
+            r_hat_threshold: 1.5,
+        });
+        let reader = sampler.reader();
+        while reader.status().samples < 40 {
+            std::thread::yield_now();
+        }
+        let pinned = reader.pin();
+        for status in pinned.registered() {
+            assert!(status.r_hat.is_finite());
+            assert!(status.min_ess >= 0.0);
+            assert!(status.window_len <= 64);
+            for (_, p) in &status.marginals {
+                assert!((0.0..=1.0).contains(p));
+            }
+            assert!(!status.columns.is_empty());
+        }
+        // q2 (the COUNT query) always has exactly one answer row.
+        let q2 = pinned.status("q2").unwrap();
+        assert_eq!(q2.answer.sorted_entries().len(), 1);
+        sampler.stop().unwrap();
+    }
+
+    #[test]
+    fn degenerate_configs_and_bad_sql_fail_at_spawn() {
+        let pdb = biased_token_pdb(4, 2, 1);
+        let bad = ServingConfig {
+            thinning: 0,
+            ..ServingConfig::default()
+        };
+        assert!(matches!(
+            LiveSampler::spawn(pdb, &[], bad),
+            Err(ServingError::Config(_))
+        ));
+        let pdb = biased_token_pdb(4, 2, 1);
+        let err = LiveSampler::spawn(
+            pdb,
+            &[("bad", "SELECT nope FROM ☃")],
+            ServingConfig::default(),
+        );
+        assert!(matches!(err, Err(ServingError::Evaluate(_))));
+    }
+
+    #[test]
+    fn windowed_traces_bound_memory_and_evict_stale_tuples() {
+        let mut w = WindowedTraces::new(8);
+        let t_hot = fgdb_relational::tuple![1i64];
+        let t_cold = fgdb_relational::tuple![2i64];
+        let mut hot = CountedSet::new();
+        hot.add(t_hot.clone(), 1);
+        let mut both = CountedSet::new();
+        both.add(t_hot.clone(), 1);
+        both.add(t_cold.clone(), 1);
+        w.record(&both);
+        for _ in 0..20 {
+            w.record(&hot);
+        }
+        assert_eq!(w.len, 8);
+        assert!(w.rows.contains_key(&t_hot));
+        assert!(
+            !w.rows.contains_key(&t_cold),
+            "tuple outside the window must be evicted"
+        );
+        assert!(w.rows[&t_hot].len() <= 8);
+        let (r_hat, ess) = w.diagnose();
+        assert!(r_hat.is_finite());
+        assert!(ess > 0.0);
+    }
+}

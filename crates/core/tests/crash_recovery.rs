@@ -263,3 +263,68 @@ fn open_durable_refuses_to_clobber_an_existing_store() {
     drop(durable);
     assert!(build_pdb(1).open_durable(&dir, cfg).is_err());
 }
+
+#[test]
+fn every_n_group_commit_is_flushed_by_close() {
+    // Regression: under group commit (`EveryN`), acknowledged intervals sit
+    // in the pending fsync group until the N-th commit. An orderly shutdown
+    // must flush that group *and surface the flush result* — `close()` is
+    // the observable version of what Drop can only attempt silently.
+    let dir = fgdb_durability::test_dir("crash-group-close");
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(64),
+    };
+    let seed_pdb = build_pdb(77);
+    let model = model_of(&seed_pdb);
+    let mut durable = seed_pdb.open_durable(&dir, cfg).unwrap();
+    let mut twin = build_pdb(77);
+
+    // 5 < 64: every interval of this run lives in one pending group.
+    for _ in 0..5 {
+        durable.step(K).unwrap();
+        twin.step(K).unwrap();
+    }
+    let closed = durable.close().unwrap();
+    assert_observationally_equal(&closed, &twin);
+
+    let (recovered, report) = ProbabilisticDB::recover(&dir, model, proposer(), cfg).unwrap();
+    assert_eq!(report.replayed, 5, "no interval of the pending group lost");
+    assert_eq!(report.truncated_bytes, 0);
+    assert_observationally_equal(recovered.pdb(), &twin);
+}
+
+#[test]
+fn every_n_checkpoint_flushes_the_pending_group() {
+    // Regression: `checkpoint()` must fsync the pending group *before*
+    // replacing the snapshot — a crash right after the checkpoint (no Drop,
+    // no explicit sync) may lose nothing that was acknowledged before it.
+    let dir = fgdb_durability::test_dir("crash-group-ckpt");
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::EveryN(1000),
+    };
+    let seed_pdb = build_pdb(4242);
+    let model = model_of(&seed_pdb);
+    let mut durable = seed_pdb.open_durable(&dir, cfg).unwrap();
+    let mut twin = build_pdb(4242);
+
+    for _ in 0..3 {
+        durable.step(K).unwrap();
+        twin.step(K).unwrap();
+    }
+    durable.checkpoint().unwrap();
+    // Two more acknowledged-but-unsynced intervals after the checkpoint,
+    // then the process "dies" without running any destructor.
+    for _ in 0..2 {
+        durable.step(K).unwrap();
+        twin.step(K).unwrap();
+    }
+    std::mem::forget(durable);
+
+    let (recovered, report) = ProbabilisticDB::recover(&dir, model, proposer(), cfg).unwrap();
+    // The snapshot carries seqs 1-3; the WAL replays the post-checkpoint
+    // tail. A process crash loses no committed interval (the WAL is not
+    // user-space buffered between commits); only the fsync horizon moves.
+    assert_eq!(report.snapshot_seq, 3);
+    assert_eq!(report.replayed, 2);
+    assert_observationally_equal(recovered.pdb(), &twin);
+}

@@ -71,6 +71,32 @@ impl ParseError {
             offset: None,
         }
     }
+
+    /// Renders the error against the original query text as a multi-line
+    /// diagnostic: the message, the offending line, and a caret marking the
+    /// error column.
+    ///
+    /// Total for *any* `(offset, sql)` pair — the serving layer sends this
+    /// back to remote clients, so it must never panic: offsets past the end
+    /// of the text clamp to the end, and offsets that land inside a
+    /// multibyte UTF-8 scalar are walked back to the preceding character
+    /// boundary before any slicing. The caret column is counted in
+    /// characters, not bytes, so it stays aligned under non-ASCII text.
+    pub fn render(&self, sql: &str) -> String {
+        let Some(raw) = self.offset else {
+            return self.to_string();
+        };
+        let mut o = raw.min(sql.len());
+        while o > 0 && !sql.is_char_boundary(o) {
+            o -= 1;
+        }
+        // `+ 1` past a found '\n' is boundary-safe: '\n' is one byte.
+        let line_start = sql[..o].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = sql[o..].find('\n').map_or(sql.len(), |p| o + p);
+        let line = &sql[line_start..line_end];
+        let col = sql[line_start..o].chars().count();
+        format!("{self}\n{line}\n{:>width$}", "^", width = col + 1)
+    }
 }
 
 impl fmt::Display for ParseError {

@@ -1,0 +1,161 @@
+//! Parser fuzzing with non-ASCII query text.
+//!
+//! The serving layer hands arbitrary client bytes to [`parse`] and renders
+//! any [`ParseError`] back over the wire, so two totality properties are
+//! load-bearing: parsing never panics on any UTF-8 input, and every
+//! reported byte offset lands on a character boundary of that input (so
+//! span rendering can slice safely). The generators deliberately mix
+//! multibyte scalars — 2-byte (é), 3-byte (日, ☃), and 4-byte (𝄞, 😀) —
+//! into every structural position: identifiers, literals, operators, and
+//! raw garbage.
+
+use fgdb_relational::parser::{parse, parse_plan, ParseError};
+use proptest::prelude::*;
+
+/// Mixed-width alphabet: SQL structure, ASCII filler, and multibyte
+/// scalars of every UTF-8 encoded length.
+const ALPHABET: &[char] = &[
+    'S', 'E', 'L', 'C', 'T', 'F', 'R', 'O', 'M', 'W', 'H', 'a', 'b', 'c', '_', '0', '7', ' ', ' ',
+    '\'', '(', ')', ',', '.', '*', '=', '<', '>', '!', '-', '\n', 'é', 'ß', 'λ', '日', '本', '語',
+    '☃', '★', '𝄞', '😀', '𝔘',
+];
+
+fn arb_char() -> impl Strategy<Value = char> {
+    (0usize..ALPHABET.len()).prop_map(|i| ALPHABET[i])
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_char(), 0..48).prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Valid query skeletons the splicer corrupts at random char positions.
+const SEEDS: &[&str] = &[
+    "SELECT string FROM TOKEN WHERE label = 'B-PER'",
+    "SELECT COUNT(*) FILTER (WHERE label = 'B-PER') AS n_person FROM TOKEN",
+    "SELECT doc_id FROM TOKEN GROUP BY doc_id HAVING COUNT(*) > 2",
+    "SELECT t1.string FROM TOKEN t1 JOIN TOKEN t2 ON t1.doc_id = t2.doc_id",
+];
+
+/// Every-error-path invariant: offsets are in-range char boundaries and
+/// rendering is total.
+fn check_error_contract(sql: &str) -> Result<(), TestCaseError> {
+    match parse(sql) {
+        Ok(ast) => {
+            // Lowering must be panic-free too (it may legitimately fail).
+            let _ = ast.to_plan();
+        }
+        Err(e) => {
+            if let Some(o) = e.offset {
+                prop_assert!(o <= sql.len(), "offset {o} out of range for `{sql}`");
+                prop_assert!(
+                    sql.is_char_boundary(o),
+                    "offset {o} splits a char in `{sql}`"
+                );
+            }
+            let rendered = e.render(sql);
+            prop_assert!(rendered.contains(&e.message));
+        }
+    }
+    let _ = parse_plan(sql);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_unicode_never_panics(sql in arb_text()) {
+        check_error_contract(&sql)?;
+    }
+
+    #[test]
+    fn corrupted_valid_queries_never_panic(
+        seed_idx in 0usize..4,
+        pos in 0usize..70,
+        splice in prop::collection::vec(arb_char(), 1..6),
+    ) {
+        let seed = SEEDS[seed_idx];
+        let chars: Vec<char> = seed.chars().collect();
+        let cut = pos.min(chars.len());
+        let corrupted: String = chars[..cut]
+            .iter()
+            .chain(splice.iter())
+            .chain(chars[cut..].iter())
+            .collect();
+        check_error_contract(&corrupted)?;
+    }
+}
+
+#[test]
+fn multibyte_error_offsets_are_boundaries() {
+    for bad in [
+        "SELECT ★ FROM TOKEN",
+        "SELECT string FROM TOKEN WHERE label = 'héllo",
+        "SELECT string FROM TOKEN WHERE λ",
+        "SELECT string FROM TOKEN 'труд' garbage",
+        "SELECT string FROM TOKEN WHERE label = '𝔘𝔫𝔦' ☃",
+        "SELECT '日本語' FROM TOKEN WHERE ",
+    ] {
+        let e = parse(bad).expect_err("malformed");
+        if let Some(o) = e.offset {
+            assert!(o <= bad.len(), "`{bad}`: offset {o} out of range");
+            assert!(bad.is_char_boundary(o), "`{bad}`: offset {o} splits a char");
+        }
+        let _ = e.render(bad);
+    }
+}
+
+#[test]
+fn render_caret_aligns_by_chars_not_bytes() {
+    // 'é' is 2 bytes but 1 column: the caret must sit under ☃ (char
+    // column 16) even though its byte offset is 17.
+    let sql = "SELECT 'é' FROM ☃";
+    let e = parse(sql).expect_err("☃ is not a table name");
+    let o = e.offset.expect("unexpected-character errors carry offsets");
+    assert_eq!(&sql[o..o + '☃'.len_utf8()], "☃");
+    let rendered = e.render(sql);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 3, "message, source line, caret: {rendered}");
+    assert_eq!(lines[1], sql);
+    let caret_col = sql[..o].chars().count();
+    assert_eq!(lines[2].chars().count(), caret_col + 1);
+    assert!(lines[2].ends_with('^'));
+}
+
+#[test]
+fn render_clamps_hostile_offsets() {
+    // Offsets inside a multibyte scalar or past the end must clamp, not
+    // panic — the renderer is total even for offsets it did not produce.
+    let sql = "SELECT 'é' FROM t";
+    let inside_e_acute = ParseError {
+        message: "boom".into(),
+        offset: Some(9), // é spans bytes 8..10
+    };
+    assert!(!sql.is_char_boundary(9));
+    let rendered = inside_e_acute.render(sql);
+    assert!(rendered.contains("boom"));
+
+    let past_end = ParseError {
+        message: "beyond".into(),
+        offset: Some(sql.len() + 100),
+    };
+    let rendered = past_end.render(sql);
+    assert!(rendered.lines().count() >= 2);
+
+    let no_offset = ParseError {
+        message: "nowhere".into(),
+        offset: None,
+    };
+    assert_eq!(no_offset.render(sql), "nowhere");
+
+    // Multi-line input: only the offending line is echoed.
+    let multi = "SELECT string\nFROM ☃ TOKEN";
+    let e = ParseError {
+        message: "bad table".into(),
+        offset: Some(multi.find('☃').unwrap()),
+    };
+    let rendered = e.render(multi);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines[1], "FROM ☃ TOKEN");
+    assert_eq!(lines[2].chars().count(), "FROM ".chars().count() + 1);
+}

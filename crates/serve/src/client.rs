@@ -1,0 +1,145 @@
+//! The blocking client: one TCP connection, request/response framing,
+//! and typed convenience calls. Used by the integration tests, the
+//! `fgdb-bench` load generator, and the `serving` example.
+
+use crate::protocol::{
+    read_frame, write_frame, EpochMeta, ProtocolError, Request, Response, WireError,
+    WireQueryStatus, WireRow, WireStats,
+};
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport/protocol trouble, a served error, or a
+/// response of the wrong kind.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket or wire-format failure.
+    Protocol(ProtocolError),
+    /// The server answered with an error response.
+    Server(WireError),
+    /// The server answered with an unexpected response kind.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {}", e.rendered),
+            ClientError::Unexpected(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// An ad-hoc query answer with its epoch provenance.
+#[derive(Clone, Debug)]
+pub struct TableAnswer {
+    /// Which epoch answered.
+    pub meta: EpochMeta,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Answer rows, sorted by tuple.
+    pub rows: Vec<WireRow>,
+}
+
+/// A blocking connection to an [`fgdb-serve`](crate) server.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ProtocolError::Io)?;
+        stream.set_nodelay(true).map_err(ProtocolError::Io)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response (the protocol is strictly
+    /// request/response per connection).
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::Protocol(ProtocolError::Malformed(
+                "server closed before responding".into(),
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Live sampler counters.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pins the freshest epoch for this connection; returns its
+    /// provenance. Queries after `pin` are snapshot-isolated against it.
+    pub fn pin(&mut self) -> Result<EpochMeta, ClientError> {
+        match self.request(&Request::Pin)? {
+            Response::Pinned { meta } => Ok(meta),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drops the connection's pinned epoch.
+    pub fn unpin(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Unpin)? {
+            Response::Unpinned => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ad-hoc SQL against the pinned (or freshest) epoch.
+    pub fn query(&mut self, sql: &str) -> Result<TableAnswer, ClientError> {
+        match self.request(&Request::Query {
+            sql: sql.to_string(),
+        })? {
+            Response::Table {
+                meta,
+                columns,
+                rows,
+            } => Ok(TableAnswer {
+                meta,
+                columns,
+                rows,
+            }),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Convergence-tagged status of a registered query.
+    pub fn status(&mut self, name: &str) -> Result<(EpochMeta, WireQueryStatus), ClientError> {
+        match self.request(&Request::Status {
+            name: name.to_string(),
+        })? {
+            Response::Status { meta, status } => Ok((meta, *status)),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> ClientError {
+    match resp {
+        Response::Error(e) => ClientError::Server(e),
+        other => ClientError::Unexpected(format!("{other:?}")),
+    }
+}

@@ -1,0 +1,894 @@
+//! The wire protocol: length-prefixed frames carrying versioned
+//! request/response messages.
+//!
+//! Everything is little-endian and hand-encoded (no serde, no crates.io).
+//! The byte-level layout is specified in `docs/FORMAT.md` ("Serving wire
+//! format"); this module is its reference implementation, and the
+//! round-trip property tests below pin encode ∘ decode = id.
+//!
+//! Framing: every message travels as `[len: u32 LE][payload: len bytes]`
+//! with `len ≤` [`MAX_FRAME_LEN`]. Payloads start `[ver: u8][kind: u8]`;
+//! unknown versions and kinds are decode errors, never panics — the
+//! server treats a malformed frame as a per-connection error response,
+//! not a reason to die.
+
+use fgdb_relational::Value;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Maximum frame payload (16 MiB): bounds per-connection memory and
+/// rejects garbage length prefixes early.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Request opcodes (request payload byte 1).
+const OP_QUERY: u8 = 1;
+const OP_STATUS: u8 = 2;
+const OP_STATS: u8 = 3;
+const OP_PING: u8 = 4;
+const OP_PIN: u8 = 5;
+const OP_UNPIN: u8 = 6;
+
+/// Response kinds (response payload byte 1).
+const RESP_TABLE: u8 = 0;
+const RESP_STATUS: u8 = 1;
+const RESP_STATS: u8 = 2;
+const RESP_PONG: u8 = 3;
+const RESP_PINNED: u8 = 4;
+const RESP_UNPINNED: u8 = 5;
+const RESP_ERROR: u8 = 255;
+
+/// Value tags.
+const VAL_NULL: u8 = 0;
+const VAL_BOOL: u8 = 1;
+const VAL_INT: u8 = 2;
+const VAL_FLOAT: u8 = 3;
+const VAL_STR: u8 = 4;
+
+/// Wire protocol failure: I/O, framing, or a payload that does not decode.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame declared more payload than [`MAX_FRAME_LEN`].
+    FrameTooLarge(u32),
+    /// The peer speaks a different protocol version.
+    VersionMismatch(u8),
+    /// The payload does not decode as a valid message.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtocolError::FrameTooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds MAX_FRAME_LEN")
+            }
+            ProtocolError::VersionMismatch(v) => {
+                write!(f, "peer protocol version {v}, expected {PROTOCOL_VERSION}")
+            }
+            ProtocolError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<std::io::Error> for ProtocolError {
+    fn from(e: std::io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Ad-hoc SQL against the connection's pinned epoch (or, unpinned,
+    /// the freshest epoch at execution time).
+    Query {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Convergence-tagged status of a registered query, by name.
+    Status {
+        /// Registration name.
+        name: String,
+    },
+    /// Live sampler counters and health.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Pin the freshest epoch for this connection: subsequent queries are
+    /// snapshot-isolated against it until `Unpin` (or another `Pin`).
+    Pin,
+    /// Drop the connection's pinned epoch.
+    Unpin,
+}
+
+/// Epoch provenance attached to every answer: which published world the
+/// answer was computed against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochMeta {
+    /// Epoch publication number.
+    pub epoch: u64,
+    /// MH walk-steps the chain had taken at publication.
+    pub steps: u64,
+    /// Samples drawn at publication.
+    pub samples: u64,
+}
+
+/// A value as it travels the wire (owned mirror of
+/// [`fgdb_relational::Value`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireValue {
+    /// SQL NULL.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl From<&Value> for WireValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Null => WireValue::Null,
+            Value::Bool(b) => WireValue::Bool(*b),
+            Value::Int(i) => WireValue::Int(*i),
+            Value::Float(x) => WireValue::Float(x.get()),
+            Value::Str(s) => WireValue::Str(s.to_string()),
+        }
+    }
+}
+
+/// One answer row: tuple values plus its multiset count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireRow {
+    /// Column values.
+    pub values: Vec<WireValue>,
+    /// Multiset multiplicity.
+    pub count: i64,
+}
+
+/// A registered query's convergence-tagged state, as served.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireQueryStatus {
+    /// Registration name.
+    pub name: String,
+    /// Registered SQL text.
+    pub sql: String,
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Worst per-tuple split-R̂ over the diagnostic window.
+    pub r_hat: f64,
+    /// Smallest per-tuple ESS over the window.
+    pub min_ess: f64,
+    /// Samples in the window at publication.
+    pub window_len: u64,
+    /// Whether the R̂ gate passed on a warm window.
+    pub converged: bool,
+    /// The epoch world's deterministic answer.
+    pub answer: Vec<WireRow>,
+    /// Full-run marginal estimates `(tuple values, probability)`.
+    pub marginals: Vec<(Vec<WireValue>, f64)>,
+}
+
+/// Live sampler counters, as served.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireStats {
+    /// Latest published epoch.
+    pub epoch: u64,
+    /// Total MH walk-steps taken.
+    pub steps: u64,
+    /// Total samples drawn.
+    pub samples: u64,
+    /// True while the sampler loop runs.
+    pub running: bool,
+    /// The error that killed the loop, when it died.
+    pub error: Option<String>,
+}
+
+/// Machine-readable error category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// SQL failed to parse or lower.
+    Parse,
+    /// The query planned but execution failed.
+    Exec,
+    /// The request itself was malformed.
+    Protocol,
+    /// The requested resource does not exist (e.g. unknown registered
+    /// query name).
+    Unavailable,
+}
+
+impl ErrorCode {
+    fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::Parse => 1,
+            ErrorCode::Exec => 2,
+            ErrorCode::Protocol => 3,
+            ErrorCode::Unavailable => 4,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, ProtocolError> {
+        match b {
+            1 => Ok(ErrorCode::Parse),
+            2 => Ok(ErrorCode::Exec),
+            3 => Ok(ErrorCode::Protocol),
+            4 => Ok(ErrorCode::Unavailable),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown error code {other}"
+            ))),
+        }
+    }
+}
+
+/// A served error: category, optional byte offset into the offending SQL,
+/// the bare message, and a human-oriented rendering (for parse errors,
+/// the caret diagnostic of `ParseError::render` — boundary-safe under
+/// multibyte input).
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireError {
+    /// Category.
+    pub code: ErrorCode,
+    /// Byte offset of the offending token in the submitted SQL, when
+    /// attributable.
+    pub offset: Option<u64>,
+    /// Bare error message.
+    pub message: String,
+    /// Multi-line human-oriented rendering (may equal `message`).
+    pub rendered: String,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// An ad-hoc query answer.
+    Table {
+        /// Provenance of the answering epoch.
+        meta: EpochMeta,
+        /// Output column names.
+        columns: Vec<String>,
+        /// Answer rows.
+        rows: Vec<WireRow>,
+    },
+    /// A registered query's status.
+    Status {
+        /// Provenance of the answering epoch.
+        meta: EpochMeta,
+        /// The status.
+        status: Box<WireQueryStatus>,
+    },
+    /// Sampler counters.
+    Stats(WireStats),
+    /// Liveness reply.
+    Pong,
+    /// The connection pinned this epoch.
+    Pinned {
+        /// Provenance of the pinned epoch.
+        meta: EpochMeta,
+    },
+    /// The connection dropped its pin.
+    Unpinned,
+    /// The request failed.
+    Error(WireError),
+}
+
+// ------------------------------------------------------------- encoding --
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &WireValue) {
+    match v {
+        WireValue::Null => buf.push(VAL_NULL),
+        WireValue::Bool(b) => {
+            buf.push(VAL_BOOL);
+            buf.push(u8::from(*b));
+        }
+        WireValue::Int(i) => {
+            buf.push(VAL_INT);
+            put_i64(buf, *i);
+        }
+        WireValue::Float(x) => {
+            buf.push(VAL_FLOAT);
+            put_f64(buf, *x);
+        }
+        WireValue::Str(s) => {
+            buf.push(VAL_STR);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn put_values(buf: &mut Vec<u8>, vs: &[WireValue]) {
+    put_u16(buf, vs.len() as u16);
+    for v in vs {
+        put_value(buf, v);
+    }
+}
+
+fn put_meta(buf: &mut Vec<u8>, m: &EpochMeta) {
+    put_u64(buf, m.epoch);
+    put_u64(buf, m.steps);
+    put_u64(buf, m.samples);
+}
+
+fn put_rows(buf: &mut Vec<u8>, rows: &[WireRow]) {
+    put_u32(buf, rows.len() as u32);
+    for row in rows {
+        put_i64(buf, row.count);
+        put_values(buf, &row.values);
+    }
+}
+
+fn put_columns(buf: &mut Vec<u8>, columns: &[String]) {
+    put_u16(buf, columns.len() as u16);
+    for c in columns {
+        put_str(buf, c);
+    }
+}
+
+impl Request {
+    /// Encodes the request as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![PROTOCOL_VERSION];
+        match self {
+            Request::Query { sql } => {
+                buf.push(OP_QUERY);
+                put_str(&mut buf, sql);
+            }
+            Request::Status { name } => {
+                buf.push(OP_STATUS);
+                put_str(&mut buf, name);
+            }
+            Request::Stats => buf.push(OP_STATS),
+            Request::Ping => buf.push(OP_PING),
+            Request::Pin => buf.push(OP_PIN),
+            Request::Unpin => buf.push(OP_UNPIN),
+        }
+        buf
+    }
+
+    /// Decodes one frame payload as a request.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtocolError> {
+        let mut r = Reader::new(payload);
+        r.expect_version()?;
+        let op = r.u8()?;
+        let req = match op {
+            OP_QUERY => Request::Query { sql: r.str()? },
+            OP_STATUS => Request::Status { name: r.str()? },
+            OP_STATS => Request::Stats,
+            OP_PING => Request::Ping,
+            OP_PIN => Request::Pin,
+            OP_UNPIN => Request::Unpin,
+            other => {
+                return Err(ProtocolError::Malformed(format!("unknown opcode {other}")));
+            }
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![PROTOCOL_VERSION];
+        match self {
+            Response::Table {
+                meta,
+                columns,
+                rows,
+            } => {
+                buf.push(RESP_TABLE);
+                put_meta(&mut buf, meta);
+                put_columns(&mut buf, columns);
+                put_rows(&mut buf, rows);
+            }
+            Response::Status { meta, status } => {
+                buf.push(RESP_STATUS);
+                put_meta(&mut buf, meta);
+                put_str(&mut buf, &status.name);
+                put_str(&mut buf, &status.sql);
+                put_columns(&mut buf, &status.columns);
+                put_f64(&mut buf, status.r_hat);
+                put_f64(&mut buf, status.min_ess);
+                put_u64(&mut buf, status.window_len);
+                buf.push(u8::from(status.converged));
+                put_rows(&mut buf, &status.answer);
+                put_u32(&mut buf, status.marginals.len() as u32);
+                for (values, p) in &status.marginals {
+                    put_values(&mut buf, values);
+                    put_f64(&mut buf, *p);
+                }
+            }
+            Response::Stats(s) => {
+                buf.push(RESP_STATS);
+                put_u64(&mut buf, s.epoch);
+                put_u64(&mut buf, s.steps);
+                put_u64(&mut buf, s.samples);
+                buf.push(u8::from(s.running));
+                match &s.error {
+                    None => buf.push(0),
+                    Some(e) => {
+                        buf.push(1);
+                        put_str(&mut buf, e);
+                    }
+                }
+            }
+            Response::Pong => buf.push(RESP_PONG),
+            Response::Pinned { meta } => {
+                buf.push(RESP_PINNED);
+                put_meta(&mut buf, meta);
+            }
+            Response::Unpinned => buf.push(RESP_UNPINNED),
+            Response::Error(e) => {
+                buf.push(RESP_ERROR);
+                buf.push(e.code.to_byte());
+                match e.offset {
+                    None => buf.push(0),
+                    Some(o) => {
+                        buf.push(1);
+                        put_u64(&mut buf, o);
+                    }
+                }
+                put_str(&mut buf, &e.message);
+                put_str(&mut buf, &e.rendered);
+            }
+        }
+        buf
+    }
+
+    /// Decodes one frame payload as a response.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtocolError> {
+        let mut r = Reader::new(payload);
+        r.expect_version()?;
+        let kind = r.u8()?;
+        let resp = match kind {
+            RESP_TABLE => Response::Table {
+                meta: r.meta()?,
+                columns: r.columns()?,
+                rows: r.rows()?,
+            },
+            RESP_STATUS => {
+                let meta = r.meta()?;
+                let name = r.str()?;
+                let sql = r.str()?;
+                let columns = r.columns()?;
+                let r_hat = r.f64()?;
+                let min_ess = r.f64()?;
+                let window_len = r.u64()?;
+                let converged = r.bool()?;
+                let answer = r.rows()?;
+                let n = r.u32()? as usize;
+                let mut marginals = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let values = r.values()?;
+                    let p = r.f64()?;
+                    marginals.push((values, p));
+                }
+                Response::Status {
+                    meta,
+                    status: Box::new(WireQueryStatus {
+                        name,
+                        sql,
+                        columns,
+                        r_hat,
+                        min_ess,
+                        window_len,
+                        converged,
+                        answer,
+                        marginals,
+                    }),
+                }
+            }
+            RESP_STATS => Response::Stats(WireStats {
+                epoch: r.u64()?,
+                steps: r.u64()?,
+                samples: r.u64()?,
+                running: r.bool()?,
+                error: if r.bool()? { Some(r.str()?) } else { None },
+            }),
+            RESP_PONG => Response::Pong,
+            RESP_PINNED => Response::Pinned { meta: r.meta()? },
+            RESP_UNPINNED => Response::Unpinned,
+            RESP_ERROR => Response::Error(WireError {
+                code: ErrorCode::from_byte(r.u8()?)?,
+                offset: if r.bool()? { Some(r.u64()?) } else { None },
+                message: r.str()?,
+                rendered: r.str()?,
+            }),
+            other => {
+                return Err(ProtocolError::Malformed(format!(
+                    "unknown response kind {other}"
+                )));
+            }
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+// ------------------------------------------------------------- decoding --
+
+/// Bounds-checked cursor over one frame payload. Every read is total:
+/// truncated or trailing bytes surface as [`ProtocolError::Malformed`].
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| {
+                ProtocolError::Malformed(format!(
+                    "payload truncated: wanted {n} bytes at offset {}",
+                    self.pos
+                ))
+            })?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ProtocolError::Malformed(format!(
+                "invalid bool byte {other}"
+            ))),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError::Malformed("string is not valid UTF-8".into()))
+    }
+
+    fn value(&mut self) -> Result<WireValue, ProtocolError> {
+        match self.u8()? {
+            VAL_NULL => Ok(WireValue::Null),
+            VAL_BOOL => Ok(WireValue::Bool(self.bool()?)),
+            VAL_INT => Ok(WireValue::Int(self.i64()?)),
+            VAL_FLOAT => Ok(WireValue::Float(self.f64()?)),
+            VAL_STR => Ok(WireValue::Str(self.str()?)),
+            other => Err(ProtocolError::Malformed(format!(
+                "unknown value tag {other}"
+            ))),
+        }
+    }
+
+    fn values(&mut self) -> Result<Vec<WireValue>, ProtocolError> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.value()?);
+        }
+        Ok(out)
+    }
+
+    fn meta(&mut self) -> Result<EpochMeta, ProtocolError> {
+        Ok(EpochMeta {
+            epoch: self.u64()?,
+            steps: self.u64()?,
+            samples: self.u64()?,
+        })
+    }
+
+    fn columns(&mut self) -> Result<Vec<String>, ProtocolError> {
+        let n = self.u16()? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.str()?);
+        }
+        Ok(out)
+    }
+
+    fn rows(&mut self) -> Result<Vec<WireRow>, ProtocolError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            let count = self.i64()?;
+            let values = self.values()?;
+            out.push(WireRow { values, count });
+        }
+        Ok(out)
+    }
+
+    fn expect_version(&mut self) -> Result<(), ProtocolError> {
+        let v = self.u8()?;
+        if v != PROTOCOL_VERSION {
+            return Err(ProtocolError::VersionMismatch(v));
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Result<(), ProtocolError> {
+        if self.pos != self.buf.len() {
+            return Err(ProtocolError::Malformed(format!(
+                "{} trailing bytes after message",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// -------------------------------------------------------------- framing --
+
+/// Writes one `[len u32 LE][payload]` frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(ProtocolError::FrameTooLarge(payload.len() as u32));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` signals a clean EOF *before* any length
+/// byte arrived (the peer closed between messages); EOF mid-frame is an
+/// error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(ProtocolError::Malformed("EOF inside frame length".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let enc = req.encode();
+        assert_eq!(Request::decode(&enc).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let enc = resp.encode();
+        assert_eq!(Response::decode(&enc).unwrap(), resp);
+    }
+
+    fn meta() -> EpochMeta {
+        EpochMeta {
+            epoch: 3,
+            steps: 12_000,
+            samples: 120,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_request(Request::Query {
+            sql: "SELECT string FROM TOKEN WHERE label = 'B-PER'".into(),
+        });
+        roundtrip_request(Request::Query {
+            sql: "SELECT '日本語' FROM TOKEN ☃".into(),
+        });
+        roundtrip_request(Request::Status { name: "q1".into() });
+        roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Ping);
+        roundtrip_request(Request::Pin);
+        roundtrip_request(Request::Unpin);
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(Response::Table {
+            meta: meta(),
+            columns: vec!["string".into(), "n".into()],
+            rows: vec![
+                WireRow {
+                    values: vec![
+                        WireValue::Str("Bill".into()),
+                        WireValue::Int(2),
+                        WireValue::Float(0.25),
+                        WireValue::Bool(true),
+                        WireValue::Null,
+                    ],
+                    count: 2,
+                },
+                WireRow {
+                    values: vec![WireValue::Str("日本".into())],
+                    count: -1,
+                },
+            ],
+        });
+        roundtrip_response(Response::Status {
+            meta: meta(),
+            status: Box::new(WireQueryStatus {
+                name: "q1".into(),
+                sql: "SELECT string FROM TOKEN".into(),
+                columns: vec!["string".into()],
+                r_hat: 1.013,
+                min_ess: 47.5,
+                window_len: 256,
+                converged: true,
+                answer: vec![WireRow {
+                    values: vec![WireValue::Str("x".into())],
+                    count: 1,
+                }],
+                marginals: vec![(vec![WireValue::Str("x".into())], 0.875)],
+            }),
+        });
+        roundtrip_response(Response::Stats(WireStats {
+            epoch: 9,
+            steps: 100,
+            samples: 10,
+            running: true,
+            error: None,
+        }));
+        roundtrip_response(Response::Stats(WireStats {
+            epoch: 9,
+            steps: 100,
+            samples: 10,
+            running: false,
+            error: Some("chain died".into()),
+        }));
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Pinned { meta: meta() });
+        roundtrip_response(Response::Unpinned);
+        roundtrip_response(Response::Error(WireError {
+            code: ErrorCode::Parse,
+            offset: Some(17),
+            message: "expected `FROM`".into(),
+            rendered: "expected `FROM` (at byte 17)\nSELECT x\n       ^".into(),
+        }));
+        roundtrip_response(Response::Error(WireError {
+            code: ErrorCode::Unavailable,
+            offset: None,
+            message: "no registered query `zz`".into(),
+            rendered: "no registered query `zz`".into(),
+        }));
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_errors() {
+        let enc = Request::Query {
+            sql: "SELECT 1".into(),
+        }
+        .encode();
+        for cut in 0..enc.len() {
+            assert!(
+                Request::decode(&enc[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(Request::decode(&trailing).is_err());
+        // Garbage after a valid response header fails too.
+        let mut resp = Response::Pong.encode();
+        resp.push(7);
+        assert!(Response::decode(&resp).is_err());
+    }
+
+    #[test]
+    fn version_and_opcode_mismatches_are_typed() {
+        let mut enc = Request::Ping.encode();
+        enc[0] = 99;
+        assert!(matches!(
+            Request::decode(&enc),
+            Err(ProtocolError::VersionMismatch(99))
+        ));
+        let mut enc = Request::Ping.encode();
+        enc[1] = 200;
+        assert!(matches!(
+            Request::decode(&enc),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+
+        // A hostile length prefix is rejected without allocating it.
+        let huge = (MAX_FRAME_LEN + 1).to_le_bytes();
+        let mut cursor = std::io::Cursor::new(huge.to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(ProtocolError::FrameTooLarge(_))
+        ));
+
+        // EOF mid-frame is an error, not a silent None.
+        let mut partial = Vec::new();
+        write_frame(&mut partial, b"abcdef").unwrap();
+        partial.truncate(6);
+        let mut cursor = std::io::Cursor::new(partial);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,307 @@
+//! The TCP server: accept loop, per-connection workers, graceful
+//! shutdown.
+//!
+//! The server owns nothing but an [`EpochReader`] — the sampler keeps
+//! running whether or not a server fronts it, and a worker answering a
+//! query holds a pinned [`EpochSnapshot`]
+//! `Arc`, never any lock the sampler contends on. Connection lifecycle:
+//!
+//! * each accepted connection gets its own worker thread with a short
+//!   read timeout, so workers notice the stop flag promptly even when
+//!   their client is idle;
+//! * a connection may `PIN` the freshest epoch; every later query on that
+//!   connection answers from the pinned world until `UNPIN` — snapshot
+//!   isolation across requests, the wire-level form of the core's
+//!   epoch-pinning contract;
+//! * malformed frames produce an error *response* where possible and
+//!   close only that connection — a hostile client cannot take down the
+//!   process (protocol decode is total; query evaluation returns typed
+//!   errors by the bugfix sweep in this PR);
+//! * [`Server::stop`] flips the stop flag, self-connects to unblock
+//!   `accept`, and joins the accept loop and every worker.
+
+use crate::protocol::{
+    read_frame, write_frame, EpochMeta, ErrorCode, ProtocolError, Request, Response, WireError,
+    WireQueryStatus, WireRow, WireStats, WireValue,
+};
+use fgdb_core::{EpochReader, EpochSnapshot, EvaluateError, QueryError, QueryStatus};
+use fgdb_relational::QueryResult;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a worker blocks in `read` before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// A running TCP server over one [`EpochReader`].
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the accept loop. Each connection is served by its own
+    /// worker thread until the client disconnects or [`Server::stop`].
+    pub fn start(reader: EpochReader, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = Arc::new(Mutex::new(Vec::new()));
+
+        let a_stop = Arc::clone(&stop);
+        let a_workers = Arc::clone(&workers);
+        let accept = std::thread::Builder::new()
+            .name("fgdb-serve-accept".into())
+            .spawn(move || accept_loop(listener, reader, a_stop, a_workers))?;
+
+        Ok(Server {
+            addr: local,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, drains every worker, joins all
+    /// threads. Idempotent through `Drop` (dropping an already-stopped
+    /// server is a no-op).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop: a throwaway self-connection makes
+        // `accept` return so the loop can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let drained: Vec<JoinHandle<()>> = {
+            let mut guard = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+            guard.drain(..).collect()
+        };
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    reader: EpochReader,
+    stop: Arc<AtomicBool>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let w_reader = reader.clone();
+        let w_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("fgdb-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, w_reader, w_stop);
+            });
+        if let Ok(h) = handle {
+            workers.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+        }
+    }
+}
+
+/// Serves one connection until EOF, a fatal protocol error, or stop.
+fn serve_connection(
+    mut stream: TcpStream,
+    reader: EpochReader,
+    stop: Arc<AtomicBool>,
+) -> Result<(), ProtocolError> {
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_nodelay(true)?;
+    // The connection's pinned epoch, when `PIN`ned.
+    let mut pinned: Option<Arc<EpochSnapshot>> = None;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // client closed cleanly
+            Err(ProtocolError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle poll tick: re-check the stop flag
+            }
+            Err(e) => return Err(e),
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle_request(req, &reader, &mut pinned),
+            // A decodable-length frame with garbage inside gets a typed
+            // error response; the connection survives.
+            Err(e) => Response::Error(WireError {
+                code: ErrorCode::Protocol,
+                offset: None,
+                message: e.to_string(),
+                rendered: e.to_string(),
+            }),
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+}
+
+fn handle_request(
+    req: Request,
+    reader: &EpochReader,
+    pinned: &mut Option<Arc<EpochSnapshot>>,
+) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Stats => {
+            let s = reader.status();
+            Response::Stats(WireStats {
+                epoch: s.epoch,
+                steps: s.steps,
+                samples: s.samples,
+                running: s.running,
+                error: s.error,
+            })
+        }
+        Request::Pin => {
+            let snap = reader.pin();
+            let meta = meta_of(&snap);
+            *pinned = Some(snap);
+            Response::Pinned { meta }
+        }
+        Request::Unpin => {
+            *pinned = None;
+            Response::Unpinned
+        }
+        Request::Query { sql } => {
+            // A pinned connection reads its pinned world; otherwise pin
+            // the freshest epoch for just this request.
+            let snap = pinned.clone().unwrap_or_else(|| reader.pin());
+            match snap.query(&sql) {
+                Ok(result) => table_response(&snap, result),
+                Err(e) => Response::Error(wire_error(e, &sql)),
+            }
+        }
+        Request::Status { name } => {
+            let snap = pinned.clone().unwrap_or_else(|| reader.pin());
+            match snap.status(&name) {
+                Some(status) => Response::Status {
+                    meta: meta_of(&snap),
+                    status: Box::new(wire_status(status)),
+                },
+                None => Response::Error(WireError {
+                    code: ErrorCode::Unavailable,
+                    offset: None,
+                    message: format!("no registered query `{name}`"),
+                    rendered: format!("no registered query `{name}`"),
+                }),
+            }
+        }
+    }
+}
+
+fn meta_of(snap: &EpochSnapshot) -> EpochMeta {
+    EpochMeta {
+        epoch: snap.epoch,
+        steps: snap.steps,
+        samples: snap.samples,
+    }
+}
+
+fn table_response(snap: &EpochSnapshot, result: QueryResult) -> Response {
+    Response::Table {
+        meta: meta_of(snap),
+        columns: result.columns.iter().map(|c| c.to_string()).collect(),
+        rows: result
+            .rows
+            .sorted_entries()
+            .into_iter()
+            .map(|(tuple, count)| WireRow {
+                values: tuple.values().iter().map(WireValue::from).collect(),
+                count,
+            })
+            .collect(),
+    }
+}
+
+fn wire_status(status: &QueryStatus) -> WireQueryStatus {
+    WireQueryStatus {
+        name: status.name.to_string(),
+        sql: status.sql.to_string(),
+        columns: status.columns.iter().map(|c| c.to_string()).collect(),
+        r_hat: status.r_hat,
+        min_ess: status.min_ess,
+        window_len: status.window_len,
+        converged: status.converged,
+        answer: status
+            .answer
+            .sorted_entries()
+            .into_iter()
+            .map(|(tuple, count)| WireRow {
+                values: tuple.values().iter().map(WireValue::from).collect(),
+                count,
+            })
+            .collect(),
+        marginals: status
+            .marginals
+            .iter()
+            .map(|(tuple, p)| (tuple.values().iter().map(WireValue::from).collect(), *p))
+            .collect(),
+    }
+}
+
+/// Maps an evaluation failure to its wire form. Parse errors carry their
+/// byte offset and the caret rendering (`ParseError::render` is total and
+/// boundary-safe under multibyte input — the satellite bugfix this PR
+/// ships alongside the server).
+fn wire_error(e: EvaluateError, sql: &str) -> WireError {
+    match &e {
+        EvaluateError::Query(QueryError::Parse(pe)) => WireError {
+            code: ErrorCode::Parse,
+            offset: pe.offset.map(|o| o as u64),
+            message: pe.message.clone(),
+            rendered: pe.render(sql),
+        },
+        EvaluateError::Query(QueryError::Plan(_)) => WireError {
+            code: ErrorCode::Parse,
+            offset: None,
+            message: e.to_string(),
+            rendered: e.to_string(),
+        },
+        _ => WireError {
+            code: ErrorCode::Exec,
+            offset: None,
+            message: e.to_string(),
+            rendered: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end serving test: a live sampler behind a real TCP server,
+//! exercised by real clients over localhost.
+//!
+//! Covers the full request surface (ping, stats, query, status, pin /
+//! unpin), the snapshot-isolation contract at the wire level, error
+//! rendering (parse errors arrive with their caret diagnostic), and
+//! graceful shutdown of both the server and the sampler.
+
+use fgdb_core::fixtures::biased_token_pdb;
+use fgdb_core::{LiveSampler, ServingConfig};
+use fgdb_relational::parser::paper_sql;
+use fgdb_serve::{Client, ClientError, ErrorCode, Server};
+
+const N_TOKENS: usize = 24;
+
+fn serving_config() -> ServingConfig {
+    ServingConfig {
+        thinning: 20,
+        publish_every: 2,
+        window: 64,
+        ..Default::default()
+    }
+}
+
+/// Spins up a sampler + server pair; returns both plus the address.
+fn start_stack() -> (
+    LiveSampler<std::sync::Arc<fgdb_graph::FactorGraph>>,
+    Server,
+    String,
+) {
+    let pdb = biased_token_pdb(N_TOKENS, 6, 0xD1CE);
+    let q1 = paper_sql::query1("TOKEN");
+    let q4 = paper_sql::query4("TOKEN");
+    let sampler = LiveSampler::spawn(
+        pdb,
+        &[("q1", q1.as_str()), ("q4", q4.as_str())],
+        serving_config(),
+    )
+    .expect("spawn live sampler");
+    let server = Server::start(sampler.reader(), "127.0.0.1:0").expect("bind server");
+    let addr = server.addr().to_string();
+    (sampler, server, addr)
+}
+
+#[test]
+fn full_request_surface_roundtrips() {
+    let (sampler, server, addr) = start_stack();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    client.ping().expect("ping");
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.running, "sampler should be live while serving");
+    assert!(stats.error.is_none());
+
+    // Ad-hoc SQL answers from some epoch, with provenance attached.
+    let answer = client
+        .query("SELECT doc_id, COUNT(*) FROM TOKEN GROUP BY doc_id")
+        .expect("grouped count");
+    assert_eq!(answer.columns.len(), 2);
+    let total: i64 = answer.rows.iter().map(|r| r.count).sum();
+    assert!(total > 0);
+
+    // Registered-query status carries convergence diagnostics.
+    let (meta, status) = client.status("q1").expect("status q1");
+    assert_eq!(status.name, "q1");
+    assert!(status.r_hat.is_finite());
+    assert!(
+        status.window_len >= 1,
+        "epoch 0 already recorded one sample"
+    );
+    assert!(
+        meta.steps >= meta.samples * serving_config().thinning as u64,
+        "each published sample costs a full thinning interval"
+    );
+
+    // Unknown registered query is a typed Unavailable error.
+    let err = client.status("nope").expect_err("unknown name");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Unavailable),
+        other => panic!("expected server error, got {other}"),
+    }
+
+    server.stop();
+    sampler.stop().expect("sampler returns the pdb");
+}
+
+#[test]
+fn parse_errors_arrive_rendered_with_caret() {
+    let (sampler, server, addr) = start_stack();
+    let mut client = Client::connect(&addr).expect("connect");
+
+    // Multibyte garbage before the error point: offset must be usable and
+    // the rendering must include the caret line.
+    let err = client
+        .query("SELECT 'é' FROM ☃ WHERE")
+        .expect_err("bad sql");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::Parse);
+            assert!(
+                e.rendered.contains('^'),
+                "rendered diagnostic should carry the caret: {}",
+                e.rendered
+            );
+        }
+        other => panic!("expected parse error, got {other}"),
+    }
+
+    server.stop();
+    sampler.stop().expect("clean sampler stop");
+}
+
+#[test]
+fn pinned_connections_are_snapshot_isolated() {
+    let (sampler, server, addr) = start_stack();
+    let mut client = Client::connect(&addr).expect("connect");
+    let sql = "SELECT label, COUNT(*) FROM TOKEN GROUP BY label";
+
+    let pinned_at = client.pin().expect("pin");
+    let first = client.query(sql).expect("pinned query");
+    assert_eq!(first.meta.epoch, pinned_at.epoch);
+
+    // Let the sampler publish newer epochs, then re-ask: the pinned
+    // connection must keep seeing the identical world.
+    let target = pinned_at.epoch + 3;
+    while sampler.reader().status().epoch < target {
+        std::thread::yield_now();
+    }
+    for _ in 0..4 {
+        let again = client.query(sql).expect("repinned query");
+        assert_eq!(again.meta.epoch, pinned_at.epoch, "pin must hold the epoch");
+        assert_eq!(again.rows, first.rows, "pinned answers must not drift");
+    }
+    // The label partition of a pinned world covers every token exactly
+    // once (COUNT(*) is the second output column).
+    let total: i64 = first
+        .rows
+        .iter()
+        .map(|r| match r.values[1] {
+            fgdb_serve::WireValue::Int(n) => n,
+            ref other => panic!("COUNT(*) should be an int, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(total, N_TOKENS as i64);
+
+    // Unpinning resumes freshest-epoch reads.
+    client.unpin().expect("unpin");
+    let fresh = client.query(sql).expect("fresh query");
+    assert!(fresh.meta.epoch >= target, "unpinned read should be fresh");
+
+    // A second connection is independent of the first one's pin.
+    let mut other = Client::connect(&addr).expect("second connection");
+    let other_answer = other.query(sql).expect("other query");
+    assert!(other_answer.meta.epoch >= target);
+
+    server.stop();
+    sampler.stop().expect("clean sampler stop");
+}
+
+#[test]
+fn malformed_frames_get_error_responses_not_disconnects() {
+    use fgdb_serve::{Request, Response};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let (sampler, server, addr) = start_stack();
+    let mut raw = TcpStream::connect(&addr).expect("raw connect");
+
+    // A well-framed payload full of garbage: the server must answer with a
+    // protocol error and keep the connection open.
+    let garbage = [0xFFu8, 0xFF, 0xFF];
+    let mut frame = (garbage.len() as u32).to_le_bytes().to_vec();
+    frame.extend_from_slice(&garbage);
+    raw.write_all(&frame).expect("send garbage");
+
+    let mut len_buf = [0u8; 4];
+    raw.read_exact(&mut len_buf).expect("error response length");
+    let mut payload = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+    raw.read_exact(&mut payload)
+        .expect("error response payload");
+    match Response::decode(&payload).expect("decodable error response") {
+        Response::Error(e) => assert_eq!(e.code, ErrorCode::Protocol),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    // Same connection still serves valid requests afterwards.
+    let ping = Request::Ping.encode();
+    let mut ping_frame = (ping.len() as u32).to_le_bytes().to_vec();
+    ping_frame.extend_from_slice(&ping);
+    raw.write_all(&ping_frame).expect("send ping after garbage");
+    raw.read_exact(&mut len_buf).expect("pong length");
+    let mut payload = vec![0u8; u32::from_le_bytes(len_buf) as usize];
+    raw.read_exact(&mut payload).expect("pong payload");
+    assert!(matches!(
+        Response::decode(&payload).expect("decodable pong"),
+        Response::Pong
+    ));
+
+    server.stop();
+    sampler.stop().expect("clean sampler stop");
+}
+
+#[test]
+fn shutdown_is_graceful_with_connected_clients() {
+    let (sampler, server, addr) = start_stack();
+    // Leave clients connected and mid-session when the server stops: stop
+    // must still return (workers notice the flag via their read timeout).
+    let mut clients: Vec<Client> = (0..4)
+        .map(|_| Client::connect(&addr).expect("connect"))
+        .collect();
+    for c in &mut clients {
+        c.ping().expect("ping before shutdown");
+    }
+    server.stop();
+
+    // The sampler outlives the server and still stops cleanly.
+    let pdb = sampler.stop().expect("sampler survives server shutdown");
+    drop(pdb);
+
+    // New connections are refused (or at best dropped without service).
+    let late = Client::connect(&addr);
+    if let Ok(mut c) = late {
+        assert!(c.ping().is_err(), "stopped server must not serve");
+    }
+}

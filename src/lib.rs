@@ -54,7 +54,8 @@
 //! | [`fgdb_learn`] | SampleRank weight learning |
 //! | [`fgdb_ie`] | BIO labels, synthetic corpus, linear/skip-chain CRFs, entity resolution |
 //! | [`fgdb_durability`] | WAL + snapshot storage engine: versioned binary format (docs/FORMAT.md), group-commit log, crash recovery |
-//! | [`fgdb_core`] | the probabilistic DB façade, naive & materialized evaluators, parallel engine, durable wrapper, metrics |
+//! | [`fgdb_core`] | the probabilistic DB façade, naive & materialized evaluators, parallel engine, durable wrapper, live serving core, metrics |
+//! | [`fgdb_serve`] | TCP serving layer: length-prefixed wire protocol carrying SQL over snapshot-isolated epochs of a live sampler |
 
 pub use fgdb_core as core;
 pub use fgdb_durability as durability;
@@ -63,14 +64,16 @@ pub use fgdb_ie as ie;
 pub use fgdb_learn as learn;
 pub use fgdb_mcmc as mcmc;
 pub use fgdb_relational as relational;
+pub use fgdb_serve as serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use fgdb_core::{
         build_ner_pdb, chain_seed, evaluate_parallel, ner_proposer, squared_error, train_ner_model,
         truth_database, AnswerRow, DurabilityConfig, DurableError, DurablePdb, EngineAnswer,
-        EngineConfig, EngineReport, FieldBinding, FsyncPolicy, LossCurve, MarginalTable,
-        NerProposerConfig, ParallelEngine, ProbabilisticDB, QueryEvaluator, RecoveryReport,
+        EngineConfig, EngineReport, EpochReader, EpochSnapshot, FieldBinding, FsyncPolicy,
+        LiveSampler, LossCurve, MarginalTable, NerProposerConfig, ParallelEngine, ProbabilisticDB,
+        QueryEvaluator, QueryStatus, RecoveryReport, SamplerStatus, ServingConfig, ServingError,
         ValueDistribution,
     };
     pub use fgdb_graph::{
@@ -93,6 +96,7 @@ pub mod prelude {
         CountedSet, Database, DeltaSet, Expr, MaterializedView, ParseError, Plan, PlannerReport,
         QueryError, QueryResult, Schema, SqlQuery, Tuple, Value, ValueType,
     };
+    pub use fgdb_serve::{Client, Server};
 }
 
 #[cfg(test)]
