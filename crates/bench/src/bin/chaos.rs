@@ -1,0 +1,264 @@
+//! chaos — the seeded fault-injection sweep as a reportable experiment.
+//!
+//! Runs the same recovery oracle as `crates/core/tests/chaos.rs` —
+//! durable database lock-step with an undamaged twin, one seeded fault
+//! per schedule through the failpoint I/O layer, recovery through a
+//! fresh handle — but as a sweep that *reports* instead of stopping at
+//! the first failure: every schedule runs under `catch_unwind`, the
+//! violations are tallied with their seeds, and the process exits
+//! non-zero if any oracle was violated. Emits `BENCH_chaos.json`.
+//!
+//! Knobs: `FGDB_CHAOS_SCHEDULES` (seeds, default `scaled(32)`),
+//! `FGDB_CHAOS_SEED` (base seed, default fixed). Any violation row
+//! carries its seed, so a red sweep replays with
+//! `FGDB_CHAOS_SEED=<seed> FGDB_CHAOS_SCHEDULES=1`.
+//!
+//! ```sh
+//! cargo run --release -p fgdb-bench --bin chaos
+//! ```
+
+use fgdb_bench::report::Report;
+use fgdb_bench::{print_csv, print_table, scaled};
+use fgdb_core::fixtures::{biased_token_pdb, relabel_proposer};
+use fgdb_core::{DurabilityConfig, DurablePdb, FsyncPolicy, ProbabilisticDB};
+use fgdb_durability::{FaultKind, FaultSchedule, FaultyIo, StoreIo};
+use fgdb_graph::FactorGraph;
+use fgdb_relational::parser::paper_sql;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+const N_TOKENS: usize = 24;
+const DOC_SIZE: usize = 6;
+const K: usize = 40;
+const MAX_INTERVALS: usize = 20;
+const CHECKPOINT_EVERY: usize = 5;
+const OP_WINDOW: u64 = 48;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn build_pdb(seed: u64) -> ProbabilisticDB<Arc<FactorGraph>> {
+    biased_token_pdb(N_TOKENS, DOC_SIZE, seed)
+}
+
+fn assert_observationally_equal(
+    a: &ProbabilisticDB<Arc<FactorGraph>>,
+    b: &ProbabilisticDB<Arc<FactorGraph>>,
+    seed: u64,
+) {
+    assert_eq!(
+        a.world().assignment(),
+        b.world().assignment(),
+        "world divergence under schedule seed {seed:#x}"
+    );
+    assert_eq!(a.steps_taken(), b.steps_taken(), "seed {seed:#x}");
+    assert_eq!(a.kernel_stats(), b.kernel_stats(), "seed {seed:#x}");
+    a.check_synchronized().unwrap();
+    b.check_synchronized().unwrap();
+    for sql in [
+        paper_sql::query1("TOKEN"),
+        paper_sql::query2("TOKEN"),
+        paper_sql::query3("TOKEN"),
+        paper_sql::query4("TOKEN"),
+    ] {
+        assert_eq!(
+            a.query(&sql).unwrap().rows.sorted_entries(),
+            b.query(&sql).unwrap().rows.sorted_entries(),
+            "query parity failed for {sql} under schedule seed {seed:#x}"
+        );
+    }
+}
+
+/// What one schedule did — the sweep's row categories.
+enum Outcome {
+    /// Oracle held; `Some(kind)` if the scheduled fault fired mid-run.
+    Verified(Option<FaultKind>),
+    /// The fault hit the mount; recovery correctly reported either a
+    /// typed error or the pristine initial state.
+    MountFailed,
+}
+
+/// One seeded schedule end to end; panics on any oracle violation.
+fn run_schedule(seed: u64) -> Outcome {
+    let dir = fgdb_durability::test_dir(&format!("bench-chaos-{seed:x}"));
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::Always,
+    };
+    let fio = FaultyIo::new(FaultSchedule::from_seed(seed, OP_WINDOW));
+    let io: Arc<dyn StoreIo> = Arc::new(fio.clone());
+
+    let chain_seed = seed ^ 0x0BAD_5EED;
+    let seed_pdb = build_pdb(chain_seed);
+    let model = Arc::clone(seed_pdb.model());
+    let mut twin = build_pdb(chain_seed);
+
+    let mut durable: DurablePdb<Arc<FactorGraph>> = match seed_pdb
+        .open_durable_with_io(io, &dir, cfg)
+    {
+        Ok(d) => d,
+        Err(_) => {
+            if let Ok((recovered, _)) =
+                ProbabilisticDB::recover(&dir, Arc::clone(&model), relabel_proposer(N_TOKENS), cfg)
+            {
+                assert_eq!(
+                    recovered.steps_taken(),
+                    0,
+                    "a failed mount must not acknowledge intervals, seed {seed:#x}"
+                );
+                assert_observationally_equal(recovered.pdb(), &twin, seed);
+            }
+            return Outcome::MountFailed;
+        }
+    };
+
+    let mut acked = 0u64;
+    for i in 0..MAX_INTERVALS {
+        match durable.step(K) {
+            Ok(_) => {
+                twin.step(K).unwrap();
+                acked += 1;
+            }
+            Err(_) => break,
+        }
+        if (i + 1) % CHECKPOINT_EVERY == 0 && durable.checkpoint().is_err() {
+            break;
+        }
+    }
+    drop(durable);
+    let (mut recovered, _) =
+        ProbabilisticDB::recover(&dir, Arc::clone(&model), relabel_proposer(N_TOKENS), cfg)
+            .unwrap_or_else(|e| panic!("recovery failed under schedule seed {seed:#x}: {e}"));
+
+    let recovered_intervals = recovered.steps_taken() / K as u64;
+    assert!(
+        recovered_intervals >= acked,
+        "acked interval lost under seed {seed:#x}: acked {acked}, recovered {recovered_intervals}"
+    );
+    assert!(
+        recovered_intervals <= acked + 1,
+        "recovery fabricated intervals under seed {seed:#x}"
+    );
+    for _ in acked..recovered_intervals {
+        twin.step(K).unwrap();
+    }
+    assert_observationally_equal(recovered.pdb(), &twin, seed);
+    for _ in 0..3 {
+        recovered.step(K).unwrap();
+        twin.step(K).unwrap();
+    }
+    assert_observationally_equal(recovered.pdb(), &twin, seed);
+
+    Outcome::Verified(fio.fired().first().map(|(_, k)| *k))
+}
+
+fn kind_label(kind: Option<FaultKind>) -> &'static str {
+    match kind {
+        None => "clean",
+        Some(FaultKind::ShortWrite) => "short_write",
+        Some(FaultKind::WriteErr) => "write_err",
+        Some(FaultKind::SyncErr) => "sync_err",
+        Some(FaultKind::Crash {
+            partial_write: true,
+        }) => "crash_partial",
+        Some(FaultKind::Crash {
+            partial_write: false,
+        }) => "crash",
+    }
+}
+
+fn main() {
+    let schedules = env_u64("FGDB_CHAOS_SCHEDULES", scaled(32) as u64);
+    let base = env_u64("FGDB_CHAOS_SEED", 0xC4A0_5000);
+
+    let mut by_label: Vec<(&'static str, u64, f64)> = Vec::new(); // label, count, total_ms
+    let mut violations: Vec<(u64, String)> = Vec::new();
+    let t0 = Instant::now();
+    for i in 0..schedules {
+        let seed = base.wrapping_add(i);
+        let t = Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_schedule(seed)));
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        let label = match outcome {
+            Ok(Outcome::Verified(kind)) => kind_label(kind),
+            Ok(Outcome::MountFailed) => "mount_failed",
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                eprintln!("VIOLATION seed {seed:#x}: {msg}");
+                violations.push((seed, msg));
+                "violation"
+            }
+        };
+        match by_label.iter_mut().find(|(l, _, _)| *l == label) {
+            Some(entry) => {
+                entry.1 += 1;
+                entry.2 += ms;
+            }
+            None => by_label.push((label, 1, ms)),
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let mut report = Report::new("chaos", &["outcome", "schedules", "avg_ms"]);
+    report
+        .param("schedules", schedules)
+        .param("base_seed", format!("{base:#x}"))
+        .param("op_window", OP_WINDOW)
+        .param("intervals", MAX_INTERVALS)
+        .param("k", K)
+        .param("elapsed_s", format!("{elapsed:.2}"))
+        .param("violations", violations.len());
+    let rows: Vec<Vec<String>> = by_label
+        .iter()
+        .map(|(label, count, total_ms)| {
+            vec![
+                label.to_string(),
+                count.to_string(),
+                format!("{:.2}", total_ms / *count as f64),
+            ]
+        })
+        .collect();
+    for r in &rows {
+        report.row(r.clone());
+    }
+    print_table(
+        "chaos: seeded fault schedules vs the recovery oracle",
+        &["outcome", "schedules", "avg ms"],
+        &rows,
+    );
+    print_csv(
+        "chaos",
+        "outcome,schedules,avg_ms",
+        &rows.iter().map(|r| r.join(",")).collect::<Vec<_>>(),
+    );
+    report.write_if_configured();
+
+    let fired: u64 = by_label
+        .iter()
+        .filter(|(l, _, _)| !matches!(*l, "clean" | "violation"))
+        .map(|(_, c, _)| *c)
+        .sum();
+    println!(
+        "\n{schedules} schedules in {elapsed:.2}s: {fired} injected damage, {} violations",
+        violations.len()
+    );
+    if !violations.is_empty() {
+        for (seed, msg) in &violations {
+            eprintln!("  seed {seed:#x}: {msg}");
+        }
+        eprintln!("replay one with: FGDB_CHAOS_SEED=<seed> FGDB_CHAOS_SCHEDULES=1");
+        std::process::exit(1);
+    }
+    if fired == 0 {
+        eprintln!("WARNING: vacuous sweep — no schedule injected damage");
+        std::process::exit(1);
+    }
+}

@@ -80,14 +80,15 @@
 use crate::evaluate::EvaluateError;
 use crate::pdb::{FieldBinding, ProbabilisticDB};
 use fgdb_durability::{
-    BindingRec, ChainStateRec, DurabilityConfig, DurabilityError, DurableStore, IntervalRecord,
-    RecoveryReport, Snapshot,
+    real_io, BindingRec, ChainStateRec, DurabilityConfig, DurabilityError, DurableStore,
+    IntervalRecord, RecoveryReport, Snapshot, StoreIo,
 };
 use fgdb_graph::{EvalStats, Model, VariableId, World};
 use fgdb_mcmc::{KernelStats, NetChange, Proposer};
 use fgdb_relational::{Database, DeltaSet, QueryResult, RowId};
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Errors raised by the durable database layer.
 #[derive(Debug)]
@@ -272,6 +273,16 @@ impl<M: Model> DurablePdb<M> {
         self.store.dir()
     }
 
+    /// The I/O layer the store routes through (the failpoint seam).
+    pub fn io(&self) -> Arc<dyn StoreIo> {
+        Arc::clone(self.store.io())
+    }
+
+    /// The durability configuration the store was opened with.
+    pub fn durability_config(&self) -> DurabilityConfig {
+        self.store.config()
+    }
+
     /// The sequence number the next committed interval will carry.
     pub fn next_seq(&self) -> u64 {
         self.store.next_seq()
@@ -313,8 +324,20 @@ impl<M: Model> ProbabilisticDB<M> {
         dir: &Path,
         config: DurabilityConfig,
     ) -> Result<DurablePdb<M>, DurableError> {
+        self.open_durable_with_io(real_io(), dir, config)
+    }
+
+    /// [`ProbabilisticDB::open_durable`] through an explicit
+    /// [`StoreIo`] — the chaos suite mounts stores over a
+    /// [`FaultyIo`](fgdb_durability::FaultyIo) this way.
+    pub fn open_durable_with_io(
+        self,
+        io: Arc<dyn StoreIo>,
+        dir: &Path,
+        config: DurabilityConfig,
+    ) -> Result<DurablePdb<M>, DurableError> {
         let snap = snapshot_of(&self, 0);
-        let store = DurableStore::create(dir, &snap, config)?;
+        let store = DurableStore::create_with_io(io, dir, &snap, config)?;
         Ok(DurablePdb { pdb: self, store })
     }
 
@@ -334,7 +357,22 @@ impl<M: Model> ProbabilisticDB<M> {
         proposer: Box<dyn Proposer>,
         config: DurabilityConfig,
     ) -> Result<(DurablePdb<M>, RecoveryReport), DurableError> {
-        let (snap, records, store, report) = DurableStore::recover(dir, config)?;
+        Self::recover_with_io(real_io(), dir, model, proposer, config)
+    }
+
+    /// [`ProbabilisticDB::recover`] through an explicit [`StoreIo`]. The
+    /// supervised sampler restarts through this after a storage fault,
+    /// re-mounting the store over the same I/O handle it was spawned with
+    /// (tests pass a fresh handle after an injected crash, like a
+    /// restarted process would).
+    pub fn recover_with_io(
+        io: Arc<dyn StoreIo>,
+        dir: &Path,
+        model: M,
+        proposer: Box<dyn Proposer>,
+        config: DurabilityConfig,
+    ) -> Result<(DurablePdb<M>, RecoveryReport), DurableError> {
+        let (snap, records, store, report) = DurableStore::recover_with_io(io, dir, config)?;
         let binding = FieldBinding {
             relation: snap.binding.relation.clone(),
             column: snap.binding.column as usize,

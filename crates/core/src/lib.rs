@@ -20,7 +20,11 @@
 //!   corpus;
 //! * [`durable`] — WAL-backed stepping and crash recovery on top of the
 //!   `fgdb-durability` storage engine: `ProbabilisticDB::open_durable`,
-//!   logged intervals, checkpoints, `ProbabilisticDB::recover`.
+//!   logged intervals, checkpoints, `ProbabilisticDB::recover`;
+//! * [`supervise`] — the durable store under the live serving loop: a
+//!   supervisor that survives storage faults and panics by bounded
+//!   restart-from-recovery, degrading (never corrupting) reader-visible
+//!   state in between.
 
 pub mod durable;
 pub mod engine;
@@ -31,6 +35,7 @@ pub mod metrics;
 pub mod ner;
 pub mod pdb;
 pub mod serving;
+pub mod supervise;
 
 pub use durable::{DurableError, DurablePdb};
 pub use engine::{
@@ -45,6 +50,7 @@ pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};
 pub use ner::{build_ner_pdb, ner_proposer, train_ner_model, truth_database, NerProposerConfig};
 pub use pdb::{FieldBinding, ProbabilisticDB};
 pub use serving::{
-    EpochReader, EpochSnapshot, LiveSampler, QueryStatus, SamplerStatus, ServingConfig,
-    ServingError,
+    EpochReader, EpochSnapshot, LiveSampler, QueryStatus, SamplerState, SamplerStatus,
+    ServingConfig, ServingError,
 };
+pub use supervise::{ModelFactory, SupervisedSampler, SupervisorConfig};

@@ -75,14 +75,27 @@ impl Default for ServingConfig {
 }
 
 /// Errors raised by the serving layer.
-#[derive(Debug)]
+///
+/// `Clone` (heavy causes are `Arc`-wrapped) so one failure can be parked
+/// where every reader's [`EpochReader::status`] sees it *and* returned
+/// from [`LiveSampler::stop`]. Typed variants let callers make retry
+/// decisions — a [`ServingError::Durable`] storage fault is the
+/// supervisor's cue to attempt restart-from-recovery, while an
+/// [`ServingError::Evaluate`] bug or [`ServingError::Config`] mistake is
+/// not transient and retrying cannot help.
+#[derive(Clone, Debug)]
 pub enum ServingError {
-    /// Registering a query or building its view failed at spawn time.
-    Evaluate(EvaluateError),
-    /// The sampler loop died (the rendered evaluate error).
+    /// Registering a query, building its view, or maintaining it failed.
+    Evaluate(Arc<EvaluateError>),
+    /// The durable storage engine failed underneath a supervised sampler
+    /// (WAL append, checkpoint, or restart-from-recovery).
+    Durable(Arc<crate::durable::DurableError>),
+    /// The sampler loop died for a non-evaluate reason (thread spawn
+    /// failure, supervisor bookkeeping).
     Sampler(String),
-    /// The sampler thread panicked.
-    Panicked,
+    /// The sampler thread panicked; the payload carries the rendered panic
+    /// message when it was a string (the common `panic!`/`unwrap` case).
+    Panicked(String),
     /// Degenerate configuration (zero thinning/publish interval/window).
     Config(String),
 }
@@ -91,8 +104,10 @@ impl fmt::Display for ServingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServingError::Evaluate(e) => write!(f, "serving evaluate error: {e}"),
+            ServingError::Durable(e) => write!(f, "durable store error: {e}"),
             ServingError::Sampler(m) => write!(f, "sampler loop failed: {m}"),
-            ServingError::Panicked => write!(f, "sampler thread panicked"),
+            ServingError::Panicked(m) if m.is_empty() => write!(f, "sampler thread panicked"),
+            ServingError::Panicked(m) => write!(f, "sampler thread panicked: {m}"),
             ServingError::Config(m) => write!(f, "invalid serving config: {m}"),
         }
     }
@@ -102,7 +117,26 @@ impl std::error::Error for ServingError {}
 
 impl From<EvaluateError> for ServingError {
     fn from(e: EvaluateError) -> Self {
-        ServingError::Evaluate(e)
+        ServingError::Evaluate(Arc::new(e))
+    }
+}
+
+impl From<crate::durable::DurableError> for ServingError {
+    fn from(e: crate::durable::DurableError) -> Self {
+        ServingError::Durable(Arc::new(e))
+    }
+}
+
+impl ServingError {
+    /// Renders a panic payload (as caught by `catch_unwind` or a failed
+    /// join) into a [`ServingError::Panicked`].
+    pub(crate) fn from_panic(payload: Box<dyn std::any::Any + Send>) -> ServingError {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        ServingError::Panicked(message)
     }
 }
 
@@ -238,27 +272,106 @@ impl EpochSnapshot {
 /// under a briefly held read lock, the sampler replaces it under a write
 /// lock only at publication instants — it never holds the lock while
 /// stepping, so readers cannot stall inference (nor vice versa).
-struct EpochCell {
+pub(crate) struct EpochCell {
     current: RwLock<Arc<EpochSnapshot>>,
 }
 
 impl EpochCell {
-    fn load(&self) -> Arc<EpochSnapshot> {
+    pub(crate) fn new(initial: EpochSnapshot) -> EpochCell {
+        EpochCell {
+            current: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    pub(crate) fn load(&self) -> Arc<EpochSnapshot> {
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
-    fn store(&self, snap: Arc<EpochSnapshot>) {
+    pub(crate) fn store(&self, snap: Arc<EpochSnapshot>) {
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
+    }
+}
+
+/// The sampler lifecycle as readers observe it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplerState {
+    /// Stepping and publishing normally.
+    Running,
+    /// A storage fault or panic stopped stepping and a supervisor is
+    /// attempting restart-from-recovery (`attempt` of `max_restarts`).
+    /// Already-published epochs stay pinnable and readable throughout —
+    /// degradation is about freshness, never about consistency.
+    Degraded {
+        /// The restart attempt currently underway (1-based).
+        attempt: u32,
+        /// Attempts the supervisor will make before giving up.
+        max_restarts: u32,
+    },
+    /// Stopped cleanly (graceful shutdown).
+    Stopped,
+    /// Dead: the loop failed terminally, or every restart attempt was
+    /// exhausted. The parked [`SamplerStatus::error`] says why.
+    Failed,
+}
+
+impl SamplerState {
+    /// True while a supervisor is mid-recovery.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, SamplerState::Degraded { .. })
+    }
+}
+
+impl fmt::Display for SamplerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplerState::Running => write!(f, "running"),
+            SamplerState::Degraded {
+                attempt,
+                max_restarts,
+            } => write!(f, "degraded (restart {attempt}/{max_restarts})"),
+            SamplerState::Stopped => write!(f, "stopped"),
+            SamplerState::Failed => write!(f, "failed"),
+        }
     }
 }
 
 /// Shared sampler counters (updated with relaxed atomics on the hot loop;
 /// readers only ever need a monotonic, eventually fresh picture).
-struct SharedStats {
-    steps: AtomicU64,
-    samples: AtomicU64,
+pub(crate) struct SharedStats {
+    pub(crate) steps: AtomicU64,
+    pub(crate) samples: AtomicU64,
     running: AtomicBool,
-    error: Mutex<Option<String>>,
+    state: Mutex<SamplerState>,
+    error: Mutex<Option<ServingError>>,
+}
+
+impl SharedStats {
+    pub(crate) fn new(steps: u64) -> SharedStats {
+        SharedStats {
+            steps: AtomicU64::new(steps),
+            samples: AtomicU64::new(0),
+            running: AtomicBool::new(true),
+            state: Mutex::new(SamplerState::Running),
+            error: Mutex::new(None),
+        }
+    }
+
+    /// Publishes a lifecycle transition (`running` is kept derived:
+    /// true exactly in [`SamplerState::Running`]).
+    pub(crate) fn set_state(&self, state: SamplerState) {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
+        self.running
+            .store(state == SamplerState::Running, Ordering::Release);
+    }
+
+    pub(crate) fn state(&self) -> SamplerState {
+        *self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Parks (or clears) the error readers see in their status.
+    pub(crate) fn set_error(&self, error: Option<ServingError>) {
+        *self.error.lock().unwrap_or_else(|e| e.into_inner()) = error;
+    }
 }
 
 /// A point-in-time picture of the sampler, via [`EpochReader::status`].
@@ -270,10 +383,14 @@ pub struct SamplerStatus {
     pub steps: u64,
     /// Total samples drawn (live counter).
     pub samples: u64,
-    /// True while the sampler loop is running.
+    /// True while the sampler loop is stepping normally (equivalent to
+    /// `state == SamplerState::Running`, kept for cheap checks).
     pub running: bool,
-    /// The error that killed the loop, when it died.
-    pub error: Option<String>,
+    /// Lifecycle state, including mid-recovery degradation.
+    pub state: SamplerState,
+    /// The typed error that degraded or killed the loop. Transient faults
+    /// a supervisor recovered from are cleared on resume.
+    pub error: Option<ServingError>,
 }
 
 /// The cheap-clone reader handle: pin epochs and observe sampler health.
@@ -286,6 +403,10 @@ pub struct EpochReader {
 }
 
 impl EpochReader {
+    pub(crate) fn new(cell: Arc<EpochCell>, stats: Arc<SharedStats>) -> EpochReader {
+        EpochReader { cell, stats }
+    }
+
     /// Pins the latest published epoch. The returned snapshot is immutable
     /// and stays valid (and consistent) for as long as the reader holds
     /// the `Arc`, regardless of how far the live chain advances.
@@ -297,11 +418,13 @@ impl EpochReader {
     /// the publication cell itself, so it can never lag behind what a
     /// concurrent [`EpochReader::pin`] returns.
     pub fn status(&self) -> SamplerStatus {
+        let state = self.stats.state();
         SamplerStatus {
             epoch: self.cell.load().epoch,
             steps: self.stats.steps.load(Ordering::Relaxed),
             samples: self.stats.samples.load(Ordering::Relaxed),
-            running: self.stats.running.load(Ordering::Acquire),
+            running: state == SamplerState::Running,
+            state,
             error: self
                 .stats
                 .error
@@ -313,7 +436,7 @@ impl EpochReader {
 }
 
 /// One registered query's live machinery on the sampler thread.
-struct Registered {
+pub(crate) struct Registered {
     name: Arc<str>,
     sql: Arc<str>,
     columns: Vec<Arc<str>>,
@@ -352,7 +475,56 @@ impl Registered {
 pub struct LiveSampler<M> {
     reader: EpochReader,
     stop: Arc<AtomicBool>,
-    handle: Option<JoinHandle<Result<ProbabilisticDB<M>, String>>>,
+    handle: Option<JoinHandle<Result<ProbabilisticDB<M>, ServingError>>>,
+}
+
+/// Rejects degenerate serving knobs (shared by [`LiveSampler::spawn`] and
+/// the supervised sampler).
+pub(crate) fn validate_config(config: &ServingConfig) -> Result<(), ServingError> {
+    if config.thinning == 0 {
+        return Err(ServingError::Config("zero thinning interval".into()));
+    }
+    if config.publish_every == 0 {
+        return Err(ServingError::Config("zero publish interval".into()));
+    }
+    if config.window < 4 {
+        return Err(ServingError::Config(
+            "diagnostic window must hold at least 4 samples".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Compiles and materializes every `(name, sql)` pair as an incrementally
+/// maintained view over `pdb`, with a fresh diagnostic window seeded from
+/// the initial answer.
+pub(crate) fn build_registered<M: Model>(
+    pdb: &ProbabilisticDB<M>,
+    queries: &[(&str, &str)],
+    config: &ServingConfig,
+) -> Result<Vec<Registered>, ServingError> {
+    let mut registered = Vec::with_capacity(queries.len());
+    for (name, sql) in queries {
+        let plan = compile_query(sql, pdb.database())
+            .map_err(|e| ServingError::from(EvaluateError::Query(e)))?;
+        let columns = plan
+            .output_columns(pdb.database())
+            .map_err(|e| ServingError::from(EvaluateError::Exec(e.into())))?;
+        let eval = QueryEvaluator::materialized(plan, pdb, config.thinning)?;
+        let mut traces = WindowedTraces::new(config.window);
+        traces.record(
+            eval.current_answer()
+                .ok_or(EvaluateError::NotMaterialized)?,
+        );
+        registered.push(Registered {
+            name: Arc::from(*name),
+            sql: Arc::from(*sql),
+            columns,
+            eval,
+            traces,
+        });
+    }
+    Ok(registered)
 }
 
 impl<M: Model + 'static> LiveSampler<M> {
@@ -369,54 +541,14 @@ impl<M: Model + 'static> LiveSampler<M> {
         queries: &[(&str, &str)],
         config: ServingConfig,
     ) -> Result<Self, ServingError> {
-        if config.thinning == 0 {
-            return Err(ServingError::Config("zero thinning interval".into()));
-        }
-        if config.publish_every == 0 {
-            return Err(ServingError::Config("zero publish interval".into()));
-        }
-        if config.window < 4 {
-            return Err(ServingError::Config(
-                "diagnostic window must hold at least 4 samples".into(),
-            ));
-        }
-        let mut registered = Vec::with_capacity(queries.len());
-        for (name, sql) in queries {
-            let plan = compile_query(sql, pdb.database())
-                .map_err(|e| ServingError::Evaluate(EvaluateError::Query(e)))?;
-            let columns = plan
-                .output_columns(pdb.database())
-                .map_err(|e| ServingError::Evaluate(EvaluateError::Exec(e.into())))?;
-            let eval = QueryEvaluator::materialized(plan, &pdb, config.thinning)?;
-            let mut traces = WindowedTraces::new(config.window);
-            traces.record(
-                eval.current_answer()
-                    .ok_or(EvaluateError::NotMaterialized)?,
-            );
-            registered.push(Registered {
-                name: Arc::from(*name),
-                sql: Arc::from(*sql),
-                columns,
-                eval,
-                traces,
-            });
-        }
+        validate_config(&config)?;
+        let registered = build_registered(&pdb, queries, &config)?;
 
         let epoch0 = publish_snapshot(&pdb, &registered, &config, 0)?;
-        let cell = Arc::new(EpochCell {
-            current: RwLock::new(Arc::new(epoch0)),
-        });
-        let stats = Arc::new(SharedStats {
-            steps: AtomicU64::new(pdb.steps_taken()),
-            samples: AtomicU64::new(0),
-            running: AtomicBool::new(true),
-            error: Mutex::new(None),
-        });
+        let cell = Arc::new(EpochCell::new(epoch0));
+        let stats = Arc::new(SharedStats::new(pdb.steps_taken()));
         let stop = Arc::new(AtomicBool::new(false));
-        let reader = EpochReader {
-            cell: Arc::clone(&cell),
-            stats: Arc::clone(&stats),
-        };
+        let reader = EpochReader::new(Arc::clone(&cell), Arc::clone(&stats));
 
         let t_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
@@ -442,11 +574,10 @@ impl<M: Model + 'static> LiveSampler<M> {
     pub fn stop(mut self) -> Result<ProbabilisticDB<M>, ServingError> {
         self.stop.store(true, Ordering::Release);
         match self.handle.take() {
-            None => Err(ServingError::Panicked),
+            None => Err(ServingError::Panicked(String::new())),
             Some(h) => match h.join() {
-                Err(_) => Err(ServingError::Panicked),
-                Ok(Ok(pdb)) => Ok(pdb),
-                Ok(Err(message)) => Err(ServingError::Sampler(message)),
+                Err(payload) => Err(ServingError::from_panic(payload)),
+                Ok(result) => result,
             },
         }
     }
@@ -462,7 +593,7 @@ impl<M> Drop for LiveSampler<M> {
 }
 
 /// Builds one publishable epoch from the sampler's current state.
-fn publish_snapshot<M: Model>(
+pub(crate) fn publish_snapshot<M: Model>(
     pdb: &ProbabilisticDB<M>,
     registered: &[Registered],
     config: &ServingConfig,
@@ -492,7 +623,7 @@ fn sampler_loop<M: Model>(
     cell: Arc<EpochCell>,
     stats: Arc<SharedStats>,
     stop: Arc<AtomicBool>,
-) -> Result<ProbabilisticDB<M>, String> {
+) -> Result<ProbabilisticDB<M>, ServingError> {
     let mut epoch = 0u64;
     let mut since_publish = 0usize;
     let result = loop {
@@ -526,16 +657,44 @@ fn sampler_loop<M: Model>(
                     cell.store(Arc::new(snap));
                 }
             }
-            stats.running.store(false, Ordering::Release);
+            stats.set_state(SamplerState::Stopped);
             Ok(pdb)
         }
         Err(e) => {
-            let message = e.to_string();
-            *stats.error.lock().unwrap_or_else(|p| p.into_inner()) = Some(message.clone());
-            stats.running.store(false, Ordering::Release);
-            Err(message)
+            let error = ServingError::from(e);
+            stats.set_error(Some(error.clone()));
+            stats.set_state(SamplerState::Failed);
+            Err(error)
         }
     }
+}
+
+/// The thinning interval the registered views were materialized with.
+pub(crate) fn interval_k(registered: &[Registered], config: &ServingConfig) -> usize {
+    registered
+        .first()
+        .map(|r| r.eval.thinning())
+        .unwrap_or(config.thinning)
+}
+
+/// Incremental maintenance after one committed interval: folds `delta`
+/// into every registered view and extends its diagnostic trace. Shared
+/// with the supervised (durable) loop, whose deltas come back from
+/// [`crate::DurablePdb::step`] already logged.
+pub(crate) fn observe_delta(
+    registered: &mut [Registered],
+    delta: &fgdb_relational::DeltaSet,
+    db: &Database,
+) -> Result<(), EvaluateError> {
+    for r in registered.iter_mut() {
+        r.eval.observe(delta, db)?;
+        let answer = r
+            .eval
+            .current_answer()
+            .ok_or(EvaluateError::NotMaterialized)?;
+        r.traces.record(answer);
+    }
+    Ok(())
 }
 
 /// One thinning interval: k walk-steps, then incremental maintenance and
@@ -546,15 +705,7 @@ fn step_once<M: Model>(
 ) -> Result<(), EvaluateError> {
     let k = registered.first().map(|r| r.eval.thinning()).unwrap_or(100);
     let delta = pdb.step(k)?;
-    for r in registered.iter_mut() {
-        r.eval.observe(&delta, pdb.database())?;
-        let answer = r
-            .eval
-            .current_answer()
-            .ok_or(EvaluateError::NotMaterialized)?;
-        r.traces.record(answer);
-    }
-    Ok(())
+    observe_delta(registered, &delta, pdb.database())
 }
 
 #[cfg(test)]

@@ -1,0 +1,599 @@
+//! Failpoint I/O: every byte the durability layer persists goes through
+//! the [`StoreIo`] trait, so tests can inject storage faults at exact,
+//! reproducible syscall offsets.
+//!
+//! Two implementations:
+//!
+//! * [`RealIo`] — a zero-cost passthrough to `std::fs` (the production
+//!   path; [`crate::store::DurableStore::create`] uses it implicitly);
+//! * [`FaultyIo`] — wraps the real filesystem but consults a deterministic
+//!   [`FaultSchedule`] before each operation, injecting short writes,
+//!   fsync failures, ENOSPC, or a *crash* (every later operation through
+//!   the handle fails, as if the process died at that syscall).
+//!
+//! Determinism contract: operations are classified (write / sync /
+//! metadata) and counted per class; a [`FaultPoint`] names the 1-based
+//! index *within its class* at which it fires ([`FaultKind::Crash`]
+//! counts against the all-operations counter). Two runs of the same
+//! workload over the same schedule fault at the identical syscall — the
+//! property the chaos suite's twin-comparison oracle rests on.
+//!
+//! The fault model deliberately mirrors what the WAL and snapshot code
+//! already defend against: a short write produces a torn frame (the
+//! prefix *is* written), ENOSPC and fsync errors surface as
+//! [`std::io::Error`] so the writer's poisoning discipline engages, and a
+//! crash leaves the directory exactly as the completed syscalls left it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// An open, writable store file. The durability layer only ever appends,
+/// truncates, and syncs — the trait is exactly that surface.
+pub trait StoreFile: Send {
+    /// Writes the whole buffer (or fails; a failpoint may write a prefix).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flushes file data to stable storage (`fdatasync`).
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// Truncates (or extends) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Positions the write cursor at absolute offset `pos`.
+    fn seek_to(&mut self, pos: u64) -> io::Result<()>;
+}
+
+/// The filesystem surface the durability layer runs on. Implementations
+/// must be shareable across threads: the store handle moves into the
+/// supervised sampler thread while tests keep a handle to arm faults.
+pub trait StoreIo: Send + Sync {
+    /// Creates (truncating) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>>;
+    /// Opens an existing `path` for writing without truncation.
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StoreFile>>;
+    /// Reads the entire file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically renames `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Syncs a directory so a rename inside it is durable. Callers treat
+    /// failures as degraded durability, not as errors.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Length of the file at `path` in bytes.
+    fn file_len(&self, path: &Path) -> io::Result<u64>;
+    /// Recursively creates `path` as a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// True when `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The production [`StoreIo`]: plain `std::fs`, no interception.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealIo;
+
+/// A shared handle to the production I/O implementation.
+pub fn real_io() -> Arc<dyn StoreIo> {
+    Arc::new(RealIo)
+}
+
+struct RealFile(File);
+
+impl StoreFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        self.0.seek(SeekFrom::Start(pos)).map(|_| ())
+    }
+}
+
+impl StoreIo for RealIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        Ok(bytes)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        std::fs::metadata(path).map(|m| m.len())
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// What a failpoint does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write persists only the first half of the buffer, then errors
+    /// with `StorageFull` — a torn frame on disk (counts write ops).
+    ShortWrite,
+    /// The write fails with `StorageFull` before any byte lands — ENOSPC
+    /// at the syscall boundary (counts write ops).
+    WriteErr,
+    /// `sync_data` fails; the preceding writes are in the page cache but
+    /// their durability is unknown (counts sync ops).
+    SyncErr,
+    /// The process "dies" at this operation: the op fails (after writing
+    /// half the buffer when `partial_write` and the op is a write) and
+    /// every later operation through this handle fails too. Recovery must
+    /// go through a fresh I/O handle, exactly like a restarted process
+    /// (counts all ops).
+    Crash {
+        /// Whether a torn half-frame is left behind when the crash lands
+        /// on a write.
+        partial_write: bool,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::ShortWrite => write!(f, "short-write"),
+            FaultKind::WriteErr => write!(f, "write-enospc"),
+            FaultKind::SyncErr => write!(f, "fsync-error"),
+            FaultKind::Crash { partial_write } => {
+                write!(f, "crash{}", if *partial_write { "+torn" } else { "" })
+            }
+        }
+    }
+}
+
+/// One scheduled failpoint: fire `kind` at the `at`-th operation of its
+/// class (1-based; write faults count writes, sync faults count syncs,
+/// crashes count every operation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// 1-based operation index within the kind's class.
+    pub at: u64,
+    /// The fault to inject there.
+    pub kind: FaultKind,
+}
+
+/// A deterministic list of failpoints.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    points: Vec<FaultPoint>,
+}
+
+impl FaultSchedule {
+    /// A schedule firing exactly the given points.
+    pub fn new(points: Vec<FaultPoint>) -> FaultSchedule {
+        FaultSchedule { points }
+    }
+
+    /// An empty schedule (useful with [`FaultyIo::inject_now`]).
+    pub fn none() -> FaultSchedule {
+        FaultSchedule { points: Vec::new() }
+    }
+
+    /// Derives one failpoint from a seed: the kind cycles through all five
+    /// variants and the operation index lands in `1..=op_window`. The same
+    /// seed always produces the same schedule — chaos sweeps iterate seeds
+    /// and log the failing ones.
+    pub fn from_seed(seed: u64, op_window: u64) -> FaultSchedule {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        let mut next = move || {
+            // xorshift64*: tiny, seedable, good enough for schedule spread.
+            s ^= s >> 12;
+            s ^= s << 25;
+            s ^= s >> 27;
+            s = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            s
+        };
+        let kind = match next() % 5 {
+            0 => FaultKind::ShortWrite,
+            1 => FaultKind::WriteErr,
+            2 => FaultKind::SyncErr,
+            3 => FaultKind::Crash {
+                partial_write: false,
+            },
+            _ => FaultKind::Crash {
+                partial_write: true,
+            },
+        };
+        let at = 1 + next() % op_window.max(1);
+        FaultSchedule {
+            points: vec![FaultPoint { at, kind }],
+        }
+    }
+
+    /// The scheduled points.
+    pub fn points(&self) -> &[FaultPoint] {
+        &self.points
+    }
+}
+
+/// Operation classes the counters distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpClass {
+    Write,
+    Sync,
+    Meta,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// All mutating operations seen (writes + syncs + metadata).
+    ops: u64,
+    /// Write operations seen.
+    writes: u64,
+    /// Sync operations seen (`sync_data` and `sync_dir`).
+    syncs: u64,
+    /// Faults that already fired, with the all-ops index they fired at.
+    fired: Vec<(u64, FaultKind)>,
+    /// Remaining scheduled points (one-shot each).
+    pending: Vec<FaultPoint>,
+    /// A fault armed by [`FaultyIo::inject_now`], firing at the next
+    /// eligible operation.
+    armed: Option<FaultKind>,
+    /// Sticky after a `Crash` fault fired.
+    crashed: bool,
+}
+
+impl FaultState {
+    fn eligible(kind: FaultKind, class: OpClass) -> bool {
+        match kind {
+            FaultKind::ShortWrite | FaultKind::WriteErr => class == OpClass::Write,
+            FaultKind::SyncErr => class == OpClass::Sync,
+            FaultKind::Crash { .. } => true,
+        }
+    }
+
+    /// Counts one operation; returns the fault to inject, if any.
+    fn on_op(&mut self, class: OpClass) -> Option<FaultKind> {
+        if self.crashed {
+            return Some(FaultKind::Crash {
+                partial_write: false,
+            });
+        }
+        self.ops += 1;
+        match class {
+            OpClass::Write => self.writes += 1,
+            OpClass::Sync => self.syncs += 1,
+            OpClass::Meta => {}
+        }
+        if let Some(kind) = self.armed {
+            if Self::eligible(kind, class) {
+                self.armed = None;
+                return Some(self.fire(kind));
+            }
+        }
+        let counter = |kind: FaultKind, s: &FaultState| match kind {
+            FaultKind::ShortWrite | FaultKind::WriteErr => s.writes,
+            FaultKind::SyncErr => s.syncs,
+            FaultKind::Crash { .. } => s.ops,
+        };
+        let hit = self
+            .pending
+            .iter()
+            .position(|p| Self::eligible(p.kind, class) && counter(p.kind, self) >= p.at);
+        hit.map(|i| {
+            let kind = self.pending.remove(i).kind;
+            self.fire(kind)
+        })
+    }
+
+    fn fire(&mut self, kind: FaultKind) -> FaultKind {
+        if let FaultKind::Crash { .. } = kind {
+            self.crashed = true;
+        }
+        self.fired.push((self.ops, kind));
+        kind
+    }
+}
+
+/// A [`StoreIo`] over the real filesystem that injects faults from a
+/// deterministic schedule. Cloning shares the counters and schedule, so a
+/// test can keep a handle for [`FaultyIo::inject_now`] and inspection
+/// while the store owns another.
+#[derive(Clone, Default)]
+pub struct FaultyIo {
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyIo {
+    /// A faulty I/O layer firing `schedule`.
+    pub fn new(schedule: FaultSchedule) -> FaultyIo {
+        FaultyIo {
+            state: Arc::new(Mutex::new(FaultState {
+                pending: schedule.points,
+                ..FaultState::default()
+            })),
+        }
+    }
+
+    /// Arms `kind` to fire at the next eligible operation — the handle for
+    /// tests that need a fault at a *semantic* moment ("the next WAL
+    /// append") rather than a syscall index.
+    pub fn inject_now(&self, kind: FaultKind) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).armed = Some(kind);
+    }
+
+    /// Total mutating operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).ops
+    }
+
+    /// Write operations observed so far.
+    pub fn writes(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).writes
+    }
+
+    /// Sync operations observed so far.
+    pub fn syncs(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).syncs
+    }
+
+    /// True once a `Crash` fault fired (all later operations fail).
+    pub fn crashed(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).crashed
+    }
+
+    /// Every fault that fired, with the all-ops index it fired at.
+    pub fn fired(&self) -> Vec<(u64, FaultKind)> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .fired
+            .clone()
+    }
+
+    fn gate(&self, class: OpClass) -> Result<Option<FaultKind>, io::Error> {
+        let fault = self
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .on_op(class);
+        match fault {
+            // Write-affecting faults are resolved by the caller (the file
+            // wrapper), which may persist a prefix first.
+            Some(k @ (FaultKind::ShortWrite | FaultKind::Crash { .. })) => Ok(Some(k)),
+            Some(FaultKind::WriteErr) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected ENOSPC",
+            )),
+            Some(FaultKind::SyncErr) => Err(io::Error::other("injected fsync failure")),
+            None => Ok(None),
+        }
+    }
+}
+
+fn crash_error() -> io::Error {
+    io::Error::other("injected crash: this I/O handle is dead")
+}
+
+struct FaultyFile {
+    inner: RealFile,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultyFile {
+    fn gate(&self, class: OpClass) -> Result<Option<FaultKind>, io::Error> {
+        FaultyIo {
+            state: Arc::clone(&self.state),
+        }
+        .gate(class)
+    }
+}
+
+impl StoreFile for FaultyFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.gate(OpClass::Write)? {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::ShortWrite) => {
+                self.inner.write_all(&buf[..buf.len() / 2])?;
+                Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected short write",
+                ))
+            }
+            Some(FaultKind::Crash { partial_write }) => {
+                if partial_write {
+                    let _ = self.inner.write_all(&buf[..buf.len() / 2]);
+                }
+                Err(crash_error())
+            }
+            Some(other) => Err(io::Error::other(format!("unroutable fault {other}"))),
+        }
+    }
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.gate(OpClass::Sync)? {
+            None => self.inner.sync_data(),
+            Some(_) => Err(crash_error()),
+        }
+    }
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.gate(OpClass::Meta)? {
+            None => self.inner.set_len(len),
+            Some(_) => Err(crash_error()),
+        }
+    }
+    fn seek_to(&mut self, pos: u64) -> io::Result<()> {
+        // Pure cursor movement: not a mutating syscall, never faulted.
+        self.inner.seek_to(pos)
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        if self.gate(OpClass::Meta)?.is_some() {
+            return Err(crash_error());
+        }
+        let f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(FaultyFile {
+            inner: RealFile(f),
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn open_rw(&self, path: &Path) -> io::Result<Box<dyn StoreFile>> {
+        if self.gate(OpClass::Meta)?.is_some() {
+            return Err(crash_error());
+        }
+        let f = OpenOptions::new().write(true).open(path)?;
+        Ok(Box::new(FaultyFile {
+            inner: RealFile(f),
+            state: Arc::clone(&self.state),
+        }))
+    }
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        // Reads are not counted (they cannot tear state), but a crashed
+        // handle is dead for reads too — the process it models is gone.
+        if self.state.lock().unwrap_or_else(|e| e.into_inner()).crashed {
+            return Err(crash_error());
+        }
+        RealIo.read(path)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.gate(OpClass::Meta)?.is_some() {
+            return Err(crash_error());
+        }
+        std::fs::rename(from, to)
+    }
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.gate(OpClass::Sync)?.is_some() {
+            return Err(crash_error());
+        }
+        RealIo.sync_dir(dir)
+    }
+    fn file_len(&self, path: &Path) -> io::Result<u64> {
+        if self.state.lock().unwrap_or_else(|e| e.into_inner()).crashed {
+            return Err(crash_error());
+        }
+        RealIo.file_len(path)
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        if self.gate(OpClass::Meta)?.is_some() {
+            return Err(crash_error());
+        }
+        std::fs::create_dir_all(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+
+    #[test]
+    fn schedule_from_seed_is_deterministic_and_covers_kinds() {
+        for seed in 0..64u64 {
+            assert_eq!(
+                FaultSchedule::from_seed(seed, 10).points(),
+                FaultSchedule::from_seed(seed, 10).points(),
+                "same seed, same schedule"
+            );
+            let p = FaultSchedule::from_seed(seed, 10).points()[0];
+            assert!((1..=10).contains(&p.at));
+        }
+        let kinds: std::collections::HashSet<String> = (0..64)
+            .map(|s| FaultSchedule::from_seed(s, 10).points()[0].kind.to_string())
+            .collect();
+        assert!(
+            kinds.len() >= 4,
+            "64 seeds should hit most kinds: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn write_fault_fires_at_scheduled_index_and_short_write_tears() {
+        let dir = test_dir("io_short_write");
+        let io = FaultyIo::new(FaultSchedule::new(vec![FaultPoint {
+            at: 3,
+            kind: FaultKind::ShortWrite,
+        }]));
+        let mut f = io.create(&dir.join("f")).unwrap();
+        f.write_all(b"aaaa").unwrap();
+        f.write_all(b"bbbb").unwrap();
+        let err = f.write_all(b"cccc").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        // Only the torn prefix of the third write landed.
+        drop(f);
+        assert_eq!(std::fs::read(dir.join("f")).unwrap(), b"aaaabbbbcc");
+        // One-shot: later writes succeed again.
+        let mut f = io.open_rw(&dir.join("f")).unwrap();
+        f.seek_to(10).unwrap();
+        f.write_all(b"dd").unwrap();
+        assert_eq!(io.fired().len(), 1);
+    }
+
+    #[test]
+    fn sync_fault_counts_syncs_not_writes() {
+        let dir = test_dir("io_sync_fault");
+        let io = FaultyIo::new(FaultSchedule::new(vec![FaultPoint {
+            at: 2,
+            kind: FaultKind::SyncErr,
+        }]));
+        let mut f = io.create(&dir.join("f")).unwrap();
+        f.write_all(b"x").unwrap();
+        f.sync_data().unwrap();
+        f.write_all(b"y").unwrap();
+        assert!(f.sync_data().is_err(), "second sync faults");
+        assert!(f.sync_data().is_ok(), "one-shot");
+        assert!(!io.crashed());
+    }
+
+    #[test]
+    fn crash_is_sticky_across_the_whole_handle() {
+        let dir = test_dir("io_crash");
+        let io = FaultyIo::new(FaultSchedule::none());
+        let mut f = io.create(&dir.join("f")).unwrap();
+        f.write_all(b"pre-crash").unwrap();
+        io.inject_now(FaultKind::Crash {
+            partial_write: false,
+        });
+        assert!(f.write_all(b"never").is_err());
+        assert!(io.crashed());
+        // Everything after the crash fails: file ops, metadata, reads.
+        assert!(f.sync_data().is_err());
+        assert!(io.create(&dir.join("g")).is_err());
+        assert!(io.read(&dir.join("f")).is_err());
+        assert!(io.file_len(&dir.join("f")).is_err());
+        // The *filesystem* still holds what completed before the crash —
+        // a fresh handle (the restarted process) sees it.
+        assert_eq!(RealIo.read(&dir.join("f")).unwrap(), b"pre-crash");
+    }
+
+    #[test]
+    fn inject_now_waits_for_an_eligible_op() {
+        let dir = test_dir("io_armed");
+        let io = FaultyIo::new(FaultSchedule::none());
+        let mut f = io.create(&dir.join("f")).unwrap();
+        io.inject_now(FaultKind::SyncErr);
+        // A write is not sync-eligible; the armed fault holds.
+        f.write_all(b"ok").unwrap();
+        assert!(f.sync_data().is_err());
+        assert!(f.sync_data().is_ok());
+    }
+}

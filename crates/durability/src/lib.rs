@@ -15,6 +15,10 @@
 //! Layers:
 //!
 //! * [`checksum`] — CRC-32/ISO-HDLC record checksums;
+//! * [`io`] — the failpoint seam: every persisted byte goes through a
+//!   [`StoreIo`], either the real filesystem or a seeded fault injector
+//!   ([`FaultyIo`]) that tears writes, fails fsyncs, and simulates
+//!   crash-at-syscall-K for the chaos suite;
 //! * [`mod@format`] — the hand-rolled versioned binary encoding of every
 //!   persisted structure (`Value`, `Tuple`, `Schema`, `Relation`,
 //!   `Database`, `CountedSet`, `DeltaSet`, `World`, chain state, binding).
@@ -34,10 +38,12 @@
 
 pub mod checksum;
 pub mod format;
+pub mod io;
 pub mod store;
 pub mod wal;
 
 pub use format::{BindingRec, ChainStateRec, FormatError, NetChangeRec};
+pub use io::{real_io, FaultKind, FaultPoint, FaultSchedule, FaultyIo, RealIo, StoreFile, StoreIo};
 pub use store::{
     read_snapshot, write_snapshot, DurabilityConfig, DurabilityError, DurableStore, IntervalRecord,
     RecoveryReport, Snapshot,

@@ -21,15 +21,15 @@ use crate::format::{
     decode_world, encode_binding, encode_chain_state, encode_changes, encode_database,
     encode_delta, encode_world, BindingRec, ChainStateRec, Dec, Enc, FormatError, NetChangeRec,
 };
+use crate::io::{real_io, StoreIo};
 use crate::wal::{
     self, check_header, write_header, FsyncPolicy, TornTail, WalWriter, KIND_SNAPSHOT,
 };
 use fgdb_graph::World;
 use fgdb_relational::{Database, DeltaSet};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.fgdb";
@@ -198,6 +198,16 @@ fn decode_snapshot(payload: &[u8]) -> Result<Snapshot, DurabilityError> {
 /// Writes a snapshot file crash-safely: temp file → fsync → rename →
 /// directory fsync.
 pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> Result<(), DurabilityError> {
+    write_snapshot_with(&*real_io(), dir, snapshot)
+}
+
+/// [`write_snapshot`] through an explicit [`StoreIo`] — the failpoint seam
+/// for checkpoint faults.
+pub fn write_snapshot_with(
+    io: &dyn StoreIo,
+    dir: &Path,
+    snapshot: &Snapshot,
+) -> Result<(), DurabilityError> {
     let payload = encode_snapshot(snapshot);
     // The frame length is a u32; a state too large for it must error here,
     // before anything is written — a silently wrapped length would produce
@@ -218,28 +228,26 @@ pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> Result<(), DurabilityE
     let tmp = dir.join(format!("{SNAPSHOT_FILE}.tmp"));
     let target = dir.join(SNAPSHOT_FILE);
     {
-        let mut f = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(&tmp)?;
+        let mut f = io.create(&tmp)?;
         f.write_all(&bytes)?;
         f.sync_data()?;
     }
-    std::fs::rename(&tmp, &target)?;
+    io.rename(&tmp, &target)?;
     // Persist the rename itself. Directory fsync is not available on every
     // platform; failures degrade durability of the *rename*, not
     // correctness, so they are tolerated.
-    if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
-    }
+    let _ = io.sync_dir(dir);
     Ok(())
 }
 
 /// Reads and validates a snapshot file.
 pub fn read_snapshot(dir: &Path) -> Result<Snapshot, DurabilityError> {
-    let mut bytes = Vec::new();
-    File::open(dir.join(SNAPSHOT_FILE))?.read_to_end(&mut bytes)?;
+    read_snapshot_with(&*real_io(), dir)
+}
+
+/// [`read_snapshot`] through an explicit [`StoreIo`].
+pub fn read_snapshot_with(io: &dyn StoreIo, dir: &Path) -> Result<Snapshot, DurabilityError> {
+    let bytes = io.read(&dir.join(SNAPSHOT_FILE))?;
     check_header(&bytes, KIND_SNAPSHOT)?;
     let rest = &bytes[wal::HEADER_LEN as usize..];
     if rest.len() < 8 {
@@ -304,6 +312,7 @@ pub struct DurableStore {
     wal: WalWriter,
     config: DurabilityConfig,
     next_seq: u64,
+    io: Arc<dyn StoreIo>,
 }
 
 impl DurableStore {
@@ -315,26 +324,49 @@ impl DurableStore {
         snapshot: &Snapshot,
         config: DurabilityConfig,
     ) -> Result<DurableStore, DurabilityError> {
-        std::fs::create_dir_all(dir)?;
-        if dir.join(SNAPSHOT_FILE).exists() || dir.join(WAL_FILE).exists() {
+        Self::create_with_io(real_io(), dir, snapshot, config)
+    }
+
+    /// [`DurableStore::create`] through an explicit [`StoreIo`]; the store
+    /// keeps the handle and routes every later write, sync, and rename
+    /// (appends, checkpoints) through it.
+    pub fn create_with_io(
+        io: Arc<dyn StoreIo>,
+        dir: &Path,
+        snapshot: &Snapshot,
+        config: DurabilityConfig,
+    ) -> Result<DurableStore, DurabilityError> {
+        io.create_dir_all(dir)?;
+        if io.exists(&dir.join(SNAPSHOT_FILE)) || io.exists(&dir.join(WAL_FILE)) {
             return Err(DurabilityError::Corrupt(format!(
                 "store already exists at {}",
                 dir.display()
             )));
         }
-        write_snapshot(dir, snapshot)?;
-        let wal = WalWriter::create(&dir.join(WAL_FILE), config.fsync)?;
+        write_snapshot_with(&*io, dir, snapshot)?;
+        let wal = WalWriter::create_with(&*io, &dir.join(WAL_FILE), config.fsync)?;
         Ok(DurableStore {
             dir: dir.to_path_buf(),
             wal,
             config,
             next_seq: snapshot.seq + 1,
+            io,
         })
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The I/O layer this store routes through.
+    pub fn io(&self) -> &Arc<dyn StoreIo> {
+        &self.io
+    }
+
+    /// The durability configuration the store was opened with.
+    pub fn config(&self) -> DurabilityConfig {
+        self.config
     }
 
     /// The sequence number the next interval record must carry.
@@ -375,11 +407,11 @@ impl DurableStore {
         // replacing the snapshot (otherwise a crash between the two could
         // lose acknowledged intervals).
         self.wal.sync()?;
-        write_snapshot(&self.dir, snapshot)?;
+        write_snapshot_with(&*self.io, &self.dir, snapshot)?;
         // Old records are at or below snapshot.seq now; replay skips them,
         // so truncating is an optimization, not a correctness step — safe
         // to crash before, between, or after.
-        self.wal = WalWriter::create(&self.dir.join(WAL_FILE), self.config.fsync)?;
+        self.wal = WalWriter::create_with(&*self.io, &self.dir.join(WAL_FILE), self.config.fsync)?;
         Ok(())
     }
 
@@ -392,7 +424,20 @@ impl DurableStore {
         config: DurabilityConfig,
     ) -> Result<(Snapshot, Vec<IntervalRecord>, DurableStore, RecoveryReport), DurabilityError>
     {
-        let snapshot = read_snapshot(dir)?;
+        Self::recover_with_io(real_io(), dir, config)
+    }
+
+    /// [`DurableStore::recover`] through an explicit [`StoreIo`]. Recovery
+    /// after an injected crash must come through a *fresh* I/O handle (a
+    /// crashed [`crate::io::FaultyIo`] stays dead, like the process it
+    /// models).
+    pub fn recover_with_io(
+        io: Arc<dyn StoreIo>,
+        dir: &Path,
+        config: DurabilityConfig,
+    ) -> Result<(Snapshot, Vec<IntervalRecord>, DurableStore, RecoveryReport), DurabilityError>
+    {
+        let snapshot = read_snapshot_with(&*io, dir)?;
         let wal_path = dir.join(WAL_FILE);
         // A crash while a checkpoint (or `create`) was re-creating the WAL
         // can leave it missing or shorter than the 11-byte header. The
@@ -402,7 +447,7 @@ impl DurableStore {
         // carries no information. A *full-length* header that fails
         // validation (foreign magic/kind, unknown version) is still a hard
         // error: that file holds something, just not ours.
-        let wal_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        let wal_len = io.file_len(&wal_path).unwrap_or(0);
         let recreate_wal = wal_len < wal::HEADER_LEN;
         let scan = if recreate_wal {
             wal::WalScan {
@@ -411,7 +456,7 @@ impl DurableStore {
                 torn: None,
             }
         } else {
-            wal::scan(&wal_path)?
+            wal::scan_with(&*io, &wal_path)?
         };
         let mut report =
             RecoveryReport {
@@ -442,15 +487,16 @@ impl DurableStore {
         }
         report.replayed = records.len() as u64;
         let wal = if recreate_wal {
-            WalWriter::create(&wal_path, config.fsync)?
+            WalWriter::create_with(&*io, &wal_path, config.fsync)?
         } else {
-            WalWriter::open_at(&wal_path, scan.valid_len, config.fsync)?
+            WalWriter::open_at_with(&*io, &wal_path, scan.valid_len, config.fsync)?
         };
         let store = DurableStore {
             dir: dir.to_path_buf(),
             wal,
             config,
             next_seq: expect,
+            io,
         };
         Ok((snapshot, records, store, report))
     }
@@ -767,5 +813,116 @@ mod tests {
         let snap = tiny_snapshot(0);
         DurableStore::create(&dir, &snap, DurabilityConfig::default()).unwrap();
         assert!(DurableStore::create(&dir, &snap, DurabilityConfig::default()).is_err());
+    }
+
+    #[test]
+    fn injected_fsync_failure_poisons_until_recovery() {
+        use crate::io::{FaultKind, FaultSchedule, FaultyIo};
+
+        let dir = test_dir("store_faulty_fsync");
+        let fio = FaultyIo::new(FaultSchedule::none());
+        let io: Arc<dyn StoreIo> = Arc::new(fio.clone());
+        let mut store = DurableStore::create_with_io(
+            Arc::clone(&io),
+            &dir,
+            &tiny_snapshot(0),
+            DurabilityConfig {
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        store.append_interval(&interval(1)).unwrap();
+
+        // The fsync of interval 2 fails: the bytes are in the file, the
+        // acknowledgement is not given, and the writer poisons itself so a
+        // blind retry cannot append a duplicate sequence number.
+        fio.inject_now(FaultKind::SyncErr);
+        assert!(store.append_interval(&interval(2)).is_err());
+        assert!(matches!(
+            store.append_interval(&interval(2)),
+            Err(DurabilityError::Corrupt(m)) if m.contains("poisoned")
+        ));
+        drop(store);
+
+        // Recovery finds both intervals (the write preceded the failed
+        // fsync) and the store resumes at seq 3.
+        let (_, records, mut store, _) =
+            DurableStore::recover_with_io(io, &dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(store.next_seq(), 3);
+        store.append_interval(&interval(3)).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_recovers_to_the_acknowledged_prefix() {
+        use crate::io::{FaultKind, FaultPoint, FaultSchedule, FaultyIo};
+
+        let dir = test_dir("store_faulty_torn");
+        // WalWriter::create issues one header write; interval commits are
+        // one write each. Tearing the 3rd write (snapshot tmp write is not
+        // a WAL write but *does* count — it is write #1) hits interval 2.
+        let fio = FaultyIo::new(FaultSchedule::new(vec![FaultPoint {
+            at: 4,
+            kind: FaultKind::ShortWrite,
+        }]));
+        let io: Arc<dyn StoreIo> = Arc::new(fio.clone());
+        let mut store = DurableStore::create_with_io(
+            Arc::clone(&io),
+            &dir,
+            &tiny_snapshot(0),
+            DurabilityConfig {
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        store.append_interval(&interval(1)).unwrap();
+        let err = store.append_interval(&interval(2)).unwrap_err();
+        assert!(matches!(err, DurabilityError::Io(_)), "torn write surfaces");
+        drop(store);
+
+        // The torn half-frame is truncated; interval 1 (acknowledged)
+        // survives; interval 2 (never acknowledged) is gone and can be
+        // re-appended.
+        let (_, records, mut store, report) =
+            DurableStore::recover_with_io(io, &dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(report.torn.is_some());
+        assert!(report.truncated_bytes > 0);
+        assert_eq!(store.next_seq(), 2);
+        store.append_interval(&interval(2)).unwrap();
+    }
+
+    #[test]
+    fn injected_crash_recovers_through_a_fresh_handle() {
+        use crate::io::{FaultKind, FaultSchedule, FaultyIo};
+
+        let dir = test_dir("store_faulty_crash");
+        let fio = FaultyIo::new(FaultSchedule::none());
+        let io: Arc<dyn StoreIo> = Arc::new(fio.clone());
+        let mut store = DurableStore::create_with_io(
+            Arc::clone(&io),
+            &dir,
+            &tiny_snapshot(0),
+            DurabilityConfig {
+                fsync: FsyncPolicy::Always,
+            },
+        )
+        .unwrap();
+        store.append_interval(&interval(1)).unwrap();
+        fio.inject_now(FaultKind::Crash {
+            partial_write: true,
+        });
+        assert!(store.append_interval(&interval(2)).is_err());
+        // The crashed handle is dead — even recovery fails through it.
+        drop(store);
+        assert!(DurableStore::recover_with_io(io, &dir, DurabilityConfig::default()).is_err());
+
+        // A fresh handle (the restarted process) recovers the acknowledged
+        // prefix and truncates the torn tail the crash left.
+        let (_, records, store, report) =
+            DurableStore::recover(&dir, DurabilityConfig::default()).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(report.truncated_bytes > 0, "torn half-frame truncated");
+        assert_eq!(store.next_seq(), 2);
     }
 }

@@ -17,9 +17,8 @@
 
 use crate::checksum::crc32;
 use crate::format::{FEATURE_FLAGS, FORMAT_VERSION};
+use crate::io::{RealIo, StoreFile, StoreIo};
 use crate::store::DurabilityError;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// The 4-byte magic opening every fgdb durability file.
@@ -134,7 +133,7 @@ pub(crate) fn check_header(bytes: &[u8], kind: u8) -> Result<u16, DurabilityErro
 /// be half-visible in the file; the current engine commits after every
 /// interval record.
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn StoreFile>,
     path: PathBuf,
     policy: FsyncPolicy,
     staged: Vec<u8>,
@@ -153,13 +152,19 @@ impl WalWriter {
     /// Creates a fresh WAL at `path` (truncating any existing file) and
     /// syncs the header.
     pub fn create(path: &Path, policy: FsyncPolicy) -> Result<WalWriter, DurabilityError> {
+        Self::create_with(&RealIo, path, policy)
+    }
+
+    /// [`WalWriter::create`] through an explicit [`StoreIo`] — the seam
+    /// the failpoint harness injects faults through.
+    pub fn create_with(
+        io: &dyn StoreIo,
+        path: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<WalWriter, DurabilityError> {
         let mut header = Vec::new();
         write_header(&mut header, KIND_WAL);
-        let mut file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+        let mut file = io.create(path)?;
         file.write_all(&header)?;
         file.sync_data()?;
         Ok(WalWriter {
@@ -180,10 +185,21 @@ impl WalWriter {
         valid_len: u64,
         policy: FsyncPolicy,
     ) -> Result<WalWriter, DurabilityError> {
-        let file = OpenOptions::new().write(true).open(path)?;
+        Self::open_at_with(&RealIo, path, valid_len, policy)
+    }
+
+    /// [`WalWriter::open_at`] through an explicit [`StoreIo`].
+    pub fn open_at_with(
+        io: &dyn StoreIo,
+        path: &Path,
+        valid_len: u64,
+        policy: FsyncPolicy,
+    ) -> Result<WalWriter, DurabilityError> {
+        let mut file = io.open_rw(path)?;
         file.set_len(valid_len)?;
         file.sync_data()?;
-        let mut w = WalWriter {
+        file.seek_to(valid_len)?;
+        Ok(WalWriter {
             file,
             path: path.to_path_buf(),
             policy,
@@ -191,9 +207,7 @@ impl WalWriter {
             commits_since_sync: 0,
             len: valid_len,
             poisoned: false,
-        };
-        w.file.seek(SeekFrom::Start(valid_len))?;
-        Ok(w)
+        })
     }
 
     /// The log file path.
@@ -354,8 +368,12 @@ pub struct WalScan {
 /// stopping (not erroring) at the first torn or corrupt record — that is
 /// the expected state after a crash mid-append.
 pub fn scan(path: &Path) -> Result<WalScan, DurabilityError> {
-    let mut bytes = Vec::new();
-    File::open(path)?.read_to_end(&mut bytes)?;
+    scan_with(&RealIo, path)
+}
+
+/// [`scan`] through an explicit [`StoreIo`].
+pub fn scan_with(io: &dyn StoreIo, path: &Path) -> Result<WalScan, DurabilityError> {
+    let bytes = io.read(path)?;
     check_header(&bytes, KIND_WAL)?;
     let mut records = Vec::new();
     let mut pos = HEADER_LEN as usize;

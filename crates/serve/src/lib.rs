@@ -16,10 +16,15 @@
 //!   thread per connection. Each connection may *pin* an epoch (`PIN`),
 //!   after which every query it sends runs against that pinned world —
 //!   snapshot isolation across requests — or run unpinned, where each
-//!   query pins the freshest epoch for its own duration. Graceful
+//!   query pins the freshest epoch for its own duration. Overload sheds
+//!   with typed `Unavailable{retry_after_ms}` frames (connection cap,
+//!   degraded sampler) instead of queueing or hanging. Graceful
 //!   shutdown drains workers via a stop flag and a self-connect.
 //! * [`client`] — [`Client`]: the blocking client used by the tests, the
-//!   load generator in `fgdb-bench`, and the `serving` example.
+//!   load generator in `fgdb-bench`, and the `serving` example. Socket
+//!   timeouts surface as typed `Timeout` errors; `query_with_retry`
+//!   backs off exponentially with deterministic jitter, honoring server
+//!   retry hints.
 //!
 //! Queries never touch the sampler's own state: the server holds only an
 //! `EpochReader`, so a slow scan (or a slow client) costs inference
@@ -31,9 +36,9 @@ pub mod client;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError, TableAnswer};
 pub use protocol::{
-    EpochMeta, ErrorCode, ProtocolError, Request, Response, WireError, WireQueryStatus, WireRow,
-    WireStats, WireValue, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    EpochMeta, ErrorCode, Framed, ProtocolError, Request, Response, WireError, WireQueryStatus,
+    WireRow, WireStats, WireValue, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::Server;
+pub use server::{Server, ServerConfig};

@@ -15,6 +15,7 @@
 use fgdb_relational::Value;
 use std::fmt;
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
 /// Protocol version spoken by this build.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -38,6 +39,7 @@ const RESP_STATS: u8 = 2;
 const RESP_PONG: u8 = 3;
 const RESP_PINNED: u8 = 4;
 const RESP_UNPINNED: u8 = 5;
+const RESP_UNAVAILABLE: u8 = 6;
 const RESP_ERROR: u8 = 255;
 
 /// Value tags.
@@ -58,6 +60,16 @@ pub enum ProtocolError {
     VersionMismatch(u8),
     /// The payload does not decode as a valid message.
     Malformed(String),
+    /// The peer sent part of a frame and then stalled past the stall
+    /// budget (see [`read_frame_timeout`]) — a half-open or hostile
+    /// connection, distinct from an *idle* one that has sent nothing.
+    Stalled {
+        /// Frame bytes received before the stall (including the length
+        /// prefix).
+        received: usize,
+        /// Total frame bytes the length prefix promised.
+        needed: usize,
+    },
 }
 
 impl fmt::Display for ProtocolError {
@@ -71,6 +83,10 @@ impl fmt::Display for ProtocolError {
                 write!(f, "peer protocol version {v}, expected {PROTOCOL_VERSION}")
             }
             ProtocolError::Malformed(m) => write!(f, "malformed message: {m}"),
+            ProtocolError::Stalled { received, needed } => write!(
+                f,
+                "peer stalled mid-frame: {received} of {needed} bytes arrived"
+            ),
         }
     }
 }
@@ -191,7 +207,12 @@ pub struct WireStats {
     pub samples: u64,
     /// True while the sampler loop runs.
     pub running: bool,
-    /// The error that killed the loop, when it died.
+    /// True while a supervisor is attempting restart-from-recovery.
+    /// Already-published epochs stay pinnable and readable; only
+    /// freshness is degraded.
+    pub degraded: bool,
+    /// The error that degraded or killed the loop (rendered; cleared
+    /// once a supervisor recovers).
     pub error: Option<String>,
 }
 
@@ -279,6 +300,14 @@ pub enum Response {
     },
     /// The connection dropped its pin.
     Unpinned,
+    /// The server is shedding load (connection cap reached, or a fresh
+    /// epoch was requested while the sampler is degraded) — retry after
+    /// the hinted pause. Overload answers with *this*, never with a hang
+    /// or a dropped connection.
+    Unavailable {
+        /// Suggested client pause before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// The request failed.
     Error(WireError),
 }
@@ -440,6 +469,7 @@ impl Response {
                 put_u64(&mut buf, s.steps);
                 put_u64(&mut buf, s.samples);
                 buf.push(u8::from(s.running));
+                buf.push(u8::from(s.degraded));
                 match &s.error {
                     None => buf.push(0),
                     Some(e) => {
@@ -454,6 +484,10 @@ impl Response {
                 put_meta(&mut buf, meta);
             }
             Response::Unpinned => buf.push(RESP_UNPINNED),
+            Response::Unavailable { retry_after_ms } => {
+                buf.push(RESP_UNAVAILABLE);
+                put_u64(&mut buf, *retry_after_ms);
+            }
             Response::Error(e) => {
                 buf.push(RESP_ERROR);
                 buf.push(e.code.to_byte());
@@ -519,11 +553,15 @@ impl Response {
                 steps: r.u64()?,
                 samples: r.u64()?,
                 running: r.bool()?,
+                degraded: r.bool()?,
                 error: if r.bool()? { Some(r.str()?) } else { None },
             }),
             RESP_PONG => Response::Pong,
             RESP_PINNED => Response::Pinned { meta: r.meta()? },
             RESP_UNPINNED => Response::Unpinned,
+            RESP_UNAVAILABLE => Response::Unavailable {
+                retry_after_ms: r.u64()?,
+            },
             RESP_ERROR => Response::Error(WireError {
                 code: ErrorCode::from_byte(r.u8()?)?,
                 offset: if r.bool()? { Some(r.u64()?) } else { None },
@@ -722,6 +760,106 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     Ok(Some(payload))
 }
 
+/// What one timeout-aware frame read produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Framed {
+    /// One complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean EOF before any byte of a frame arrived.
+    Eof,
+    /// The socket's read timeout expired before any byte of a frame
+    /// arrived: the connection is idle, not broken. Poll again.
+    Idle,
+}
+
+/// Reads one frame from a stream whose read timeout is set, separating
+/// the three cases a timeout can mean:
+///
+/// * timeout **before any byte** of a frame → [`Framed::Idle`] — the
+///   peer simply has nothing to say; callers poll their stop flag and
+///   try again;
+/// * timeout **mid-frame**, with `stall_budget` not yet exhausted →
+///   keep reading (a slow peer is allowed to dribble);
+/// * stalled mid-frame **past the budget** → [`ProtocolError::Stalled`]
+///   — a half-open or hostile peer; the connection must be closed,
+///   because resuming the poll loop here would desynchronize the stream
+///   (the next read would misparse leftover payload bytes as a length
+///   prefix).
+///
+/// The plain [`read_frame`] treats every timeout as an error, which is
+/// right for a client awaiting a response but wrong for a server poll
+/// loop; the server reads through this instead.
+pub fn read_frame_timeout(
+    r: &mut impl Read,
+    stall_budget: Duration,
+) -> Result<Framed, ProtocolError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0usize;
+    // The stall clock starts at the first byte of the frame; an idle
+    // connection never starts it.
+    let mut started: Option<Instant> = None;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(Framed::Eof);
+                }
+                return Err(ProtocolError::Malformed("EOF inside frame length".into()));
+            }
+            Ok(n) => {
+                filled += n;
+                started.get_or_insert_with(Instant::now);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                match started {
+                    None => return Ok(Framed::Idle),
+                    Some(t0) if t0.elapsed() >= stall_budget => {
+                        return Err(ProtocolError::Stalled {
+                            received: filled,
+                            needed: 4,
+                        });
+                    }
+                    Some(_) => continue,
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    let started = started.unwrap_or_else(Instant::now);
+    let mut payload = vec![0u8; len as usize];
+    let mut got = 0usize;
+    while got < len as usize {
+        match r.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(ProtocolError::Malformed("EOF inside frame payload".into()));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if started.elapsed() >= stall_budget {
+                    return Err(ProtocolError::Stalled {
+                        received: 4 + got,
+                        needed: 4 + len as usize,
+                    });
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Framed::Frame(payload))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -803,6 +941,7 @@ mod tests {
             steps: 100,
             samples: 10,
             running: true,
+            degraded: false,
             error: None,
         }));
         roundtrip_response(Response::Stats(WireStats {
@@ -810,11 +949,15 @@ mod tests {
             steps: 100,
             samples: 10,
             running: false,
+            degraded: true,
             error: Some("chain died".into()),
         }));
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Pinned { meta: meta() });
         roundtrip_response(Response::Unpinned);
+        roundtrip_response(Response::Unavailable {
+            retry_after_ms: 250,
+        });
         roundtrip_response(Response::Error(WireError {
             code: ErrorCode::Parse,
             offset: Some(17),
@@ -890,5 +1033,80 @@ mod tests {
         partial.truncate(6);
         let mut cursor = std::io::Cursor::new(partial);
         assert!(read_frame(&mut cursor).is_err());
+    }
+
+    /// A peer that serves `data` and then stalls forever (every further
+    /// read times out, as on a socket with a read timeout).
+    struct StallingPeer {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for StallingPeer {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "stalled",
+                ));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_reads_distinguish_idle_eof_and_stall() {
+        let budget = Duration::from_millis(5);
+
+        // Nothing sent at all: idle, poll again — NOT an error.
+        let mut idle = StallingPeer {
+            data: vec![],
+            pos: 0,
+        };
+        assert_eq!(read_frame_timeout(&mut idle, budget).unwrap(), Framed::Idle);
+
+        // A whole frame followed by silence: the frame, then idle.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut peer = StallingPeer { data: buf, pos: 0 };
+        assert_eq!(
+            read_frame_timeout(&mut peer, budget).unwrap(),
+            Framed::Frame(b"hello".to_vec())
+        );
+        assert_eq!(read_frame_timeout(&mut peer, budget).unwrap(), Framed::Idle);
+
+        // Clean EOF before any byte.
+        let mut eof = std::io::Cursor::new(Vec::new());
+        assert_eq!(read_frame_timeout(&mut eof, budget).unwrap(), Framed::Eof);
+
+        // Length prefix then stall: typed Stalled, never Idle — treating
+        // this as an idle poll tick is the desync bug this API fixes.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        buf.truncate(7); // 4-byte length + 3 payload bytes, then silence
+        let mut peer = StallingPeer { data: buf, pos: 0 };
+        match read_frame_timeout(&mut peer, budget) {
+            Err(ProtocolError::Stalled { received, needed }) => {
+                assert_eq!(received, 7);
+                assert_eq!(needed, 10);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
+
+        // Two bytes of the length prefix itself, then silence.
+        let mut peer = StallingPeer {
+            data: vec![6, 0],
+            pos: 0,
+        };
+        match read_frame_timeout(&mut peer, budget) {
+            Err(ProtocolError::Stalled { received, needed }) => {
+                assert_eq!(received, 2);
+                assert_eq!(needed, 4);
+            }
+            other => panic!("expected Stalled, got {other:?}"),
+        }
     }
 }

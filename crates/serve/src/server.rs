@@ -1,5 +1,5 @@
-//! The TCP server: accept loop, per-connection workers, graceful
-//! shutdown.
+//! The TCP server: accept loop, per-connection workers, overload
+//! shedding, graceful shutdown.
 //!
 //! The server owns nothing but an [`EpochReader`] — the sampler keeps
 //! running whether or not a server fronts it, and a worker answering a
@@ -15,26 +15,88 @@
 //!   epoch-pinning contract;
 //! * malformed frames produce an error *response* where possible and
 //!   close only that connection — a hostile client cannot take down the
-//!   process (protocol decode is total; query evaluation returns typed
-//!   errors by the bugfix sweep in this PR);
+//!   process. A peer that starts a frame and stalls is cut off after
+//!   [`ServerConfig::stall_budget`] (continuing to poll there would
+//!   desynchronize the stream — see
+//!   [`read_frame_timeout`]);
+//! * **overload sheds, it never queues silently**: past
+//!   [`ServerConfig::max_connections`] live connections, an excess accept
+//!   is answered with one typed [`Response::Unavailable`] frame carrying
+//!   a retry hint, then closed. Likewise, while the sampler is degraded
+//!   (mid restart-from-recovery) requests for *fresh* state — `PIN` and
+//!   unpinned queries — answer `Unavailable`; an explicitly pinned
+//!   connection keeps reading its immutable epoch, because degradation
+//!   is about freshness, never about consistency;
 //! * [`Server::stop`] flips the stop flag, self-connects to unblock
 //!   `accept`, and joins the accept loop and every worker.
 
 use crate::protocol::{
-    read_frame, write_frame, EpochMeta, ErrorCode, ProtocolError, Request, Response, WireError,
-    WireQueryStatus, WireRow, WireStats, WireValue,
+    read_frame_timeout, write_frame, EpochMeta, ErrorCode, Framed, ProtocolError, Request,
+    Response, WireError, WireQueryStatus, WireRow, WireStats, WireValue,
 };
-use fgdb_core::{EpochReader, EpochSnapshot, EvaluateError, QueryError, QueryStatus};
+use fgdb_core::{EpochReader, EpochSnapshot, EvaluateError, QueryError, QueryStatus, SamplerState};
 use fgdb_relational::QueryResult;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long a worker blocks in `read` before re-checking the stop flag.
-const READ_POLL: Duration = Duration::from_millis(50);
+/// Server tuning knobs; [`ServerConfig::default`] suits tests and small
+/// deployments.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Live connections served concurrently; excess accepts are answered
+    /// with [`Response::Unavailable`] and closed (`FGDB_MAX_CONNS`).
+    pub max_connections: usize,
+    /// How long a worker blocks in `read` before re-checking the stop
+    /// flag on an idle connection.
+    pub read_poll: Duration,
+    /// How long a peer may dawdle *mid-frame* before the connection is
+    /// closed as stalled.
+    pub stall_budget: Duration,
+    /// Socket write timeout: a client that stops draining its socket
+    /// cannot park a worker forever.
+    pub write_timeout: Duration,
+    /// The retry hint carried by every [`Response::Unavailable`], in
+    /// milliseconds.
+    pub retry_after_ms: u64,
+    /// Whether to shed fresh-state requests (`PIN`, unpinned queries)
+    /// while the sampler is degraded. Pinned reads always keep working.
+    pub shed_degraded: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            read_poll: Duration::from_millis(50),
+            stall_budget: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(2),
+            retry_after_ms: 100,
+            shed_degraded: true,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Environment overrides: `FGDB_MAX_CONNS`, `FGDB_RETRY_AFTER_MS`.
+    pub fn from_env() -> Self {
+        let mut config = ServerConfig::default();
+        if let Some(n) = env_usize("FGDB_MAX_CONNS") {
+            config.max_connections = n.max(1);
+        }
+        if let Some(ms) = env_usize("FGDB_RETRY_AFTER_MS") {
+            config.retry_after_ms = ms as u64;
+        }
+        config
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
 
 /// A running TCP server over one [`EpochReader`].
 pub struct Server {
@@ -46,9 +108,16 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the accept loop. Each connection is served by its own
-    /// worker thread until the client disconnects or [`Server::stop`].
+    /// starts the accept loop with default tuning plus environment
+    /// overrides ([`ServerConfig::from_env`]). Each connection is served
+    /// by its own worker thread until the client disconnects or
+    /// [`Server::stop`].
     pub fn start(reader: EpochReader, addr: &str) -> io::Result<Server> {
+        Self::start_with(reader, addr, ServerConfig::from_env())
+    }
+
+    /// [`Server::start`] with explicit tuning.
+    pub fn start_with(reader: EpochReader, addr: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -58,7 +127,7 @@ impl Server {
         let a_workers = Arc::clone(&workers);
         let accept = std::thread::Builder::new()
             .name("fgdb-serve-accept".into())
-            .spawn(move || accept_loop(listener, reader, a_stop, a_workers))?;
+            .spawn(move || accept_loop(listener, reader, config, a_stop, a_workers))?;
 
         Ok(Server {
             addr: local,
@@ -104,12 +173,24 @@ impl Drop for Server {
     }
 }
 
+/// Decrements the live-connection count when a worker exits, however it
+/// exits.
+struct ConnGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 fn accept_loop(
     listener: TcpListener,
     reader: EpochReader,
+    config: ServerConfig,
     stop: Arc<AtomicBool>,
     workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
+    let live = Arc::new(AtomicUsize::new(0));
     loop {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
@@ -123,26 +204,60 @@ fn accept_loop(
         if stop.load(Ordering::Acquire) {
             return;
         }
+        // At the cap: answer one typed Unavailable frame and close, so
+        // the excess client learns *when* to come back instead of
+        // queueing invisibly or timing out against silence.
+        if live.load(Ordering::Acquire) >= config.max_connections {
+            shed(stream, &config);
+            continue;
+        }
+        live.fetch_add(1, Ordering::AcqRel);
+        let guard = ConnGuard(Arc::clone(&live));
         let w_reader = reader.clone();
         let w_stop = Arc::clone(&stop);
         let handle = std::thread::Builder::new()
             .name("fgdb-serve-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, w_reader, w_stop);
+                let _guard = guard;
+                let _ = serve_connection(stream, w_reader, config, w_stop);
             });
-        if let Ok(h) = handle {
-            workers.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+        match handle {
+            Ok(h) => {
+                let mut guard = workers.lock().unwrap_or_else(|e| e.into_inner());
+                // Reap finished workers so a long-lived server's handle
+                // list tracks live connections, not historical ones.
+                guard.retain(|w| !w.is_finished());
+                guard.push(h);
+            }
+            Err(_) => {
+                // Spawn failed: the guard moved into the closure was
+                // never run, so the count was already released by drop.
+            }
         }
     }
+}
+
+/// Answers one `Unavailable` frame on an excess connection, best effort.
+fn shed(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let _ = write_frame(
+        &mut stream,
+        &Response::Unavailable {
+            retry_after_ms: config.retry_after_ms,
+        }
+        .encode(),
+    );
 }
 
 /// Serves one connection until EOF, a fatal protocol error, or stop.
 fn serve_connection(
     mut stream: TcpStream,
     reader: EpochReader,
+    config: ServerConfig,
     stop: Arc<AtomicBool>,
 ) -> Result<(), ProtocolError> {
-    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_read_timeout(Some(config.read_poll))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true)?;
     // The connection's pinned epoch, when `PIN`ned.
     let mut pinned: Option<Arc<EpochSnapshot>> = None;
@@ -150,18 +265,27 @@ fn serve_connection(
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let payload = match read_frame(&mut stream) {
-            Ok(Some(p)) => p,
-            Ok(None) => return Ok(()), // client closed cleanly
-            Err(ProtocolError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue; // idle poll tick: re-check the stop flag
+        let payload = match read_frame_timeout(&mut stream, config.stall_budget) {
+            Ok(Framed::Frame(p)) => p,
+            Ok(Framed::Eof) => return Ok(()), // client closed cleanly
+            Ok(Framed::Idle) => continue,     // idle poll tick: re-check the stop flag
+            Err(e @ ProtocolError::Stalled { .. }) => {
+                // Half-open or hostile peer: tell it why (best effort)
+                // and close. The stream position is mid-frame, so the
+                // connection cannot be resumed.
+                let resp = Response::Error(WireError {
+                    code: ErrorCode::Protocol,
+                    offset: None,
+                    message: e.to_string(),
+                    rendered: e.to_string(),
+                });
+                let _ = write_frame(&mut stream, &resp.encode());
+                return Err(e);
             }
             Err(e) => return Err(e),
         };
         let response = match Request::decode(&payload) {
-            Ok(req) => handle_request(req, &reader, &mut pinned),
+            Ok(req) => handle_request(req, &reader, &config, &mut pinned),
             // A decodable-length frame with garbage inside gets a typed
             // error response; the connection survives.
             Err(e) => Response::Error(WireError {
@@ -178,8 +302,18 @@ fn serve_connection(
 fn handle_request(
     req: Request,
     reader: &EpochReader,
+    config: &ServerConfig,
     pinned: &mut Option<Arc<EpochSnapshot>>,
 ) -> Response {
+    // While the sampler is degraded (or dead), fresh-state requests shed
+    // with a retry hint; pinned reads and health probes still answer. A
+    // *gracefully stopped* sampler keeps serving its final epoch — only
+    // fault states shed.
+    let shed_fresh = config.shed_degraded
+        && matches!(
+            reader.status().state,
+            SamplerState::Degraded { .. } | SamplerState::Failed
+        );
     match req {
         Request::Ping => Response::Pong,
         Request::Stats => {
@@ -189,10 +323,16 @@ fn handle_request(
                 steps: s.steps,
                 samples: s.samples,
                 running: s.running,
-                error: s.error,
+                degraded: s.state.is_degraded(),
+                error: s.error.map(|e| e.to_string()),
             })
         }
         Request::Pin => {
+            if shed_fresh {
+                return Response::Unavailable {
+                    retry_after_ms: config.retry_after_ms,
+                };
+            }
             let snap = reader.pin();
             let meta = meta_of(&snap);
             *pinned = Some(snap);
@@ -205,14 +345,30 @@ fn handle_request(
         Request::Query { sql } => {
             // A pinned connection reads its pinned world; otherwise pin
             // the freshest epoch for just this request.
-            let snap = pinned.clone().unwrap_or_else(|| reader.pin());
+            let snap = match pinned.clone() {
+                Some(snap) => snap,
+                None if shed_fresh => {
+                    return Response::Unavailable {
+                        retry_after_ms: config.retry_after_ms,
+                    };
+                }
+                None => reader.pin(),
+            };
             match snap.query(&sql) {
                 Ok(result) => table_response(&snap, result),
                 Err(e) => Response::Error(wire_error(e, &sql)),
             }
         }
         Request::Status { name } => {
-            let snap = pinned.clone().unwrap_or_else(|| reader.pin());
+            let snap = match pinned.clone() {
+                Some(snap) => snap,
+                None if shed_fresh => {
+                    return Response::Unavailable {
+                        retry_after_ms: config.retry_after_ms,
+                    };
+                }
+                None => reader.pin(),
+            };
             match snap.status(&name) {
                 Some(status) => Response::Status {
                     meta: meta_of(&snap),

@@ -73,8 +73,8 @@ pub mod prelude {
         truth_database, AnswerRow, DurabilityConfig, DurableError, DurablePdb, EngineAnswer,
         EngineConfig, EngineReport, EpochReader, EpochSnapshot, FieldBinding, FsyncPolicy,
         LiveSampler, LossCurve, MarginalTable, NerProposerConfig, ParallelEngine, ProbabilisticDB,
-        QueryEvaluator, QueryStatus, RecoveryReport, SamplerStatus, ServingConfig, ServingError,
-        ValueDistribution,
+        QueryEvaluator, QueryStatus, RecoveryReport, SamplerState, SamplerStatus, ServingConfig,
+        ServingError, SupervisedSampler, SupervisorConfig, ValueDistribution,
     };
     pub use fgdb_graph::{
         Domain, EvalStats, FactorGraph, FeatureVector, Learnable, Model, TableFactor, VariableId,
