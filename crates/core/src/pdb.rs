@@ -16,8 +16,8 @@
 //! maintenance.
 
 use crate::evaluate::EvaluateError;
-use fgdb_graph::{Model, World};
-use fgdb_mcmc::{Chain, KernelStats, NetChange, Proposer};
+use fgdb_graph::{FactorSpans, Model, ShardMap, VariableId, World};
+use fgdb_mcmc::{Chain, KernelStats, NetChange, Proposer, ShardedSampler};
 use fgdb_relational::{
     compile_query, execute, Database, DeltaSet, ExecStats, QueryResult, RowId, Value,
 };
@@ -293,6 +293,83 @@ impl<M: Model> ProbabilisticDB<M> {
             self.chain.world_mut().set(v, new_idx);
         }
         self.write_back(changes)
+    }
+
+    /// Builds a sharded sampler over this database's model and current
+    /// world: one independent MH walker per shard of `map`, each confined
+    /// to its shard's variables (see [`fgdb_mcmc::sharded`]). The map is
+    /// validated against the model first — a factor spanning two shards
+    /// would let a walker score against stale foreign state, so such maps
+    /// are rejected here rather than sampled incorrectly.
+    ///
+    /// The sampler runs *off* the database; drive it with
+    /// [`Self::step_sharded`] to merge its per-shard delta batches back
+    /// into this store. Must be called at an interval boundary (no pending
+    /// chain changes), which the public API guarantees.
+    ///
+    /// # Errors
+    /// Returns an error when the map does not cover the world's variables
+    /// or a factor's scope crosses a shard boundary.
+    pub fn sharded_sampler(
+        &self,
+        map: Arc<ShardMap>,
+        proposer_for: impl FnMut(usize, &[VariableId]) -> Box<dyn Proposer>,
+        base_seed: u64,
+    ) -> Result<ShardedSampler<M>, String>
+    where
+        M: Clone + FactorSpans,
+    {
+        map.validate(self.model())
+            .map_err(|e| format!("shard map rejected: {e}"))?;
+        ShardedSampler::new(self.model(), self.world(), map, proposer_for, base_seed)
+            .map_err(|e| format!("sharded sampler: {e}"))
+    }
+
+    /// [`Self::step`] over a sharded sampler: runs `k` MH walk-steps in
+    /// *every* shard, merges the per-shard net-change batches into one
+    /// interval batch (disjoint by construction — each variable belongs to
+    /// exactly one shard), and drives it through the same validated
+    /// write-back as the sequential path. With a single shard this is
+    /// bit-for-bit equivalent to [`Self::step`].
+    ///
+    /// # Errors
+    /// As [`Self::apply_logged_interval`]. On error the interval is rolled
+    /// back *and* the sampler is re-synchronized from the master world, so
+    /// both sides remain usable.
+    pub fn step_sharded(
+        &mut self,
+        sampler: &mut ShardedSampler<M>,
+        k: usize,
+    ) -> Result<DeltaSet, EvaluateError>
+    where
+        M: Clone,
+    {
+        self.step_sharded_logged(sampler, k).map(|(d, _)| d)
+    }
+
+    /// [`Self::step_sharded`], additionally returning the merged net
+    /// changes — the same replay script [`Self::step_logged`] yields, so
+    /// the durability layer logs sharded intervals identically.
+    pub fn step_sharded_logged(
+        &mut self,
+        sampler: &mut ShardedSampler<M>,
+        k: usize,
+    ) -> Result<(DeltaSet, Vec<NetChange>), EvaluateError>
+    where
+        M: Clone,
+    {
+        sampler.walk(k);
+        let changes = sampler.drain_merged();
+        match self.apply_logged_interval(&changes) {
+            Ok(deltas) => Ok((deltas, changes)),
+            Err(e) => {
+                // The merge point rejected the batch (foreign sampler,
+                // desynced walker). Snap every walker back to the master
+                // world so the next interval starts from agreed state.
+                sampler.resync_from(self.chain.world());
+                Err(e)
+            }
+        }
     }
 
     /// The variable ↔ field binding.

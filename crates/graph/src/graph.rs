@@ -13,17 +13,50 @@ use crate::factor::Factor;
 use crate::model::{EvalStats, Model};
 use crate::variable::VariableId;
 use crate::world::World;
-use std::sync::Mutex;
+use std::cell::RefCell;
 
 /// Reusable dedup scratch for [`FactorGraph::score_neighborhood`]: a
 /// generation-stamped seen buffer. Marking a factor seen is one store;
 /// resetting between calls is one generation bump — no clearing, no
 /// per-step allocation, no O(d²) `Vec::contains` scans.
+///
+/// The scratch is **thread-local** (see [`SEEN`]): concurrent shard walkers
+/// sharing one graph via `Arc` each get their own buffer, so the parallel
+/// path never contends and never allocates in steady state. (An earlier
+/// revision kept the scratch behind a `Mutex` with an allocating `try_lock`
+/// fallback — under concurrent walkers every contended scorer silently
+/// allocated per call.)
 #[derive(Default)]
 struct SeenScratch {
     /// `stamp[f] == gen` ⇔ factor f already scored in the current call.
     stamp: Vec<u32>,
     gen: u32,
+    /// Diagnostic: times `stamp` grew. Steady state performs none — the
+    /// contention regression test asserts this stays flat per thread.
+    resizes: u64,
+}
+
+thread_local! {
+    /// One dedup scratch per thread, shared by every graph scored on that
+    /// thread: the per-call generation bump isolates calls, so stamps left
+    /// by another graph are always stale.
+    static SEEN: RefCell<SeenScratch> = RefCell::new(SeenScratch::default());
+    /// Times this thread ran the re-entrancy fallback (see
+    /// `score_neighborhood`). Kept outside [`SEEN`] because it is counted
+    /// exactly when that cell is unavailable. Thread-locality makes
+    /// cross-thread contention impossible, so this can only fire on
+    /// re-entrant scoring from inside a factor — the contention regression
+    /// test asserts zero under parallel load.
+    static SEEN_FALLBACKS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// This thread's `(resizes, fallbacks)` scratch counters — diagnostics for
+/// the allocation-free-scoring regression test. Counters are per-thread, so
+/// a test owns its workers' numbers regardless of what other threads do.
+pub fn seen_scratch_counters() -> (u64, u64) {
+    let resizes = SEEN.with(|cell| cell.borrow().resizes);
+    let fallbacks = SEEN_FALLBACKS.with(std::cell::Cell::get);
+    (resizes, fallbacks)
 }
 
 /// An explicit factor graph with adjacency indexing.
@@ -33,10 +66,6 @@ pub struct FactorGraph {
     /// `adjacency[v]` lists the factor indexes touching variable v, each
     /// factor at most once (deduplicated at insertion).
     adjacency: Vec<Vec<u32>>,
-    /// Interior scratch shared by `score_neighborhood` calls. A `Mutex` so
-    /// the graph stays `Sync` (parallel chains share one model via `Arc`);
-    /// contended callers fall back to a local buffer rather than blocking.
-    seen: Mutex<SeenScratch>,
 }
 
 impl FactorGraph {
@@ -109,13 +138,41 @@ impl Model for FactorGraph {
         }
         // Deduplicate factors shared between changed variables so each is
         // counted exactly once, as required by the MH ratio of Appendix 9.2.
-        // The generation-stamped scratch makes this O(Σ degree) with zero
-        // steady-state allocation. A contended lock (parallel chains sharing
-        // the model) degrades to the small seen-list scan rather than
-        // blocking — or allocating a graph-sized stamp buffer per call.
-        let mut guard = match self.seen.try_lock() {
-            Ok(g) => g,
+        // The generation-stamped thread-local scratch makes this O(Σ degree)
+        // with zero steady-state allocation on every thread — concurrent
+        // shard walkers never contend. `try_borrow_mut` only fails on
+        // re-entrant scoring (a factor's own `log_score` calling back into
+        // `score_neighborhood`); that degenerate path falls back to a small
+        // seen-list scan.
+        SEEN.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => {
+                scratch.gen = scratch.gen.wrapping_add(1);
+                if scratch.gen == 0 {
+                    // Generation counter wrapped: old stamps could alias. Reset.
+                    scratch.stamp.iter_mut().for_each(|s| *s = 0);
+                    scratch.gen = 1;
+                }
+                if scratch.stamp.len() < self.factors.len() {
+                    scratch.resizes += 1;
+                    let n = self.factors.len();
+                    scratch.stamp.resize(n, 0);
+                }
+                let gen = scratch.gen;
+                for v in vars {
+                    for &fi in self.factors_of(*v) {
+                        let slot = &mut scratch.stamp[fi as usize];
+                        if *slot == gen {
+                            continue;
+                        }
+                        *slot = gen;
+                        stats.factors_evaluated += 1;
+                        sum += self.factors[fi as usize].log_score(world);
+                    }
+                }
+                sum
+            }
             Err(_) => {
+                SEEN_FALLBACKS.with(|c| c.set(c.get() + 1));
                 let mut seen: Vec<u32> = Vec::with_capacity(vars.len() * 2);
                 for v in vars {
                     for &fi in self.factors_of(*v) {
@@ -127,31 +184,9 @@ impl Model for FactorGraph {
                         sum += self.factors[fi as usize].log_score(world);
                     }
                 }
-                return sum;
+                sum
             }
-        };
-        let scratch: &mut SeenScratch = &mut guard;
-        scratch.gen = scratch.gen.wrapping_add(1);
-        if scratch.gen == 0 {
-            // Generation counter wrapped: old stamps could alias. Reset.
-            scratch.stamp.iter_mut().for_each(|s| *s = 0);
-            scratch.gen = 1;
-        }
-        if scratch.stamp.len() < self.factors.len() {
-            scratch.stamp.resize(self.factors.len(), 0);
-        }
-        for v in vars {
-            for &fi in self.factors_of(*v) {
-                let slot = &mut scratch.stamp[fi as usize];
-                if *slot == scratch.gen {
-                    continue;
-                }
-                *slot = scratch.gen;
-                stats.factors_evaluated += 1;
-                sum += self.factors[fi as usize].log_score(world);
-            }
-        }
-        sum
+        })
     }
 }
 
@@ -253,6 +288,44 @@ mod tests {
             let n = g.score_neighborhood(&w, &[VariableId(0), VariableId(1)], &mut s);
             assert_eq!(s.factors_evaluated, 3);
             assert_eq!(n, 2.0);
+        }
+    }
+
+    #[test]
+    fn concurrent_scoring_is_allocation_free_after_warmup() {
+        // Regression test for the shared-`Mutex` scratch: under concurrent
+        // walkers the old `try_lock` fallback silently allocated on every
+        // contended multi-variable scoring. With the thread-local scratch,
+        // after one warm-up call per thread, heavy parallel scoring must
+        // perform zero scratch growth and never take any fallback path.
+        use std::sync::Arc;
+        let (g, w) = chain();
+        let g = Arc::new(g);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let g = Arc::clone(&g);
+                let w = w.clone();
+                std::thread::spawn(move || {
+                    let mut s = EvalStats::default();
+                    // Warm up: the thread's scratch grows to graph size once.
+                    g.score_neighborhood(&w, &[VariableId(0), VariableId(1)], &mut s);
+                    let (resizes, fallbacks) = seen_scratch_counters();
+                    for _ in 0..10_000 {
+                        let mut s = EvalStats::default();
+                        let n = g.score_neighborhood(&w, &[VariableId(0), VariableId(1)], &mut s);
+                        // Dedup stays exact under concurrency.
+                        assert_eq!(s.factors_evaluated, 3);
+                        assert_eq!(n, 2.0);
+                    }
+                    let (resizes_after, fallbacks_after) = seen_scratch_counters();
+                    assert_eq!(resizes_after, resizes, "scratch reallocated mid-run");
+                    assert_eq!(fallbacks_after, fallbacks, "fallback path fired");
+                    assert_eq!(fallbacks_after, 0, "no fallback may ever fire here");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
         }
     }
 

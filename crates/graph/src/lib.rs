@@ -6,8 +6,10 @@
 //! ([`factor`]), explicit factor graphs with adjacency ([`graph`]), the lazy
 //! [`model::Model`] abstraction whose `score_neighborhood` realizes the
 //! factor-cancellation identity of Appendix 9.2, sparse features for
-//! SampleRank learning ([`feature`]), and exact inference by enumeration for
-//! test-scale ground truth ([`enumerate`]).
+//! SampleRank learning ([`feature`]), exact inference by enumeration for
+//! test-scale ground truth ([`enumerate`]), and variable partitioning with
+//! no-factor-spans-shards validation for parallel intra-world sampling
+//! ([`shard`]).
 
 pub mod enumerate;
 pub mod error;
@@ -15,6 +17,7 @@ pub mod factor;
 pub mod feature;
 pub mod graph;
 pub mod model;
+pub mod shard;
 pub mod variable;
 pub mod world;
 
@@ -23,5 +26,6 @@ pub use factor::{log_linear, Factor, FnFactor, TableFactor};
 pub use feature::{FeatureVector, Learnable};
 pub use graph::FactorGraph;
 pub use model::{EvalStats, Model};
+pub use shard::{FactorSpans, ShardError, ShardMap};
 pub use variable::{Domain, VariableId};
 pub use world::World;

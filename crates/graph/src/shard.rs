@@ -1,0 +1,445 @@
+//! Sharding the factor graph for parallel intra-world sampling.
+//!
+//! §5.1 of the paper structures the NER model so that no factor crosses a
+//! document boundary (transitions and skip edges are built per document).
+//! That independence is exactly what lets one world be walked by several
+//! MH chains at once: partition the variables so every factor's scope lies
+//! inside a single part, and the neighborhood score of any proposal in part
+//! `s` depends only on variables of part `s` — walkers over distinct parts
+//! compose into a single valid chain over the joint world.
+//!
+//! [`ShardMap`] is that partition, [`FactorSpans`] is the model-side
+//! enumeration of factor scopes it is validated against, and
+//! [`ShardMap::validate`] is the proof obligation: **no factor spans
+//! shards**. Everything downstream (per-shard walkers, delta queues, the
+//! single merge point) relies on this invariant.
+
+use crate::graph::FactorGraph;
+use crate::variable::VariableId;
+use std::fmt;
+use std::ops::Range;
+
+/// Errors constructing or validating a [`ShardMap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardError {
+    /// A map needs at least one variable and one shard.
+    Empty,
+    /// More shards requested than groups (or variables) to fill them.
+    TooManyShards { shards: usize, groups: usize },
+    /// Shard ids must be dense: every shard in `0..num_shards` non-empty.
+    EmptyShard(u32),
+    /// Groups passed to [`ShardMap::by_contiguous_groups`] must tile
+    /// `0..num_variables` without gaps or overlaps.
+    NonContiguousGroups { expected_start: usize, got: usize },
+    /// A factor's scope crosses a shard boundary — the partition is not a
+    /// valid sharding of this model.
+    SpanningFactor {
+        a: VariableId,
+        shard_a: u32,
+        b: VariableId,
+        shard_b: u32,
+    },
+    /// A factor references a variable outside the map.
+    UnmappedVariable(VariableId),
+    /// The map covers a different number of variables than the world.
+    WorldMismatch { map_vars: usize, world_vars: usize },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Empty => write!(f, "shard map needs at least one variable and shard"),
+            ShardError::TooManyShards { shards, groups } => {
+                write!(f, "{shards} shards requested but only {groups} groups")
+            }
+            ShardError::EmptyShard(s) => write!(f, "shard {s} has no variables"),
+            ShardError::NonContiguousGroups {
+                expected_start,
+                got,
+            } => write!(
+                f,
+                "groups must tile the variable range: expected start {expected_start}, got {got}"
+            ),
+            ShardError::SpanningFactor {
+                a,
+                shard_a,
+                b,
+                shard_b,
+            } => write!(
+                f,
+                "factor spans shards: {a} in shard {shard_a}, {b} in shard {shard_b}"
+            ),
+            ShardError::UnmappedVariable(v) => {
+                write!(f, "factor references {v}, which is outside the shard map")
+            }
+            ShardError::WorldMismatch {
+                map_vars,
+                world_vars,
+            } => write!(
+                f,
+                "shard map covers {map_vars} variables but world has {world_vars}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Enumeration of every multi-variable factor scope of a model, for shard
+/// validation. Unary factors may be skipped — a single-variable scope cannot
+/// span shards.
+///
+/// Explicit graphs iterate their factor list; lazy models (the CRF) iterate
+/// their pair templates (transitions, skip edges) without materializing
+/// factor objects.
+pub trait FactorSpans {
+    /// Calls `f` once per factor with that factor's variable scope.
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId]));
+}
+
+impl<T: FactorSpans + ?Sized> FactorSpans for &T {
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId])) {
+        (**self).for_each_factor_span(f)
+    }
+}
+
+impl<T: FactorSpans + ?Sized> FactorSpans for Box<T> {
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId])) {
+        (**self).for_each_factor_span(f)
+    }
+}
+
+impl<T: FactorSpans + ?Sized> FactorSpans for std::sync::Arc<T> {
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId])) {
+        (**self).for_each_factor_span(f)
+    }
+}
+
+impl FactorSpans for FactorGraph {
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId])) {
+        for i in 0..self.num_factors() {
+            f(self.factor(i).variables());
+        }
+    }
+}
+
+/// A partition of the hidden variables into `num_shards` dense, non-empty
+/// parts. Validated against a model with [`ShardMap::validate`] before any
+/// parallel walking begins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `shard_of[v]` is the shard of variable `v`.
+    shard_of: Vec<u32>,
+    /// Variables of each shard, ascending.
+    shards: Vec<Vec<VariableId>>,
+}
+
+impl ShardMap {
+    /// The trivial single-shard map: every variable in shard 0. A sharded
+    /// sampler over this map is definitionally the sequential sampler.
+    ///
+    /// # Errors
+    /// [`ShardError::Empty`] when there are no variables.
+    pub fn single(num_variables: usize) -> Result<Self, ShardError> {
+        ShardMap::from_assignment(vec![0; num_variables])
+    }
+
+    /// Builds a map from an explicit per-variable shard assignment. Shard
+    /// ids must be dense: every shard in `0..=max` non-empty.
+    ///
+    /// # Errors
+    /// [`ShardError::Empty`] on an empty assignment, [`ShardError::EmptyShard`]
+    /// when a shard id below the maximum has no variables.
+    pub fn from_assignment(shard_of: Vec<u32>) -> Result<Self, ShardError> {
+        if shard_of.is_empty() {
+            return Err(ShardError::Empty);
+        }
+        let num_shards = shard_of.iter().max().copied().unwrap_or(0) as usize + 1;
+        let mut shards: Vec<Vec<VariableId>> = vec![Vec::new(); num_shards];
+        for (v, &s) in shard_of.iter().enumerate() {
+            shards[s as usize].push(VariableId(v as u32));
+        }
+        if let Some(empty) = shards.iter().position(Vec::is_empty) {
+            return Err(ShardError::EmptyShard(empty as u32));
+        }
+        Ok(ShardMap { shard_of, shards })
+    }
+
+    /// Partitions contiguous variable groups (one per document) into
+    /// `num_shards` contiguous, size-balanced shards: greedy accumulation
+    /// toward `remaining_vars / remaining_shards`, never splitting a group.
+    /// Contiguity keeps each shard's working set a single slice of the
+    /// world — the cache-locality property the sharded bench measures.
+    ///
+    /// # Errors
+    /// [`ShardError::Empty`] when `groups` or `num_shards` is zero or a
+    /// group is empty, [`ShardError::TooManyShards`] when shards outnumber
+    /// groups, [`ShardError::NonContiguousGroups`] when the groups do not
+    /// tile `0..n` in order.
+    pub fn by_contiguous_groups(
+        groups: &[Range<usize>],
+        num_shards: usize,
+    ) -> Result<Self, ShardError> {
+        if groups.is_empty() || num_shards == 0 {
+            return Err(ShardError::Empty);
+        }
+        if num_shards > groups.len() {
+            return Err(ShardError::TooManyShards {
+                shards: num_shards,
+                groups: groups.len(),
+            });
+        }
+        let mut expected = 0usize;
+        for g in groups {
+            if g.start != expected {
+                return Err(ShardError::NonContiguousGroups {
+                    expected_start: expected,
+                    got: g.start,
+                });
+            }
+            if g.is_empty() {
+                return Err(ShardError::Empty);
+            }
+            expected = g.end;
+        }
+        let total = expected;
+        let mut shard_of = vec![0u32; total];
+        let mut shard = 0usize;
+        let mut filled = 0usize; // variables assigned to shards < shard
+        let mut in_shard = 0usize; // variables assigned to the current shard
+        for (gi, g) in groups.iter().enumerate() {
+            let remaining_groups = groups.len() - gi;
+            let remaining_shards = num_shards - shard;
+            // Shards strictly after the current one, all still empty.
+            let empty_after = num_shards - shard - 1;
+            // Close the current shard when it reached its fair share of the
+            // remaining variables, or when the groups left are only just
+            // enough to keep every remaining shard non-empty.
+            let target = (total - filled).div_ceil(remaining_shards);
+            if in_shard > 0
+                && shard + 1 < num_shards
+                && (in_shard + g.len() > target || remaining_groups <= empty_after)
+            {
+                shard += 1;
+                filled += in_shard;
+                in_shard = 0;
+            }
+            for v in g.clone() {
+                shard_of[v] = shard as u32;
+            }
+            in_shard += g.len();
+        }
+        ShardMap::from_assignment(shard_of)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of variables covered.
+    pub fn num_variables(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// The shard of a variable.
+    ///
+    /// # Panics
+    /// Panics when the variable is outside the map.
+    pub fn shard_of(&self, v: VariableId) -> u32 {
+        self.shard_of[v.index()]
+    }
+
+    /// The variables of one shard, ascending.
+    pub fn variables(&self, shard: usize) -> &[VariableId] {
+        &self.shards[shard]
+    }
+
+    /// Per-shard variable counts.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+
+    /// Validates that no factor of `model` spans two shards and every
+    /// factor variable is covered — the invariant that makes per-shard
+    /// walkers compose into one valid chain over the joint world.
+    ///
+    /// # Errors
+    /// [`ShardError::SpanningFactor`] naming the offending pair,
+    /// [`ShardError::UnmappedVariable`] when a factor reaches outside the
+    /// map.
+    pub fn validate(&self, model: &impl FactorSpans) -> Result<(), ShardError> {
+        let mut err = None;
+        model.for_each_factor_span(&mut |vars: &[VariableId]| {
+            if err.is_some() {
+                return;
+            }
+            let mut first: Option<(VariableId, u32)> = None;
+            for &v in vars {
+                if v.index() >= self.shard_of.len() {
+                    err = Some(ShardError::UnmappedVariable(v));
+                    return;
+                }
+                let s = self.shard_of[v.index()];
+                match first {
+                    None => first = Some((v, s)),
+                    Some((a, sa)) if sa != s => {
+                        err = Some(ShardError::SpanningFactor {
+                            a,
+                            shard_a: sa,
+                            b: v,
+                            shard_b: s,
+                        });
+                        return;
+                    }
+                    Some(_) => {}
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::TableFactor;
+    use crate::variable::Domain;
+    use crate::world::World;
+
+    fn pair_factor(a: u32, b: u32) -> Box<TableFactor> {
+        Box::new(TableFactor::new(
+            vec![VariableId(a), VariableId(b)],
+            vec![2, 2],
+            vec![1.0, 0.0, 0.0, 1.0],
+            format!("agree{a}{b}"),
+        ))
+    }
+
+    #[test]
+    fn single_map_covers_everything() {
+        let m = ShardMap::single(5).unwrap();
+        assert_eq!(m.num_shards(), 1);
+        assert_eq!(m.num_variables(), 5);
+        assert_eq!(m.variables(0).len(), 5);
+        assert_eq!(m.shard_of(VariableId(4)), 0);
+        assert_eq!(ShardMap::single(0), Err(ShardError::Empty));
+    }
+
+    #[test]
+    fn from_assignment_requires_dense_shards() {
+        assert!(ShardMap::from_assignment(vec![0, 1, 0, 1]).is_ok());
+        assert_eq!(
+            ShardMap::from_assignment(vec![0, 2]),
+            Err(ShardError::EmptyShard(1))
+        );
+        assert_eq!(ShardMap::from_assignment(vec![]), Err(ShardError::Empty));
+    }
+
+    #[test]
+    fn contiguous_groups_balance_without_splitting() {
+        // Documents of sizes 3, 3, 2, 4 over 12 variables into 2 shards:
+        // greedy target 6 → shards {0..6} and {6..12}.
+        let groups = vec![0..3, 3..6, 6..8, 8..12];
+        let m = ShardMap::by_contiguous_groups(&groups, 2).unwrap();
+        assert_eq!(m.num_shards(), 2);
+        assert_eq!(m.sizes(), vec![6, 6]);
+        // Contiguity: shard ids are non-decreasing over the variable range.
+        for v in 1..m.num_variables() {
+            assert!(m.shard_of(VariableId(v as u32)) >= m.shard_of(VariableId(v as u32 - 1)));
+        }
+        // No document is split.
+        for g in &groups {
+            let s = m.shard_of(VariableId(g.start as u32));
+            for v in g.clone() {
+                assert_eq!(m.shard_of(VariableId(v as u32)), s);
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_groups_one_shard_per_group_at_the_limit() {
+        let groups = vec![0..1, 1..2, 2..10];
+        let m = ShardMap::by_contiguous_groups(&groups, 3).unwrap();
+        assert_eq!(m.sizes(), vec![1, 1, 8]);
+        assert_eq!(
+            ShardMap::by_contiguous_groups(&groups, 4),
+            Err(ShardError::TooManyShards {
+                shards: 4,
+                groups: 3
+            })
+        );
+    }
+
+    #[test]
+    fn contiguous_groups_reject_gaps() {
+        assert_eq!(
+            ShardMap::by_contiguous_groups(&[0..3, 4..6], 1),
+            Err(ShardError::NonContiguousGroups {
+                expected_start: 3,
+                got: 4
+            })
+        );
+    }
+
+    #[test]
+    fn validate_accepts_within_shard_factors() {
+        let mut g = FactorGraph::new();
+        g.add_factor(pair_factor(0, 1));
+        g.add_factor(pair_factor(2, 3));
+        let m = ShardMap::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(m.validate(&g), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_spanning_factor() {
+        let mut g = FactorGraph::new();
+        g.add_factor(pair_factor(1, 2)); // crosses the 0/1 boundary below
+        let m = ShardMap::from_assignment(vec![0, 0, 1, 1]).unwrap();
+        assert_eq!(
+            m.validate(&g),
+            Err(ShardError::SpanningFactor {
+                a: VariableId(1),
+                shard_a: 0,
+                b: VariableId(2),
+                shard_b: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_unmapped_variable() {
+        let mut g = FactorGraph::new();
+        g.add_factor(pair_factor(0, 9));
+        let m = ShardMap::from_assignment(vec![0, 0]).unwrap();
+        assert_eq!(
+            m.validate(&g),
+            Err(ShardError::UnmappedVariable(VariableId(9)))
+        );
+    }
+
+    #[test]
+    fn validate_works_through_arc_and_ref() {
+        let mut g = FactorGraph::new();
+        g.add_factor(pair_factor(0, 1));
+        let m = ShardMap::single(2).unwrap();
+        let arc = std::sync::Arc::new(g);
+        assert_eq!(m.validate(&arc), Ok(()));
+        assert_eq!(m.validate(&&*arc), Ok(()));
+    }
+
+    #[test]
+    fn world_shard_sync_copies_only_named_variables() {
+        let d = Domain::of_labels(&["a", "b", "c"]);
+        let mut dst = World::new(vec![d.clone(), d.clone(), d]);
+        let mut src = dst.clone();
+        src.set(VariableId(0), 2);
+        src.set(VariableId(2), 1);
+        dst.copy_assignments_from(&src, &[VariableId(2)]);
+        assert_eq!(dst.get(VariableId(0)), 0, "unnamed variable untouched");
+        assert_eq!(dst.get(VariableId(2)), 1, "named variable synced");
+    }
+}

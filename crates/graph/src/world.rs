@@ -142,6 +142,25 @@ impl World {
         assert_eq!(assignment.len(), self.assignment.len());
         self.assignment.copy_from_slice(assignment);
     }
+
+    /// Copies the named variables' assignments from `src`, leaving every
+    /// other variable untouched — the shard-sync primitive: a sharded
+    /// sampler refreshes one shard's slice of a walker's world without
+    /// disturbing the walker's own variables.
+    ///
+    /// # Panics
+    /// Panics when the worlds have different variable counts (they must be
+    /// views of the same model).
+    pub fn copy_assignments_from(&mut self, src: &World, vars: &[VariableId]) {
+        assert_eq!(
+            self.assignment.len(),
+            src.assignment.len(),
+            "shard sync between worlds of different size"
+        );
+        for &v in vars {
+            self.assignment[v.index()] = src.assignment[v.index()];
+        }
+    }
 }
 
 #[cfg(test)]

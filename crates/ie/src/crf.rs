@@ -23,7 +23,8 @@
 use crate::bio::{Label, NUM_LABELS};
 use crate::corpus::Corpus;
 use fgdb_graph::{
-    Domain, EvalStats, FeatureVector, Learnable, Model, ModelError, VariableId, World,
+    Domain, EvalStats, FactorSpans, FeatureVector, Learnable, Model, ModelError, ShardError,
+    ShardMap, VariableId, World,
 };
 use std::ops::Range;
 use std::sync::Arc;
@@ -138,6 +139,21 @@ impl TokenSeqData {
 
     fn same_doc(&self, a: usize, b: usize) -> bool {
         self.doc_of[a] == self.doc_of[b]
+    }
+
+    /// Partitions the token variables into `num_shards` contiguous,
+    /// size-balanced shards along document boundaries — the paper's natural
+    /// shard boundary: every pair factor of the NER model (transition,
+    /// skip) lies within one document, so a by-document partition can never
+    /// put a factor across shards. Validate against the concrete model with
+    /// [`ShardMap::validate`] anyway; it is cheap and catches model
+    /// variants that break the assumption.
+    ///
+    /// # Errors
+    /// [`ShardError::TooManyShards`] when shards outnumber documents,
+    /// [`ShardError::Empty`] on a degenerate corpus.
+    pub fn shard_map(&self, num_shards: usize) -> Result<ShardMap, ShardError> {
+        ShardMap::by_contiguous_groups(&self.doc_ranges, num_shards)
     }
 }
 
@@ -465,6 +481,30 @@ impl Model for Crf {
     }
 }
 
+impl FactorSpans for Crf {
+    /// Enumerates the CRF's pair-factor scopes: transitions between
+    /// consecutive same-document tokens, and (when active) skip edges.
+    /// Unary templates (emission, bias, previous-word emission) are skipped
+    /// — a single-variable factor cannot span shards. Every scope emitted
+    /// here lies within one document, which is what makes by-document
+    /// sharding ([`TokenSeqData::shard_map`]) valid for this model.
+    fn for_each_factor_span(&self, f: &mut dyn FnMut(&[VariableId])) {
+        let n = self.data.num_tokens();
+        for t in 0..n {
+            if t + 1 < n && self.data.same_doc(t, t + 1) {
+                f(&[VariableId(t as u32), VariableId((t + 1) as u32)]);
+            }
+            if self.use_skip {
+                for &j in self.data.skip_neighbors(t) {
+                    if (j as usize) > t {
+                        f(&[VariableId(t as u32), VariableId(j)]);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Learnable for Crf {
     fn features_neighborhood(&self, world: &World, vars: &[VariableId]) -> FeatureVector {
         let mut fv = FeatureVector::new();
@@ -632,6 +672,38 @@ mod tests {
             counts.push(stats.factors_evaluated);
         }
         assert_eq!(counts[0], counts[1]);
+    }
+
+    #[test]
+    fn by_document_shard_map_validates_against_skip_chain() {
+        let c = tiny_corpus();
+        let data = TokenSeqData::from_corpus(&c, 8);
+        let crf = Crf::skip_chain(Arc::clone(&data));
+        assert!(data.num_skip_edges() > 0, "test needs skip edges");
+        for shards in 1..=c.documents.len() {
+            let map = data.shard_map(shards).expect("shard map");
+            assert_eq!(map.num_shards(), shards);
+            assert_eq!(map.num_variables(), data.num_tokens());
+            map.validate(&crf)
+                .expect("document shards must not split any CRF factor");
+        }
+    }
+
+    #[test]
+    fn mid_document_split_is_rejected_by_validate() {
+        let c = tiny_corpus();
+        let data = TokenSeqData::from_corpus(&c, 8);
+        let crf = Crf::skip_chain(Arc::clone(&data));
+        // Cut the corpus in half mid-document: some transition (or skip)
+        // factor necessarily straddles the boundary.
+        let n = data.num_tokens();
+        let cut = data.doc_ranges[0].end + 1; // one token into doc 1
+        let assignment: Vec<u32> = (0..n).map(|t| u32::from(t >= cut)).collect();
+        let map = ShardMap::from_assignment(assignment).expect("dense map");
+        let err = map
+            .validate(&crf)
+            .expect_err("mid-document cut must be rejected");
+        assert!(matches!(err, ShardError::SpanningFactor { .. }), "{err}");
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! neighborhood log-score differences so the #P-hard normalizer cancels
 //! ([`kernel`]), chains with thinning and net-change tracking that feed the
 //! Δ⁻/Δ⁺ machinery ([`chain`]), parallel multi-chain fan-out (§5.4,
-//! [`parallel`]), and convergence diagnostics ([`diagnostics`]).
+//! [`parallel`]), sharded intra-world sampling with per-shard delta queues
+//! ([`sharded`]), and convergence diagnostics ([`diagnostics`]).
 
 pub mod chain;
 pub mod diagnostics;
@@ -15,6 +16,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod proposal;
 pub mod rng;
+pub mod sharded;
 pub mod targeted;
 
 pub use chain::{Chain, NetChange};
@@ -24,4 +26,5 @@ pub use kernel::{KernelStats, MetropolisHastings, StepOutcome};
 pub use parallel::{average_estimates, run_chains, run_chains_checkpointed};
 pub use proposal::{LocalityProposer, Proposal, Proposer, UniformRelabel};
 pub use rng::DynRng;
+pub use sharded::{shard_seed, ShardedSampler};
 pub use targeted::{document_closure, TargetedProposer};

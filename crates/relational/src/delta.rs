@@ -150,6 +150,29 @@ impl DeltaSet {
         }
     }
 
+    /// Merges a sequence of producer delta sets (e.g. the per-shard delta
+    /// queues of a sharded sampler) into one interval delta — the **single
+    /// merge point** of the multi-producer pipeline. Equivalent to having
+    /// recorded every producer's changes sequentially into one set:
+    /// relations are unified by name (two producers touching the same
+    /// relation accumulate into one entry, never double-count), ± images
+    /// cancel across producers exactly as they do within one, and the
+    /// result is compacted once at the end, so all-cancelled relations are
+    /// invisible to every reader *and* absent from [`DeltaSet::into_parts`].
+    pub fn merge_all<I: IntoIterator<Item = DeltaSet>>(producers: I) -> DeltaSet {
+        let mut out = DeltaSet::new();
+        for d in producers {
+            for (rel, set) in d.per_relation {
+                if set.is_empty() {
+                    continue;
+                }
+                out.entry(&rel).merge_owned(set);
+            }
+        }
+        out.compact();
+        out
+    }
+
     /// Clears all recorded changes ("refreshing of the tables ... between
     /// deterministic query executions", §4.2).
     pub fn clear(&mut self) {
@@ -319,6 +342,49 @@ mod tests {
         let e = DeltaSet::from_parts(parts);
         assert!(e.is_empty());
         assert_eq!(e.relations().count(), 0);
+    }
+
+    #[test]
+    fn merge_all_unifies_relations_without_double_counting() {
+        // Two producers touching the same relation name (distinct Arc<str>
+        // instances on purpose) plus one touching another relation.
+        let mut p1 = DeltaSet::new();
+        p1.record_update(&rel("TOKEN"), tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        let mut p2 = DeltaSet::new();
+        p2.record_update(&rel("TOKEN"), tuple![2i64, "O"], tuple![2i64, "B-ORG"]);
+        let mut p3 = DeltaSet::new();
+        p3.record_insert(&rel("OTHER"), tuple![9i64]);
+
+        let merged = DeltaSet::merge_all([p1, p2, p3]);
+        assert_eq!(merged.relations().count(), 2);
+        assert_eq!(merged.added("TOKEN").distinct_len(), 2);
+        assert_eq!(merged.removed("TOKEN").distinct_len(), 2);
+        assert_eq!(merged.added("TOKEN").count(&tuple![1i64, "B-PER"]), 1);
+        assert_eq!(merged.added("OTHER").count(&tuple![9i64]), 1);
+        assert_eq!(merged.magnitude(), 5);
+    }
+
+    #[test]
+    fn merge_all_cancellation_across_producers_compacts_away() {
+        // Producer 2 exactly undoes producer 1: the merged interval must be
+        // empty AND hold no lingering per-relation entry (compact contract).
+        let mut p1 = DeltaSet::new();
+        p1.record_update(&rel("T"), tuple![1i64, "O"], tuple![1i64, "B-PER"]);
+        let mut p2 = DeltaSet::new();
+        p2.record_update(&rel("T"), tuple![1i64, "B-PER"], tuple![1i64, "O"]);
+        let merged = DeltaSet::merge_all([p1, p2]);
+        assert!(merged.is_empty());
+        assert!(merged.for_relation("T").is_none());
+        assert!(merged.into_parts().is_empty());
+    }
+
+    #[test]
+    fn merge_all_of_nothing_is_empty() {
+        let merged = DeltaSet::merge_all(std::iter::empty());
+        assert!(merged.is_empty());
+        let merged = DeltaSet::merge_all([DeltaSet::new(), DeltaSet::new()]);
+        assert!(merged.is_empty());
+        assert_eq!(merged.relations().count(), 0);
     }
 
     #[test]

@@ -54,8 +54,22 @@ const VAL_STR: u8 = 4;
 pub enum ProtocolError {
     /// Socket-level failure.
     Io(std::io::Error),
-    /// A frame declared more payload than [`MAX_FRAME_LEN`].
-    FrameTooLarge(u32),
+    /// A frame declared more payload than [`MAX_FRAME_LEN`]. Wide enough
+    /// to report an oversize *outgoing* payload faithfully — the length
+    /// is the error's whole content, so it must not itself truncate.
+    FrameTooLarge(u64),
+    /// A message being *encoded* has a collection longer than its wire
+    /// length prefix can carry. Surfaces as a typed error instead of a
+    /// silently wrapped prefix (which would desynchronize the stream and
+    /// decode as garbage on the peer).
+    Oversize {
+        /// What overflowed (e.g. `"string"`, `"rows"`).
+        field: &'static str,
+        /// Actual element/byte count.
+        len: usize,
+        /// Largest count the prefix can carry.
+        max: u64,
+    },
     /// The peer speaks a different protocol version.
     VersionMismatch(u8),
     /// The payload does not decode as a valid message.
@@ -78,6 +92,9 @@ impl fmt::Display for ProtocolError {
             ProtocolError::Io(e) => write!(f, "i/o error: {e}"),
             ProtocolError::FrameTooLarge(n) => {
                 write!(f, "frame of {n} bytes exceeds MAX_FRAME_LEN")
+            }
+            ProtocolError::Oversize { field, len, max } => {
+                write!(f, "{field} of length {len} exceeds wire maximum {max}")
             }
             ProtocolError::VersionMismatch(v) => {
                 write!(f, "peer protocol version {v}, expected {PROTOCOL_VERSION}")
@@ -334,12 +351,33 @@ fn put_f64(buf: &mut Vec<u8>, v: f64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_u32(buf, s.len() as u32);
-    buf.extend_from_slice(s.as_bytes());
+/// Validates that `len` fits a `u32` length prefix. The cast used to be a
+/// silent `as u32` — a >4 GiB string would wrap the prefix and
+/// desynchronize the stream; now it is a typed [`ProtocolError::Oversize`].
+fn len_u32(field: &'static str, len: usize) -> Result<u32, ProtocolError> {
+    u32::try_from(len).map_err(|_| ProtocolError::Oversize {
+        field,
+        len,
+        max: u64::from(u32::MAX),
+    })
 }
 
-fn put_value(buf: &mut Vec<u8>, v: &WireValue) {
+/// Validates that `len` fits a `u16` count prefix (columns, row values).
+fn len_u16(field: &'static str, len: usize) -> Result<u16, ProtocolError> {
+    u16::try_from(len).map_err(|_| ProtocolError::Oversize {
+        field,
+        len,
+        max: u64::from(u16::MAX),
+    })
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
+    put_u32(buf, len_u32("string", s.len())?);
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_value(buf: &mut Vec<u8>, v: &WireValue) -> Result<(), ProtocolError> {
     match v {
         WireValue::Null => buf.push(VAL_NULL),
         WireValue::Bool(b) => {
@@ -356,16 +394,18 @@ fn put_value(buf: &mut Vec<u8>, v: &WireValue) {
         }
         WireValue::Str(s) => {
             buf.push(VAL_STR);
-            put_str(buf, s);
+            put_str(buf, s)?;
         }
     }
+    Ok(())
 }
 
-fn put_values(buf: &mut Vec<u8>, vs: &[WireValue]) {
-    put_u16(buf, vs.len() as u16);
+fn put_values(buf: &mut Vec<u8>, vs: &[WireValue]) -> Result<(), ProtocolError> {
+    put_u16(buf, len_u16("row values", vs.len())?);
     for v in vs {
-        put_value(buf, v);
+        put_value(buf, v)?;
     }
+    Ok(())
 }
 
 fn put_meta(buf: &mut Vec<u8>, m: &EpochMeta) {
@@ -374,40 +414,46 @@ fn put_meta(buf: &mut Vec<u8>, m: &EpochMeta) {
     put_u64(buf, m.samples);
 }
 
-fn put_rows(buf: &mut Vec<u8>, rows: &[WireRow]) {
-    put_u32(buf, rows.len() as u32);
+fn put_rows(buf: &mut Vec<u8>, rows: &[WireRow]) -> Result<(), ProtocolError> {
+    put_u32(buf, len_u32("rows", rows.len())?);
     for row in rows {
         put_i64(buf, row.count);
-        put_values(buf, &row.values);
+        put_values(buf, &row.values)?;
     }
+    Ok(())
 }
 
-fn put_columns(buf: &mut Vec<u8>, columns: &[String]) {
-    put_u16(buf, columns.len() as u16);
+fn put_columns(buf: &mut Vec<u8>, columns: &[String]) -> Result<(), ProtocolError> {
+    put_u16(buf, len_u16("columns", columns.len())?);
     for c in columns {
-        put_str(buf, c);
+        put_str(buf, c)?;
     }
+    Ok(())
 }
 
 impl Request {
     /// Encodes the request as one frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`ProtocolError::Oversize`] when a field exceeds its wire length
+    /// prefix (e.g. SQL text over `u32::MAX` bytes).
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let mut buf = vec![PROTOCOL_VERSION];
         match self {
             Request::Query { sql } => {
                 buf.push(OP_QUERY);
-                put_str(&mut buf, sql);
+                put_str(&mut buf, sql)?;
             }
             Request::Status { name } => {
                 buf.push(OP_STATUS);
-                put_str(&mut buf, name);
+                put_str(&mut buf, name)?;
             }
             Request::Stats => buf.push(OP_STATS),
             Request::Ping => buf.push(OP_PING),
             Request::Pin => buf.push(OP_PIN),
             Request::Unpin => buf.push(OP_UNPIN),
         }
-        buf
+        Ok(buf)
     }
 
     /// Decodes one frame payload as a request.
@@ -433,7 +479,13 @@ impl Request {
 
 impl Response {
     /// Encodes the response as one frame payload.
-    pub fn encode(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    /// [`ProtocolError::Oversize`] when a collection exceeds its wire
+    /// length prefix (a >`u32::MAX`-row answer, a >`u16::MAX`-column
+    /// schema, …). The server maps this to a `RESP_ERROR` reply rather
+    /// than shipping a wrapped prefix the client would misparse.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let mut buf = vec![PROTOCOL_VERSION];
         match self {
             Response::Table {
@@ -443,23 +495,23 @@ impl Response {
             } => {
                 buf.push(RESP_TABLE);
                 put_meta(&mut buf, meta);
-                put_columns(&mut buf, columns);
-                put_rows(&mut buf, rows);
+                put_columns(&mut buf, columns)?;
+                put_rows(&mut buf, rows)?;
             }
             Response::Status { meta, status } => {
                 buf.push(RESP_STATUS);
                 put_meta(&mut buf, meta);
-                put_str(&mut buf, &status.name);
-                put_str(&mut buf, &status.sql);
-                put_columns(&mut buf, &status.columns);
+                put_str(&mut buf, &status.name)?;
+                put_str(&mut buf, &status.sql)?;
+                put_columns(&mut buf, &status.columns)?;
                 put_f64(&mut buf, status.r_hat);
                 put_f64(&mut buf, status.min_ess);
                 put_u64(&mut buf, status.window_len);
                 buf.push(u8::from(status.converged));
-                put_rows(&mut buf, &status.answer);
-                put_u32(&mut buf, status.marginals.len() as u32);
+                put_rows(&mut buf, &status.answer)?;
+                put_u32(&mut buf, len_u32("marginals", status.marginals.len())?);
                 for (values, p) in &status.marginals {
-                    put_values(&mut buf, values);
+                    put_values(&mut buf, values)?;
                     put_f64(&mut buf, *p);
                 }
             }
@@ -474,7 +526,7 @@ impl Response {
                     None => buf.push(0),
                     Some(e) => {
                         buf.push(1);
-                        put_str(&mut buf, e);
+                        put_str(&mut buf, e)?;
                     }
                 }
             }
@@ -498,11 +550,11 @@ impl Response {
                         put_u64(&mut buf, o);
                     }
                 }
-                put_str(&mut buf, &e.message);
-                put_str(&mut buf, &e.rendered);
+                put_str(&mut buf, &e.message)?;
+                put_str(&mut buf, &e.rendered)?;
             }
         }
-        buf
+        Ok(buf)
     }
 
     /// Decodes one frame payload as a response.
@@ -723,10 +775,14 @@ impl<'a> Reader<'a> {
 
 /// Writes one `[len u32 LE][payload]` frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), ProtocolError> {
-    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
-        return Err(ProtocolError::FrameTooLarge(payload.len() as u32));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    // The error must carry the true length: the old `as u32` here could
+    // truncate a >4 GiB payload's reported size to something small (even
+    // an in-budget-looking number).
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or(ProtocolError::FrameTooLarge(payload.len() as u64))?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
@@ -753,7 +809,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME_LEN {
-        return Err(ProtocolError::FrameTooLarge(len));
+        return Err(ProtocolError::FrameTooLarge(u64::from(len)));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
@@ -831,7 +887,7 @@ pub fn read_frame_timeout(
     }
     let len = u32::from_le_bytes(len_buf);
     if len > MAX_FRAME_LEN {
-        return Err(ProtocolError::FrameTooLarge(len));
+        return Err(ProtocolError::FrameTooLarge(u64::from(len)));
     }
     let started = started.unwrap_or_else(Instant::now);
     let mut payload = vec![0u8; len as usize];
@@ -865,12 +921,12 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(req: Request) {
-        let enc = req.encode();
+        let enc = req.encode().unwrap();
         assert_eq!(Request::decode(&enc).unwrap(), req);
     }
 
     fn roundtrip_response(resp: Response) {
-        let enc = resp.encode();
+        let enc = resp.encode().unwrap();
         assert_eq!(Response::decode(&enc).unwrap(), resp);
     }
 
@@ -977,7 +1033,8 @@ mod tests {
         let enc = Request::Query {
             sql: "SELECT 1".into(),
         }
-        .encode();
+        .encode()
+        .unwrap();
         for cut in 0..enc.len() {
             assert!(
                 Request::decode(&enc[..cut]).is_err(),
@@ -988,25 +1045,97 @@ mod tests {
         trailing.push(0);
         assert!(Request::decode(&trailing).is_err());
         // Garbage after a valid response header fails too.
-        let mut resp = Response::Pong.encode();
+        let mut resp = Response::Pong.encode().unwrap();
         resp.push(7);
         assert!(Response::decode(&resp).is_err());
     }
 
     #[test]
     fn version_and_opcode_mismatches_are_typed() {
-        let mut enc = Request::Ping.encode();
+        let mut enc = Request::Ping.encode().unwrap();
         enc[0] = 99;
         assert!(matches!(
             Request::decode(&enc),
             Err(ProtocolError::VersionMismatch(99))
         ));
-        let mut enc = Request::Ping.encode();
+        let mut enc = Request::Ping.encode().unwrap();
         enc[1] = 200;
         assert!(matches!(
             Request::decode(&enc),
             Err(ProtocolError::Malformed(_))
         ));
+    }
+
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversize_lengths_are_typed_errors_not_wrapped_prefixes() {
+        // The length checks are the validation point: a 2^32-byte string
+        // cannot be allocated in a test, so the boundary is exercised on
+        // the helpers the encoders call.
+        assert_eq!(len_u32("string", u32::MAX as usize).unwrap(), u32::MAX);
+        match len_u32("string", u32::MAX as usize + 1) {
+            Err(ProtocolError::Oversize { field, len, max }) => {
+                assert_eq!(field, "string");
+                assert_eq!(len, u32::MAX as usize + 1);
+                assert_eq!(max, u64::from(u32::MAX));
+            }
+            other => panic!("expected Oversize, got {other:?}"),
+        }
+        assert_eq!(len_u16("columns", u16::MAX as usize).unwrap(), u16::MAX);
+        assert!(matches!(
+            len_u16("columns", u16::MAX as usize + 1),
+            Err(ProtocolError::Oversize {
+                field: "columns",
+                ..
+            })
+        ));
+
+        // End to end at the (allocatable) u16 prefixes: 65 536 values
+        // would previously have wrapped to a count prefix of 0 — the
+        // peer would decode an empty row and misparse everything after.
+        let row = WireRow {
+            values: vec![WireValue::Null; u16::MAX as usize + 1],
+            count: 1,
+        };
+        let resp = Response::Table {
+            meta: meta(),
+            columns: vec!["c".into()],
+            rows: vec![row],
+        };
+        assert!(matches!(
+            resp.encode(),
+            Err(ProtocolError::Oversize {
+                field: "row values",
+                ..
+            })
+        ));
+        let resp = Response::Table {
+            meta: meta(),
+            columns: vec![String::new(); u16::MAX as usize + 1],
+            rows: vec![],
+        };
+        assert!(matches!(
+            resp.encode(),
+            Err(ProtocolError::Oversize {
+                field: "columns",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn write_frame_reports_the_true_oversize_length() {
+        // One byte past the 16 MiB budget: the error must carry the real
+        // length (the old `as u32` could misreport a >4 GiB payload).
+        let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        match write_frame(&mut sink, &payload) {
+            Err(ProtocolError::FrameTooLarge(n)) => {
+                assert_eq!(n, u64::from(MAX_FRAME_LEN) + 1);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+        assert!(sink.is_empty(), "nothing may be written on oversize");
     }
 
     #[test]

@@ -240,13 +240,12 @@ fn accept_loop(
 /// Answers one `Unavailable` frame on an excess connection, best effort.
 fn shed(mut stream: TcpStream, config: &ServerConfig) {
     let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = write_frame(
-        &mut stream,
-        &Response::Unavailable {
-            retry_after_ms: config.retry_after_ms,
-        }
-        .encode(),
-    );
+    let shed = Response::Unavailable {
+        retry_after_ms: config.retry_after_ms,
+    };
+    if let Ok(payload) = shed.encode() {
+        let _ = write_frame(&mut stream, &payload);
+    }
 }
 
 /// Serves one connection until EOF, a fatal protocol error, or stop.
@@ -279,7 +278,9 @@ fn serve_connection(
                     message: e.to_string(),
                     rendered: e.to_string(),
                 });
-                let _ = write_frame(&mut stream, &resp.encode());
+                if let Ok(payload) = resp.encode() {
+                    let _ = write_frame(&mut stream, &payload);
+                }
                 return Err(e);
             }
             Err(e) => return Err(e),
@@ -295,7 +296,19 @@ fn serve_connection(
                 rendered: e.to_string(),
             }),
         };
-        write_frame(&mut stream, &response.encode())?;
+        // An answer too large for its own wire prefixes degrades to a
+        // typed error response; only a failure to encode *that* (or the
+        // socket) ends the connection.
+        let payload = response.encode().or_else(|e| {
+            Response::Error(WireError {
+                code: ErrorCode::Exec,
+                offset: None,
+                message: e.to_string(),
+                rendered: e.to_string(),
+            })
+            .encode()
+        })?;
+        write_frame(&mut stream, &payload)?;
     }
 }
 

@@ -280,7 +280,7 @@ fn hostile_response_frames_never_panic_the_client_decoder() {
         }),
     ];
     for resp in &corpus {
-        let enc = resp.encode();
+        let enc = resp.encode().unwrap();
         // Round trip sanity first.
         assert_eq!(&Response::decode(&enc).unwrap(), resp);
         // Every truncation fails typed (or, for the empty prefix of a

@@ -185,7 +185,7 @@ fn malformed_frames_get_error_responses_not_disconnects() {
     }
 
     // Same connection still serves valid requests afterwards.
-    let ping = Request::Ping.encode();
+    let ping = Request::Ping.encode().unwrap();
     let mut ping_frame = (ping.len() as u32).to_le_bytes().to_vec();
     ping_frame.extend_from_slice(&ping);
     raw.write_all(&ping_frame).expect("send ping after garbage");
