@@ -78,7 +78,10 @@ fn build(tokens: usize, seed: u64) -> Setup {
 }
 
 fn main() {
-    let sizes: Vec<usize> = [1_000_000usize, 4_000_000].iter().map(|&n| scaled(n)).collect();
+    let sizes: Vec<usize> = [1_000_000usize, 4_000_000]
+        .iter()
+        .map(|&n| scaled(n))
+        .collect();
     let shards_list = shard_counts();
     println!("Sharded intra-world sampling: shards {shards_list:?}, corpus sizes {sizes:?}");
     println!(
@@ -103,7 +106,12 @@ fn main() {
         .param("shards", format!("{shards_list:?}"))
         .param("interval_proposals", INTERVAL_PROPOSALS)
         .param("intervals", INTERVALS)
-        .param("cores", std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        .param(
+            "cores",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        );
 
     let plan = paper_queries::query1("TOKEN");
     let mut rows = Vec::new();
@@ -156,8 +164,7 @@ fn main() {
             let accepted = stats.accepted - stats0.accepted;
             let sps = proposals as f64 / elapsed;
             let speedup = sps / *baseline.get_or_insert(sps);
-            let stale_ms =
-                staleness.iter().sum::<f64>() / staleness.len().max(1) as f64 * 1_000.0;
+            let stale_ms = staleness.iter().sum::<f64>() / staleness.len().max(1) as f64 * 1_000.0;
             let accept = accepted as f64 / proposals.max(1) as f64;
 
             // Guard against a dead sampler being reported as "fast".

@@ -44,12 +44,12 @@ pub use engine::{
 };
 pub use evaluate::{evaluate_parallel, EvaluateError, QueryEvaluator, SampleWork};
 pub use fgdb_durability::{DurabilityConfig, FsyncPolicy, RecoveryReport};
+pub use fgdb_graph::{FactorSpans, ShardError, ShardMap};
+pub use fgdb_mcmc::{shard_seed, ShardedSampler};
 pub use fgdb_relational::{compile_query, optimize, QueryError};
 pub use marginals::{MarginalTable, ValueDistribution};
 pub use metrics::{squared_error, time_to_half_loss, LossCurve, LossPoint};
 pub use ner::{build_ner_pdb, ner_proposer, train_ner_model, truth_database, NerProposerConfig};
-pub use fgdb_graph::{FactorSpans, ShardError, ShardMap};
-pub use fgdb_mcmc::{shard_seed, ShardedSampler};
 pub use pdb::{FieldBinding, ProbabilisticDB};
 pub use serving::{
     EpochReader, EpochSnapshot, LiveSampler, QueryStatus, SamplerState, SamplerStatus,

@@ -166,7 +166,13 @@ impl WindowedTraces {
         }
         for t in answer.support() {
             match self.rows.get_mut(t) {
-                Some(trace) => *trace.last_mut().expect("pushed above") = 1.0,
+                // Every live trace just received a push above, but the
+                // serving loop must not be able to panic on that inference.
+                Some(trace) => {
+                    if let Some(last) = trace.last_mut() {
+                        *last = 1.0;
+                    }
+                }
                 None => {
                     let mut trace = vec![0.0; self.len];
                     trace.push(1.0);
@@ -284,10 +290,12 @@ impl EpochCell {
     }
 
     pub(crate) fn load(&self) -> Arc<EpochSnapshot> {
+        // lint:allow(sync, readers hold this only long enough to clone an Arc; never across a query)
         Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     pub(crate) fn store(&self, snap: Arc<EpochSnapshot>) {
+        // lint:allow(sync, one pointer swap per publish interval, not per step; readers block for the swap only)
         *self.current.write().unwrap_or_else(|e| e.into_inner()) = snap;
     }
 }
@@ -359,17 +367,20 @@ impl SharedStats {
     /// Publishes a lifecycle transition (`running` is kept derived:
     /// true exactly in [`SamplerState::Running`]).
     pub(crate) fn set_state(&self, state: SamplerState) {
+        // lint:allow(sync, lifecycle transitions are rare; never taken on the per-step path)
         *self.state.lock().unwrap_or_else(|e| e.into_inner()) = state;
         self.running
             .store(state == SamplerState::Running, Ordering::Release);
     }
 
     pub(crate) fn state(&self) -> SamplerState {
+        // lint:allow(sync, reader-side status probe; copies one enum under the lock)
         *self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Parks (or clears) the error readers see in their status.
     pub(crate) fn set_error(&self, error: Option<ServingError>) {
+        // lint:allow(sync, written only on sampler failure/recovery, never per step)
         *self.error.lock().unwrap_or_else(|e| e.into_inner()) = error;
     }
 }
@@ -421,13 +432,16 @@ impl EpochReader {
         let state = self.stats.state();
         SamplerStatus {
             epoch: self.cell.load().epoch,
+            // lint:allow-start(sync, monotonic counters read for display; no ordering with other state is assumed)
             steps: self.stats.steps.load(Ordering::Relaxed),
             samples: self.stats.samples.load(Ordering::Relaxed),
+            // lint:allow-end(sync)
             running: state == SamplerState::Running,
             state,
             error: self
                 .stats
                 .error
+                // lint:allow(sync, reader-side status probe; clones a small Option under the lock)
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
@@ -632,8 +646,10 @@ fn sampler_loop<M: Model>(
         }
         match step_once(&mut pdb, &mut registered) {
             Ok(()) => {
+                // lint:allow-start(sync, per-step counter bumps; values are advisory and carry no cross-thread ordering)
                 stats.steps.store(pdb.steps_taken(), Ordering::Relaxed);
                 stats.samples.fetch_add(1, Ordering::Relaxed);
+                // lint:allow-end(sync)
                 since_publish += 1;
                 if since_publish >= config.publish_every {
                     since_publish = 0;

@@ -159,9 +159,7 @@ fn multi_shard_fixed_seed_is_deterministic() {
     let run = |seed: u64| {
         let n = 64;
         let mut pdb = chained_token_pdb(n, 8, seed);
-        let map = Arc::new(
-            ShardMap::by_contiguous_groups(&doc_ranges(n, 8), 4).unwrap(),
-        );
+        let map = Arc::new(ShardMap::by_contiguous_groups(&doc_ranges(n, 8), 4).unwrap());
         let mut sampler = pdb
             .sharded_sampler(
                 map,

@@ -142,7 +142,7 @@ impl Enc {
     /// Writes a LEB128 variable-length `u64`.
     pub fn varint(&mut self, mut v: u64) {
         loop {
-            let byte = (v & 0x7F) as u8;
+            let byte = (v & 0x7F) as u8; // lint:allow(cast, masked to 7 bits; lossless by construction)
             v >>= 7;
             if v == 0 {
                 self.buf.push(byte);
@@ -208,27 +208,35 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
-        if self.remaining() < n {
-            return Err(FormatError::UnexpectedEof);
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(FormatError::UnexpectedEof)?;
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or(FormatError::UnexpectedEof)?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Takes exactly `N` bytes as a fixed-size array — the checked form of
+    /// `take(N)?.try_into().unwrap()`.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], FormatError> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s).map_err(|_| FormatError::UnexpectedEof)
     }
 
     /// Reads one raw byte.
     pub fn u8(&mut self) -> Result<u8, FormatError> {
-        Ok(self.take(1)?[0])
+        self.take_n().map(|[b]| b)
     }
 
     /// Reads a fixed little-endian `u16`.
     pub fn u16_le(&mut self) -> Result<u16, FormatError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_n()?))
     }
 
     /// Reads a fixed little-endian `u32`.
     pub fn u32_le(&mut self) -> Result<u32, FormatError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     /// Reads a LEB128 `u64`.
@@ -268,9 +276,7 @@ impl<'a> Dec<'a> {
 
     /// Reads an `f64` from its 8 IEEE-754 bits.
     pub fn f64_bits(&mut self) -> Result<f64, FormatError> {
-        Ok(f64::from_bits(u64::from_le_bytes(
-            self.take(8)?.try_into().unwrap(),
-        )))
+        Ok(f64::from_bits(u64::from_le_bytes(self.take_n()?)))
     }
 
     /// Reads a varint length prefix, bounds-checked against both a global
@@ -543,9 +549,16 @@ pub fn decode_relation(d: &mut Dec<'_>) -> Result<Relation, FormatError> {
 /// Encodes a [`Database`] (relation count + relations in name order —
 /// canonical because the catalog is a `BTreeMap`).
 pub fn encode_database(e: &mut Enc, db: &Database) {
-    e.varint(db.relation_count() as u64);
-    for name in db.relation_names() {
-        encode_relation(e, db.relation(name).expect("name from catalog"));
+    // filter_map keeps the written count and the loop in lockstep by
+    // construction, where a lookup-and-expect would panic on a (impossible
+    // today, fatal on disk) catalog/name mismatch.
+    let rels: Vec<_> = db
+        .relation_names()
+        .filter_map(|name| db.relation(name).ok())
+        .collect();
+    e.varint(rels.len() as u64);
+    for rel in rels {
+        encode_relation(e, rel);
     }
 }
 
@@ -611,7 +624,7 @@ pub fn encode_delta(e: &mut Enc, delta: &DeltaSet) {
     // set still carries empty entries.
     let parts: Vec<_> = delta
         .relations()
-        .map(|r| (r, delta.for_relation(r).expect("nonempty by relations()")))
+        .filter_map(|r| delta.for_relation(r).map(|set| (r, set)))
         .collect();
     e.varint(parts.len() as u64);
     for (name, set) in parts {
@@ -716,13 +729,17 @@ pub fn decode_world(d: &mut Dec<'_>) -> Result<World, FormatError> {
     let mut assignment = Vec::with_capacity(n_vars);
     for dom in &per_var {
         let idx = d.varint()?;
-        if idx as usize >= dom.len() {
-            return Err(FormatError::Invalid {
+        // Convert before comparing: domain sizes are capped at u16::MAX+1
+        // above, so any in-range index fits u16 — but the conversion, not
+        // the comparison, is what must be checked.
+        let small = u16::try_from(idx)
+            .ok()
+            .filter(|&s| usize::from(s) < dom.len())
+            .ok_or_else(|| FormatError::Invalid {
                 what: "World",
                 detail: format!("assignment index {idx} outside domain"),
-            });
-        }
-        assignment.push(idx as u16);
+            })?;
+        assignment.push(small);
     }
     Ok(World::from_parts(per_var, assignment))
 }
@@ -764,7 +781,7 @@ pub fn encode_chain_state(e: &mut Enc, c: &ChainStateRec) {
 /// Decodes a [`ChainStateRec`].
 pub fn decode_chain_state(d: &mut Dec<'_>) -> Result<ChainStateRec, FormatError> {
     let steps_taken = d.varint()?;
-    let rng: [u8; 32] = d.raw(32)?.try_into().expect("fixed 32-byte read");
+    let rng: [u8; 32] = d.take_n()?;
     Ok(ChainStateRec {
         steps_taken,
         rng,

@@ -406,6 +406,7 @@ impl StoreFile for FaultyFile {
         match self.gate(OpClass::Write)? {
             None => self.inner.write_all(buf),
             Some(FaultKind::ShortWrite) => {
+                // lint:allow(panic, len/2 <= len; fault-injection path exercised only by the chaos harness)
                 self.inner.write_all(&buf[..buf.len() / 2])?;
                 Err(io::Error::new(
                     io::ErrorKind::StorageFull,
@@ -414,6 +415,7 @@ impl StoreFile for FaultyFile {
             }
             Some(FaultKind::Crash { partial_write }) => {
                 if partial_write {
+                    // lint:allow(panic, len/2 <= len; fault-injection path exercised only by the chaos harness)
                     let _ = self.inner.write_all(&buf[..buf.len() / 2]);
                 }
                 Err(crash_error())

@@ -72,6 +72,7 @@ pub fn test_dir(label: &str) -> std::path::PathBuf {
         COUNTER.fetch_add(1, Ordering::Relaxed)
     );
     let dir = base.join(unique);
+    // lint:allow(panic, test-scratch helper reachable only from tests and benches)
     std::fs::create_dir_all(&dir).expect("create test scratch dir");
     dir
 }

@@ -213,15 +213,15 @@ pub fn write_snapshot_with(
     // before anything is written — a silently wrapped length would produce
     // a corrupt snapshot that checkpoint() then trusts enough to truncate
     // the WAL.
-    if u32::try_from(payload.len()).is_err() {
-        return Err(DurabilityError::Corrupt(format!(
+    let frame_len = u32::try_from(payload.len()).map_err(|_| {
+        DurabilityError::Corrupt(format!(
             "snapshot payload {} bytes exceeds the u32 frame limit",
             payload.len()
-        )));
-    }
+        ))
+    })?;
     let mut bytes = Vec::with_capacity(payload.len() + 32);
     write_header(&mut bytes, KIND_SNAPSHOT);
-    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&frame_len.to_le_bytes());
     bytes.extend_from_slice(&crate::checksum::crc32(&payload).to_le_bytes());
     bytes.extend_from_slice(&payload);
 
@@ -249,12 +249,13 @@ pub fn read_snapshot(dir: &Path) -> Result<Snapshot, DurabilityError> {
 pub fn read_snapshot_with(io: &dyn StoreIo, dir: &Path) -> Result<Snapshot, DurabilityError> {
     let bytes = io.read(&dir.join(SNAPSHOT_FILE))?;
     check_header(&bytes, KIND_SNAPSHOT)?;
-    let rest = &bytes[wal::HEADER_LEN as usize..];
-    if rest.len() < 8 {
-        return Err(DurabilityError::Corrupt("snapshot frame truncated".into()));
-    }
-    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    let rest = bytes
+        .get(wal::HEADER_LEN as usize..)
+        .ok_or_else(|| DurabilityError::Corrupt("snapshot frame truncated".into()))?;
+    let (len, crc) = match (wal::le_u32(rest, 0), wal::le_u32(rest, 4)) {
+        (Some(len), Some(crc)) => (len as usize, crc),
+        _ => return Err(DurabilityError::Corrupt("snapshot frame truncated".into())),
+    };
     let body = rest
         .get(8..8 + len)
         .ok_or_else(|| DurabilityError::Corrupt("snapshot payload truncated".into()))?;

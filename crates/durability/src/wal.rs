@@ -79,13 +79,25 @@ impl FsyncPolicy {
     }
 }
 
-/// Frames one record: `[len][crc][payload]`.
-fn frame(payload: &[u8]) -> Vec<u8> {
+/// Frames one record: `[len][crc][payload]`. Errors when the payload is
+/// not describable by the u32 length field or exceeds [`MAX_RECORD_LEN`] —
+/// checked here, at the byte boundary, so no caller can stage a silently
+/// wrapped length.
+fn frame(payload: &[u8]) -> Result<Vec<u8>, DurabilityError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_RECORD_LEN)
+        .ok_or_else(|| {
+            DurabilityError::Corrupt(format!(
+                "record payload {} exceeds MAX_RECORD_LEN",
+                payload.len()
+            ))
+        })?;
     let mut out = Vec::with_capacity(8 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Writes the common file header.
@@ -96,11 +108,20 @@ pub(crate) fn write_header(out: &mut Vec<u8>, kind: u8) {
     out.extend_from_slice(&FEATURE_FLAGS.to_le_bytes());
 }
 
+/// Reads a little-endian `u32` at byte offset `at`, `None` when the slice
+/// is too short — the checked form of
+/// `u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())`.
+pub(crate) fn le_u32(bytes: &[u8], at: usize) -> Option<u32> {
+    let arr: [u8; 4] = bytes.get(at..at.checked_add(4)?)?.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}
+
 /// Validates a file header, returning the declared version.
 pub(crate) fn check_header(bytes: &[u8], kind: u8) -> Result<u16, DurabilityError> {
     if bytes.len() < HEADER_LEN as usize {
         return Err(DurabilityError::Corrupt("file shorter than header".into()));
     }
+    // lint:allow-start(panic, every index below is < HEADER_LEN, length-checked at entry)
     if &bytes[0..4] != MAGIC {
         return Err(DurabilityError::Corrupt("bad magic".into()));
     }
@@ -117,6 +138,7 @@ pub(crate) fn check_header(bytes: &[u8], kind: u8) -> Result<u16, DurabilityErro
         )));
     }
     let flags = u32::from_le_bytes([bytes[7], bytes[8], bytes[9], bytes[10]]);
+    // lint:allow-end(panic)
     if flags & !FEATURE_FLAGS != 0 {
         return Err(DurabilityError::Corrupt(format!(
             "unknown feature flags {flags:#x}"
@@ -241,13 +263,7 @@ impl WalWriter {
     /// [`WalWriter::commit`].
     pub fn append(&mut self, payload: &[u8]) -> Result<(), DurabilityError> {
         self.check_not_poisoned()?;
-        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
-            return Err(DurabilityError::Corrupt(format!(
-                "record payload {} exceeds MAX_RECORD_LEN",
-                payload.len()
-            )));
-        }
-        self.staged.extend_from_slice(&frame(payload));
+        self.staged.extend_from_slice(&frame(payload)?);
         Ok(())
     }
 
@@ -379,26 +395,26 @@ pub fn scan_with(io: &dyn StoreIo, path: &Path) -> Result<WalScan, DurabilityErr
     let mut pos = HEADER_LEN as usize;
     let mut torn = None;
     while pos < bytes.len() {
-        if bytes.len() - pos < 8 {
-            torn = Some(TornTail::ShortFrameHeader);
-            break;
-        }
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let (len, crc) = match (le_u32(&bytes, pos), le_u32(&bytes, pos + 4)) {
+            (Some(len), Some(crc)) => (len, crc),
+            _ => {
+                torn = Some(TornTail::ShortFrameHeader);
+                break;
+            }
+        };
         if len > MAX_RECORD_LEN {
             torn = Some(TornTail::OversizedLength(len));
             break;
         }
         let body_start = pos + 8;
         let body_end = body_start + len as usize;
-        if body_end > bytes.len() {
+        let Some(payload) = bytes.get(body_start..body_end) else {
             torn = Some(TornTail::ShortPayload {
                 declared: len,
-                present: (bytes.len() - body_start) as u64,
+                present: (bytes.len().saturating_sub(body_start)) as u64,
             });
             break;
-        }
-        let payload = &bytes[body_start..body_end];
+        };
         if crc32(payload) != crc {
             torn = Some(TornTail::ChecksumMismatch);
             break;

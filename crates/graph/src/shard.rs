@@ -43,6 +43,8 @@ pub enum ShardError {
     UnmappedVariable(VariableId),
     /// The map covers a different number of variables than the world.
     WorldMismatch { map_vars: usize, world_vars: usize },
+    /// An index does not fit the u32 shard/variable id space.
+    IdOverflow(usize),
 }
 
 impl fmt::Display for ShardError {
@@ -79,6 +81,9 @@ impl fmt::Display for ShardError {
                 f,
                 "shard map covers {map_vars} variables but world has {world_vars}"
             ),
+            ShardError::IdOverflow(i) => {
+                write!(f, "index {i} exceeds the u32 shard/variable id space")
+            }
         }
     }
 }
@@ -157,10 +162,12 @@ impl ShardMap {
         let num_shards = shard_of.iter().max().copied().unwrap_or(0) as usize + 1;
         let mut shards: Vec<Vec<VariableId>> = vec![Vec::new(); num_shards];
         for (v, &s) in shard_of.iter().enumerate() {
-            shards[s as usize].push(VariableId(v as u32));
+            let id = u32::try_from(v).map_err(|_| ShardError::IdOverflow(v))?;
+            shards[s as usize].push(VariableId(id));
         }
         if let Some(empty) = shards.iter().position(Vec::is_empty) {
-            return Err(ShardError::EmptyShard(empty as u32));
+            let empty = u32::try_from(empty).map_err(|_| ShardError::IdOverflow(empty))?;
+            return Err(ShardError::EmptyShard(empty));
         }
         Ok(ShardMap { shard_of, shards })
     }
@@ -224,8 +231,9 @@ impl ShardMap {
                 filled += in_shard;
                 in_shard = 0;
             }
+            let shard_id = u32::try_from(shard).map_err(|_| ShardError::IdOverflow(shard))?;
             for v in g.clone() {
-                shard_of[v] = shard as u32;
+                shard_of[v] = shard_id;
             }
             in_shard += g.len();
         }

@@ -1,0 +1,116 @@
+//! The ratchet baseline: grandfathered violations, committed as text.
+//!
+//! Entries key on `(rule, file, normalized snippet)` — *not* line numbers,
+//! which drift with every unrelated edit. Matching is multiset matching:
+//! three identical grandfathered `unwrap()`s in one file consume three
+//! baseline entries, so deleting one of them makes one entry stale and the
+//! ratchet notices. Stale entries are an error under `--deny`: burn-downs
+//! must be committed (`--write-baseline`), or the baseline would quietly
+//! re-grow headroom for new violations with the same snippet text.
+
+use crate::rules::Violation;
+use std::collections::HashMap;
+
+/// One grandfathered violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub snippet: String,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        format!("{}\t{}\t{}", self.rule, self.file, self.snippet)
+    }
+}
+
+/// Parses the committed baseline. Blank lines and `#` comments are
+/// skipped; anything else must be `rule<TAB>file<TAB>snippet`.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let l = raw.trim_end();
+        if l.trim().is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let mut parts = l.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(rule), Some(file), Some(snippet)) if !rule.is_empty() && !file.is_empty() => {
+                entries.push(Entry {
+                    rule: rule.to_string(),
+                    file: file.to_string(),
+                    snippet: snippet.to_string(),
+                });
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {}: expected rule<TAB>file<TAB>snippet, got {l:?}",
+                    idx + 1
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Renders violations as a baseline file, sorted for stable diffs.
+pub fn render(violations: &[Violation]) -> String {
+    let mut lines: Vec<String> = violations
+        .iter()
+        .map(|v| format!("{}\t{}\t{}", v.rule.id(), v.file, v.snippet))
+        .collect();
+    lines.sort();
+    let mut out = String::from(
+        "# fgdb-lint baseline: grandfathered violations (ratchet-only).\n\
+         # Regenerate with `cargo run -p fgdb-lint -- --write-baseline` after a burn-down.\n\
+         # Format: rule<TAB>file<TAB>whitespace-normalized source line.\n",
+    );
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// The result of matching current violations against the baseline.
+#[derive(Debug, Default)]
+pub struct Matched {
+    /// Violations not covered by the baseline — these fail the gate.
+    pub fresh: Vec<Violation>,
+    /// How many current violations the baseline absorbed.
+    pub baselined: usize,
+    /// Baseline entries with no surviving violation — a burn-down that
+    /// must be committed.
+    pub stale: Vec<Entry>,
+}
+
+/// Multiset-matches `violations` against `entries`.
+pub fn apply(violations: Vec<Violation>, entries: &[Entry]) -> Matched {
+    let mut budget: HashMap<String, usize> = HashMap::new();
+    for e in entries {
+        *budget.entry(e.key()).or_insert(0) += 1;
+    }
+    let mut m = Matched::default();
+    for v in violations {
+        let key = format!("{}\t{}\t{}", v.rule.id(), v.file, v.snippet);
+        match budget.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                m.baselined += 1;
+            }
+            _ => m.fresh.push(v),
+        }
+    }
+    // Whatever budget survives was never consumed: stale entries.
+    for e in entries {
+        let key = e.key();
+        if let Some(n) = budget.get_mut(&key) {
+            if *n > 0 {
+                *n -= 1;
+                m.stale.push(e.clone());
+            }
+        }
+    }
+    m
+}

@@ -1,0 +1,446 @@
+//! A hand-rolled Rust lexer, just deep enough to be trustworthy for
+//! token-stream linting.
+//!
+//! The failure mode of naive `grep`-style linting is the lexical one: an
+//! `unwrap()` inside a string literal, an `as u32` inside a nested block
+//! comment, a `//` inside `r"raw // string"`. This lexer handles exactly
+//! the constructs that break such tools — raw strings (`r#"…"#` with any
+//! hash depth), byte/raw-byte/C strings, nested block comments, char
+//! literals vs lifetimes, raw identifiers — and reduces everything else to
+//! a flat token stream with line numbers.
+//!
+//! It deliberately does **not** build an AST: every rule in
+//! [`crate::rules`] is expressible over a token window, and a token lexer
+//! cannot fall behind the language the way a parser would.
+
+/// What a token is. Only the distinctions the rules need are kept.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `as`, `fn`, `r#type` → `type`).
+    Ident,
+    /// Lifetime (`'a`, `'static`), without the quote.
+    Lifetime,
+    /// Any numeric literal.
+    Num,
+    /// Any string-ish literal (`"…"`, `r#"…"#`, `b"…"`), quotes stripped
+    /// where cheap; the text is best-effort and only used for rule R4's
+    /// knob scan.
+    Str,
+    /// A char or byte-char literal.
+    Char,
+    /// One punctuation byte (`.`, `[`, `!`, `:` …).
+    Punct(u8),
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation byte.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// How a `lint:allow` comment scopes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuppKind {
+    /// `// lint:allow(rule, reason)` — the line it trails, or (standalone)
+    /// the next code line.
+    Line,
+    /// `// lint:allow-start(rule, reason)` — opens a region.
+    Start,
+    /// `// lint:allow-end(rule)` — closes the innermost matching region.
+    End,
+}
+
+/// A parsed, well-formed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    pub line: usize,
+    pub rule: String,
+    pub reason: String,
+    pub kind: SuppKind,
+    /// True when the comment was the only thing on its line.
+    pub standalone: bool,
+}
+
+/// A `lint:allow` comment the parser could not accept, with why.
+#[derive(Clone, Debug)]
+pub struct MalformedSuppression {
+    pub line: usize,
+    pub problem: String,
+}
+
+/// The full lexing result for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub suppressions: Vec<Suppression>,
+    pub malformed: Vec<MalformedSuppression>,
+    /// `line_has_code[i]` is true when 1-based line `i+1` holds at least
+    /// one non-comment token.
+    pub line_has_code: Vec<bool>,
+    /// Raw source lines, for violation snippets.
+    pub lines: Vec<String>,
+}
+
+impl Lexed {
+    /// The first line at or after `line` (1-based) that holds code; used to
+    /// resolve which line a standalone suppression targets.
+    pub fn next_code_line(&self, line: usize) -> Option<usize> {
+        (line..=self.line_has_code.len()).find(|&l| self.line_has_code[l - 1])
+    }
+
+    fn mark_code(&mut self, line: usize) {
+        if let Some(flag) = self.line_has_code.get_mut(line.saturating_sub(1)) {
+            *flag = true;
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes one file. Never fails: unterminated constructs consume to EOF —
+/// for a linter, resilience beats strictness (rustc will reject the file
+/// anyway if it is truly malformed).
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed {
+        lines: src.lines().map(str::to_string).collect(),
+        ..Lexed::default()
+    };
+    out.line_has_code = vec![false; out.lines.len()];
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr) => {{
+            out.mark_code(line);
+            out.toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line,
+            });
+        }};
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if b.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. `///` and `//!` docs). Doc-comment
+                // example code therefore never reaches the token stream —
+                // rules R1–R3 exempt doc examples for free.
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                let standalone = !out.line_has_code.get(line - 1).copied().unwrap_or(false);
+                parse_suppression(&src[start..i], line, standalone, &mut out);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nested per Rust.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' | b'c' if starts_special_literal(bytes, i) => {
+                let (tok, next, newlines) = lex_special_literal(src, i, line);
+                push_tok!(tok.0, tok.1);
+                line += newlines;
+                i = next;
+            }
+            _ if is_ident_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_ident_continue(bytes[i]) {
+                    i += 1;
+                }
+                push_tok!(TokKind::Ident, src[start..i].to_string());
+            }
+            b'"' => {
+                let (text, next, newlines) = scan_plain_string(src, i + 1);
+                push_tok!(TokKind::Str, text);
+                line += newlines;
+                i = next;
+            }
+            b'\'' => {
+                let (kind, text, next) = lex_quote(src, i);
+                push_tok!(kind, text);
+                i = next;
+            }
+            _ if b.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    if is_ident_continue(bytes[i]) {
+                        i += 1;
+                    } else if bytes[i] == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && !src[start..i].contains('.')
+                    {
+                        i += 1; // decimal point, not a `..` range
+                    } else {
+                        break;
+                    }
+                }
+                push_tok!(TokKind::Num, src[start..i].to_string());
+            }
+            _ if b.is_ascii() => {
+                push_tok!(TokKind::Punct(b), (b as char).to_string());
+                i += 1;
+            }
+            _ => {
+                // Non-ASCII outside strings/comments: skip the code point.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                i += ch_len;
+            }
+        }
+    }
+    out
+}
+
+/// True when `r`/`b`/`c` at `i` starts a raw string, byte string, byte
+/// char, or C string rather than a plain identifier.
+fn starts_special_literal(bytes: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if bytes[i] == b'b' && bytes.get(j) == Some(&b'r') {
+        j += 1; // br"…" / br#"…"#
+    }
+    if bytes[i] == b'c' && bytes.get(j) == Some(&b'r') {
+        j += 1; // cr#"…"#
+    }
+    match bytes.get(j) {
+        Some(&b'"') => true,
+        Some(&b'\'') => bytes[i] == b'b', // b'x'
+        Some(&b'#') => {
+            // Raw string `r#"` (any hash depth) — but `r#ident` is a raw
+            // identifier, not a literal.
+            let mut k = j;
+            while bytes.get(k) == Some(&b'#') {
+                k += 1;
+            }
+            bytes.get(k) == Some(&b'"')
+        }
+        _ => false,
+    }
+}
+
+/// Lexes a raw/byte/C string or byte char starting at `i`. Returns the
+/// token, the next byte offset, and how many newlines were consumed.
+fn lex_special_literal(src: &str, i: usize, _line: usize) -> ((TokKind, String), usize, usize) {
+    let bytes = src.as_bytes();
+    let mut j = i;
+    while matches!(bytes.get(j), Some(&b'r') | Some(&b'b') | Some(&b'c')) {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'\'') {
+        // b'x' byte char (escapes included).
+        let (_, text, next) = lex_quote(src, j);
+        return ((TokKind::Char, text), next, 0);
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(bytes.get(j), Some(&b'"'));
+    j += 1;
+    let body_start = j;
+    let raw = hashes > 0 || src[i..j].contains('r');
+    let mut newlines = 0usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'\\' if !raw => {
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
+            b'"' => {
+                // A raw string only closes on `"` followed by its hashes.
+                let close = (0..hashes).all(|k| bytes.get(j + 1 + k) == Some(&b'#'));
+                if close {
+                    let text = src[body_start..j].to_string();
+                    return ((TokKind::Str, text), j + 1 + hashes, newlines);
+                }
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    ((TokKind::Str, src[body_start..].to_string()), j, newlines)
+}
+
+/// Scans a plain `"…"` string body beginning right after the opening quote.
+fn scan_plain_string(src: &str, start: usize) -> (String, usize, usize) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    let mut newlines = 0usize;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                // A `\` + newline line continuation still ends a source
+                // line — count it, or every later token reports early.
+                if bytes.get(j + 1) == Some(&b'\n') {
+                    newlines += 1;
+                }
+                j += 2;
+            }
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            b'"' => return (src[start..j].to_string(), j + 1, newlines),
+            _ => j += 1,
+        }
+    }
+    (src[start..].to_string(), j, newlines)
+}
+
+/// Disambiguates `'` at `i`: char literal vs lifetime.
+fn lex_quote(src: &str, i: usize) -> (TokKind, String, usize) {
+    let bytes = src.as_bytes();
+    let j = i + 1;
+    match bytes.get(j) {
+        Some(&b'\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut k = j + 1;
+            if k < bytes.len() {
+                k += 1; // the escaped byte itself (covers \' and \\)
+            }
+            while k < bytes.len() && bytes[k] != b'\'' {
+                k += 1;
+            }
+            (
+                TokKind::Char,
+                src[i..=k.min(bytes.len() - 1)].to_string(),
+                (k + 1).min(bytes.len()),
+            )
+        }
+        Some(&b) if is_ident_start(b) => {
+            // `'a'` is a char; `'a` / `'static` is a lifetime.
+            let mut k = j;
+            while k < bytes.len() && is_ident_continue(bytes[k]) {
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'\'') {
+                (TokKind::Char, src[i..=k].to_string(), k + 1)
+            } else {
+                (TokKind::Lifetime, src[j..k].to_string(), k)
+            }
+        }
+        Some(_) => {
+            // Digit, punctuation, or multibyte scalar: a char literal.
+            let mut k = j;
+            while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+                k += 1;
+            }
+            (
+                TokKind::Char,
+                src[i..k.min(bytes.len())].to_string(),
+                (k + 1).min(bytes.len()),
+            )
+        }
+        None => (TokKind::Punct(b'\''), "'".to_string(), j),
+    }
+}
+
+/// Recognizes and validates `lint:allow` forms inside a line comment.
+///
+/// A suppression must *start* the comment (`// lint:allow(…)`), and doc
+/// comments (`///`, `//!`) never carry suppressions — both rules exist so
+/// that prose merely *mentioning* the directive (like this paragraph) is
+/// inert. A directive that starts a comment but does not parse is recorded
+/// as malformed — a suppression that silently fails open would be worse
+/// than no suppression mechanism at all.
+fn parse_suppression(comment: &str, line: usize, standalone: bool, out: &mut Lexed) {
+    let content = comment.trim_start_matches('/');
+    if comment.starts_with("///") || comment.starts_with("//!") {
+        return;
+    }
+    let Some(rest) = content.trim_start().strip_prefix("lint:allow") else {
+        return;
+    };
+    let (kind, rest) = if let Some(r) = rest.strip_prefix("-start") {
+        (SuppKind::Start, r)
+    } else if let Some(r) = rest.strip_prefix("-end") {
+        (SuppKind::End, r)
+    } else {
+        (SuppKind::Line, rest)
+    };
+    let Some(body) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.split_once(')'))
+        .map(|(body, _)| body)
+    else {
+        out.malformed.push(MalformedSuppression {
+            line,
+            problem: "lint:allow needs the form lint:allow(rule, reason)".into(),
+        });
+        return;
+    };
+    let (rule, reason) = match body.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (body.trim(), ""),
+    };
+    if rule.is_empty() {
+        out.malformed.push(MalformedSuppression {
+            line,
+            problem: "lint:allow with an empty rule name".into(),
+        });
+        return;
+    }
+    if reason.is_empty() && kind != SuppKind::End {
+        out.malformed.push(MalformedSuppression {
+            line,
+            problem: format!("lint:allow({rule}) without a reason — reasons are mandatory"),
+        });
+        return;
+    }
+    out.suppressions.push(Suppression {
+        line,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        kind,
+        standalone,
+    });
+}

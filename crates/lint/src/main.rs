@@ -1,0 +1,193 @@
+//! `fgdb-lint` CLI. See `cargo run -p fgdb-lint -- --help`.
+
+use fgdb_lint::{count_by_rule, run, Options, Report, BASELINE_FILE};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+fgdb-lint: workspace static analysis for the fgdb repo's bug-class invariants
+
+USAGE: fgdb-lint [OPTIONS]
+
+OPTIONS:
+  --root <DIR>        workspace root to scan (default: .)
+  --baseline <FILE>   baseline file (default: <root>/fgdb-lint.baseline)
+  --no-baseline       ignore the baseline; report every violation as fresh
+  --write-baseline    regenerate the baseline from the current tree
+  --json              machine-readable output
+  --deny              exit non-zero on fresh violations or stale baseline entries
+  -h, --help          this text
+
+RULES: cast (narrowing casts on format/wire/length paths), panic (panic
+paths in serving/durability modules), sync (unannotated Relaxed/locks in
+hot paths), docs (README knob/bench-table drift), suppression (malformed
+lint:allow). Suppress with `// lint:allow(rule, reason)` — reasons are
+mandatory; regions via lint:allow-start/-end.";
+
+struct Cli {
+    opts: Options,
+    json: bool,
+    deny: bool,
+}
+
+fn parse_args() -> Result<Option<Cli>, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut json = false;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = PathBuf::from(args.next().ok_or("--root needs a value")?),
+            "--baseline" => {
+                baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline needs a value")?,
+                ))
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "-h" | "--help" => {
+                println!("{HELP}");
+                return Ok(None);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    let baseline_path = if no_baseline {
+        None
+    } else {
+        Some(baseline.unwrap_or_else(|| root.join(BASELINE_FILE)))
+    };
+    Ok(Some(Cli {
+        opts: Options {
+            root,
+            baseline_path,
+            write_baseline,
+        },
+        json,
+        deny,
+    }))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(report: &Report) {
+    let mut out = String::from("{\n  \"fresh\": [\n");
+    for (i, v) in report.fresh.iter().enumerate() {
+        let comma = if i + 1 < report.fresh.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \
+             \"message\": \"{}\"}}{comma}\n",
+            v.rule.id(),
+            json_escape(&v.file),
+            v.line,
+            json_escape(&v.snippet),
+            json_escape(&v.message),
+        ));
+    }
+    out.push_str("  ],\n  \"stale\": [\n");
+    for (i, e) in report.stale.iter().enumerate() {
+        let comma = if i + 1 < report.stale.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"snippet\": \"{}\"}}{comma}\n",
+            json_escape(&e.rule),
+            json_escape(&e.file),
+            json_escape(&e.snippet),
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"baselined\": {},\n  \"total\": {},\n  \"files_scanned\": {}\n}}",
+        report.baselined, report.total, report.files_scanned
+    ));
+    println!("{out}");
+}
+
+fn print_human(report: &Report) {
+    for v in &report.fresh {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule.id(), v.message);
+        if !v.snippet.is_empty() {
+            println!("    {}", v.snippet);
+        }
+    }
+    for e in &report.stale {
+        println!(
+            "stale baseline entry: [{}] {} — {} (violation fixed; commit a regenerated \
+             baseline via --write-baseline)",
+            e.rule, e.file, e.snippet
+        );
+    }
+    if let Some(path) = &report.wrote_baseline {
+        println!(
+            "wrote baseline {} ({} grandfathered violation(s))",
+            path.display(),
+            report.total
+        );
+        return;
+    }
+    let by_rule = count_by_rule(&report.fresh);
+    let breakdown = by_rule
+        .iter()
+        .map(|(r, n)| format!("{}={n}", r.id()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "fgdb-lint: {} fresh violation(s){}{}, {} baselined, {} stale baseline entr(ies), \
+         {} file(s) scanned",
+        report.fresh.len(),
+        if breakdown.is_empty() { "" } else { " (" },
+        if breakdown.is_empty() {
+            String::new()
+        } else {
+            format!("{breakdown})")
+        },
+        report.baselined,
+        report.stale.len(),
+        report.files_scanned
+    );
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fgdb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&cli.opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fgdb-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if cli.json {
+        print_json(&report);
+    } else {
+        print_human(&report);
+    }
+    if cli.deny && report.deny() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,40 @@
+//! Fixture for rule `cast`. Analyzed under a scoped pretend path
+//! (`crates/durability/src/format.rs`) by the rules test — never compiled.
+
+pub fn positives(payload: &[u8], n: usize) -> (u32, u16, u8) {
+    let a = payload.len() as u32; // VIOLATION: len feeding a narrowing cast
+    let b = n as u16; // VIOLATION: narrowing cast in a scoped file
+    let c = (n & 0x7F) as u8; // VIOLATION: masked, but unannotated
+    (a, b, c)
+}
+
+pub fn suppressed(payload: &[u8], n: usize) -> (u32, u8) {
+    let a = payload.len() as u32; // lint:allow(cast, fixture: caller bounds len above)
+    // lint:allow(cast, fixture: masked to 7 bits)
+    let b = (n & 0x7F) as u8;
+    (a, b)
+}
+
+pub fn false_positive_guards(n: usize, small: u16) -> u64 {
+    // Widening casts are exempt: u64/i64/u128/usize targets.
+    let w = n as u64 + u64::from(small) + (n as i64 as u64);
+    // Mentions in strings and comments must not fire:
+    let s = "let x = v.len() as u32;";
+    let r = r#"raw string with n as u16 and "quotes" inside"#;
+    /* block comment: len() as u32
+       /* nested: idx as u8 */
+       still commented: x as i16 */
+    let msg = r##"deeper raw # string: y as u32 "#" still going"##;
+    w + (s.len() + r.len() + msg.len()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt from R1 entirely.
+    #[test]
+    fn casts_allowed_here() {
+        let n = 300usize;
+        assert_eq!(n as u8, 44);
+        assert_eq!(vec![1].len() as u32, 1);
+    }
+}

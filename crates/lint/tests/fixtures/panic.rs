@@ -1,0 +1,60 @@
+//! Fixture for rule `panic`. Analyzed under a scoped pretend path
+//! (`crates/serve/src/server.rs`) by the rules test — never compiled.
+
+pub fn positives(opt: Option<u32>, res: Result<u32, String>, buf: &[u8]) -> u32 {
+    let a = opt.unwrap(); // VIOLATION: unwrap
+    let b = res.expect("must exist"); // VIOLATION: expect
+    if buf.is_empty() {
+        panic!("empty"); // VIOLATION: panic!
+    }
+    if a > 100 {
+        unreachable!(); // VIOLATION: unreachable!
+    }
+    if b > 100 {
+        todo!(); // VIOLATION: todo!
+    }
+    let c = buf[0]; // VIOLATION: bare indexing
+    let d = (buf)[1]; // VIOLATION: indexing after a paren group
+    u32::from(c) + u32::from(d) + a + b
+}
+
+pub fn suppressed(opt: Option<u32>, buf: &[u8]) -> u32 {
+    let a = opt.unwrap(); // lint:allow(panic, fixture: checked is_some on the line above)
+    // lint:allow(panic, fixture: index bounded by the caller contract)
+    let b = buf[0];
+    // lint:allow-start(panic, fixture: region form covers several lines)
+    let c = buf[1];
+    let d = buf[2];
+    // lint:allow-end(panic)
+    a + u32::from(b) + u32::from(c) + u32::from(d)
+}
+
+pub fn false_positive_guards(pair: (u32, u32), flag: bool) -> u32 {
+    // Array literals, types, and slice patterns are not index expressions:
+    let arr = [1u32, 2, 3];
+    let [x, y] = [pair.0, pair.1];
+    let boxed: Box<[u32; 2]> = Box::new([x, y]);
+    // `.get` and doc-style prose mentioning .unwrap() must not fire:
+    let got = arr.get(0).copied();
+    let s = "docs say .unwrap() panics; buf[0] too";
+    // A method named expect_something is not `.expect(`:
+    let n = if flag { got.unwrap_or(0) } else { 0 };
+    n + boxed[0] // lint:allow(panic, fixture: fixed-size array, index in bounds)
+        + s.len() as u32 // lint:allow(cast, fixture: short string)
+}
+
+/// ```
+/// // Doc examples never reach the token stream:
+/// let v = Some(1).unwrap();
+/// let b = [1, 2][0];
+/// ```
+pub fn doc_example_guard() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_allowed_here() {
+        let v = vec![1, 2];
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

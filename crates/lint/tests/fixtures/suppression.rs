@@ -1,0 +1,15 @@
+//! Fixture for rule `suppression` (malformed / dangling lint:allow forms).
+//! Analyzed by the rules test — never compiled.
+
+pub fn malformed(n: usize) -> usize {
+    let a = n; // lint:allow(cast) — MALFORMED: no reason
+    let b = n; // lint:allow — MALFORMED: no parenthesized body
+    let c = n; // lint:allow(nosuchrule, with a reason) — VIOLATION: unknown rule
+    // lint:allow-end(panic) — VIOLATION: end without start
+    // lint:allow-start(panic, never closed below) — VIOLATION: unclosed
+    a + b + c
+}
+
+pub fn well_formed(opt: Option<u32>) -> u32 {
+    opt.unwrap() // lint:allow(panic, fixture: a complete, reasoned suppression)
+}

@@ -1,0 +1,36 @@
+//! Fixture for rule `sync`. Analyzed under a hot-path pretend path
+//! (`crates/mcmc/src/walker.rs`) by the rules test — never compiled.
+
+pub fn positives(counter: &AtomicU64, m: &Mutex<u32>, rw: &RwLock<u32>) -> u64 {
+    let a = counter.load(Ordering::Relaxed); // VIOLATION: unannotated Relaxed
+    counter.store(a + 1, Ordering::Relaxed); // VIOLATION: unannotated Relaxed
+    let b = *m.lock().unwrap_or_default(); // VIOLATION: unannotated lock()
+    let c = *rw.read().unwrap_or_default(); // VIOLATION: unannotated read()
+    let d = *rw.write().unwrap_or_default(); // VIOLATION: unannotated write()
+    a + u64::from(b) + u64::from(c) + u64::from(d)
+}
+
+pub fn suppressed(counter: &AtomicU64, m: &Mutex<u32>) -> u64 {
+    // lint:allow(sync, fixture: advisory counter, no cross-thread ordering)
+    let a = counter.load(Ordering::Relaxed);
+    let b = *m.lock().unwrap(); // lint:allow(sync, fixture: held for one copy)
+    // lint:allow-start(sync, fixture: region covering a burst of counter reads)
+    let c = counter.load(Ordering::Relaxed);
+    let d = counter.load(Ordering::Relaxed);
+    // lint:allow-end(sync)
+    a + u64::from(b) + c + d
+}
+
+pub fn false_positive_guards(counter: &AtomicU64, r: &mut impl Read, w: &mut impl Write) -> usize {
+    // Stronger orderings need no annotation:
+    let a = counter.load(Ordering::Acquire);
+    counter.store(a, Ordering::Release);
+    // io::Read::read / io::Write::write take arguments — not acquisitions:
+    let mut buf = [0u8; 8];
+    let n = r.read(&mut buf).unwrap_or(0);
+    let m = w.write(&buf).unwrap_or(0);
+    // Mentions in strings and comments must not fire:
+    let s = "Ordering::Relaxed and .lock() in prose";
+    /* .read() inside a comment */
+    n + m + s.len()
+}

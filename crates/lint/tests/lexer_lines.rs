@@ -1,0 +1,35 @@
+//! Line-number fidelity: every identifier token the lexer produces must
+//! actually appear on the source line it reports. Runs over the whole
+//! workspace, so any construct that desynchronizes the line counter
+//! (multi-line strings, `\`-newline continuations, nested comments…)
+//! fails here with the first drifted token named.
+
+use std::path::Path;
+
+#[test]
+fn every_ident_token_is_on_its_reported_line() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = fgdb_lint::workspace_files(&root).expect("walk workspace");
+    assert!(files.len() > 50, "workspace walk looks broken: {files:?}");
+    for file in files {
+        let src = std::fs::read_to_string(&file).expect("read source");
+        let lines: Vec<&str> = src.lines().collect();
+        let lexed = fgdb_lint::lexer::lex(&src);
+        for t in &lexed.toks {
+            if t.kind != fgdb_lint::lexer::TokKind::Ident {
+                continue;
+            }
+            let on_line = lines
+                .get(t.line - 1)
+                .is_some_and(|l| l.contains(t.text.as_str()));
+            assert!(
+                on_line,
+                "{}:{}: token {:?} not on that line ({:?})",
+                file.display(),
+                t.line,
+                t.text,
+                lines.get(t.line - 1)
+            );
+        }
+    }
+}

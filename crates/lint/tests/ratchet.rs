@@ -1,0 +1,129 @@
+//! End-to-end ratchet semantics over a synthetic mini-workspace on disk:
+//! injecting a violation fails the gate, grandfathering it passes, fixing
+//! it makes the baseline entry stale (which fails again until the
+//! baseline is regenerated) — the full burn-down cycle.
+
+use fgdb_lint::{run, Options, BASELINE_FILE};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static DIRS: AtomicU32 = AtomicU32::new(0);
+
+fn scratch_workspace() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fgdb-lint-ratchet-{}-{}",
+        std::process::id(),
+        DIRS.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::create_dir_all(dir.join("crates/x/src")).expect("scratch dirs");
+    fs::write(dir.join("README.md"), "# scratch\n").expect("readme");
+    dir
+}
+
+fn write_lib(root: &Path, body: &str) {
+    fs::write(root.join("crates/x/src/lib.rs"), body).expect("lib.rs");
+}
+
+fn gate(root: &Path) -> fgdb_lint::Report {
+    run(&Options {
+        root: root.to_path_buf(),
+        baseline_path: Some(root.join(BASELINE_FILE)),
+        write_baseline: false,
+    })
+    .expect("lint run")
+}
+
+#[test]
+fn inject_grandfather_burn_down_cycle() {
+    let root = scratch_workspace();
+    let violating = "pub fn f(v: &[u8]) -> u32 { v.len() as u32 }\n";
+    let clean = "pub fn f(v: &[u8]) -> u64 { v.len() as u64 }\n";
+
+    // 1. Injected violation, no baseline: the gate denies.
+    write_lib(&root, violating);
+    let report = gate(&root);
+    assert!(report.deny(), "expected denial: {report:?}");
+    assert_eq!(report.fresh.len(), 1);
+
+    // 2. Grandfather it: gate passes, violation counted as baselined.
+    let report = run(&Options {
+        root: root.clone(),
+        baseline_path: Some(root.join(BASELINE_FILE)),
+        write_baseline: true,
+    })
+    .expect("write baseline");
+    assert!(!report.deny());
+    let report = gate(&root);
+    assert!(!report.deny(), "baselined tree must pass: {report:?}");
+    assert_eq!(report.baselined, 1);
+
+    // 3. A *second* violation is fresh — the baseline is not a blanket.
+    write_lib(
+        &root,
+        "pub fn f(v: &[u8]) -> u32 { v.len() as u32 }\n\
+         pub fn g(v: &[u8]) -> u16 { v.len() as u16 }\n",
+    );
+    let report = gate(&root);
+    assert!(report.deny());
+    assert_eq!((report.fresh.len(), report.baselined), (1, 1));
+
+    // 4. Burn the original down: its entry goes stale, and the gate
+    //    denies until the baseline is regenerated and committed.
+    write_lib(&root, clean);
+    let report = gate(&root);
+    assert!(report.deny(), "stale entries must deny: {report:?}");
+    assert!(report.fresh.is_empty());
+    assert_eq!(report.stale.len(), 1);
+    let report = run(&Options {
+        root: root.clone(),
+        baseline_path: Some(root.join(BASELINE_FILE)),
+        write_baseline: true,
+    })
+    .expect("regenerate");
+    assert_eq!(report.total, 0);
+    let report = gate(&root);
+    assert!(!report.deny(), "clean tree + empty baseline must pass");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn missing_readme_is_a_run_error_not_a_pass() {
+    let root = scratch_workspace();
+    fs::remove_file(root.join("README.md")).expect("remove readme");
+    write_lib(&root, "pub fn f() {}\n");
+    let err = run(&Options {
+        root: root.clone(),
+        baseline_path: None,
+        write_baseline: false,
+    });
+    assert!(err.is_err(), "R4 cannot run without a README: {err:?}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn multiset_matching_consumes_one_entry_per_occurrence() {
+    let root = scratch_workspace();
+    // Two textually identical violations on different lines.
+    write_lib(
+        &root,
+        "pub fn f(v: &[u8]) -> u32 { v.len() as u32 }\n\
+         pub fn g(v: &[u8]) -> u32 { v.len() as u32 }\n",
+    );
+    run(&Options {
+        root: root.clone(),
+        baseline_path: Some(root.join(BASELINE_FILE)),
+        write_baseline: true,
+    })
+    .expect("write baseline");
+    // Removing one of the two leaves exactly one stale entry — identical
+    // snippets are matched as a multiset, not a set.
+    write_lib(&root, "pub fn f(v: &[u8]) -> u32 { v.len() as u32 }\n");
+    let report = gate(&root);
+    assert_eq!(
+        (report.fresh.len(), report.baselined, report.stale.len()),
+        (0, 1, 1)
+    );
+    fs::remove_dir_all(&root).ok();
+}

@@ -1,0 +1,40 @@
+//! The lint's own gate, as a test: the committed workspace must be clean
+//! against the committed baseline, with zero stale entries. This is what
+//! makes the ratchet enforceable from `cargo test` alone — CI runs the
+//! binary too, but a contributor who only runs the test suite still hits
+//! the gate.
+
+use fgdb_lint::{run, Options, BASELINE_FILE};
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = run(&Options {
+        root: root.clone(),
+        baseline_path: Some(root.join(BASELINE_FILE)),
+        write_baseline: false,
+    })
+    .expect("lint run");
+    assert!(
+        report.files_scanned > 50,
+        "workspace walk looks broken: scanned {}",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .fresh
+        .iter()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule.id(), v.message))
+        .collect();
+    assert!(
+        report.fresh.is_empty(),
+        "fresh violations (fix them or suppress with a reasoned lint:allow):\n{}",
+        rendered.join("\n")
+    );
+    assert!(
+        report.stale.is_empty(),
+        "stale baseline entries (violations fixed — commit a regenerated baseline \
+         via `cargo run -p fgdb-lint -- --write-baseline`): {:?}",
+        report.stale
+    );
+}

@@ -303,8 +303,7 @@ mod tests {
     fn single_shard_matches_plain_chain_bit_for_bit() {
         let (g, w) = biased_model(6);
         let map = Arc::new(ShardMap::single(6).unwrap());
-        let mut sampler =
-            ShardedSampler::new(&g, &w, map, |_, vars| relabel(vars), 99).unwrap();
+        let mut sampler = ShardedSampler::new(&g, &w, map, |_, vars| relabel(vars), 99).unwrap();
 
         let all: Vec<VariableId> = (0..6).map(VariableId).collect();
         let mut chain = Chain::new(Arc::clone(&g), relabel(&all), w, 99);
@@ -314,7 +313,10 @@ mod tests {
             chain.run(50);
             let reference = chain.take_changes();
             assert_eq!(merged, reference);
-            assert_eq!(sampler.shard_world(0).assignment(), chain.world().assignment());
+            assert_eq!(
+                sampler.shard_world(0).assignment(),
+                chain.world().assignment()
+            );
         }
         assert_eq!(sampler.stats(), chain.stats());
         assert_eq!(sampler.steps_taken(), chain.steps_taken());
@@ -324,7 +326,8 @@ mod tests {
     #[test]
     fn walkers_only_touch_their_own_shard() {
         let (g, w) = biased_model(12);
-        let map = Arc::new(ShardMap::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]).unwrap());
+        let map =
+            Arc::new(ShardMap::from_assignment(vec![0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]).unwrap());
         map.validate(&g).unwrap();
         let mut sampler =
             ShardedSampler::new(&g, &w, Arc::clone(&map), |_, vars| relabel(vars), 7).unwrap();
@@ -360,8 +363,7 @@ mod tests {
         // with the same compaction a single chain would apply.
         let (g, w) = biased_model(4);
         let map = Arc::new(ShardMap::single(4).unwrap());
-        let mut sharded =
-            ShardedSampler::new(&g, &w, map, |_, vars| relabel(vars), 3).unwrap();
+        let mut sharded = ShardedSampler::new(&g, &w, map, |_, vars| relabel(vars), 3).unwrap();
         let all: Vec<VariableId> = (0..4).map(VariableId).collect();
         let mut chain = Chain::new(Arc::clone(&g), relabel(&all), w, 3);
 
@@ -381,10 +383,20 @@ mod tests {
     fn fixed_seeds_are_deterministic_across_runs() {
         let run = |seed: u64| {
             let (g, w) = biased_model(12);
-            let map = Arc::new(ShardMap::from_assignment(vec![0; 6].into_iter().chain(vec![1; 6]).collect::<Vec<u32>>()).unwrap());
+            let map = Arc::new(
+                ShardMap::from_assignment(
+                    vec![0; 6]
+                        .into_iter()
+                        .chain(vec![1; 6])
+                        .collect::<Vec<u32>>(),
+                )
+                .unwrap(),
+            );
             let mut s = ShardedSampler::new(&g, &w, map, |_, vars| relabel(vars), seed).unwrap();
             let changes = s.step(200);
-            let worlds: Vec<Vec<u16>> = (0..2).map(|i| s.shard_world(i).assignment().to_vec()).collect();
+            let worlds: Vec<Vec<u16>> = (0..2)
+                .map(|i| s.shard_world(i).assignment().to_vec())
+                .collect();
             (changes, worlds, s.stats())
         };
         assert_eq!(run(11), run(11));

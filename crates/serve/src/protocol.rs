@@ -646,23 +646,30 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
-        let end = self
+        let (out, end) = self
             .pos
             .checked_add(n)
-            .filter(|&e| e <= self.buf.len())
+            .and_then(|end| Some((self.buf.get(self.pos..end)?, end)))
             .ok_or_else(|| {
                 ProtocolError::Malformed(format!(
                     "payload truncated: wanted {n} bytes at offset {}",
                     self.pos
                 ))
             })?;
-        let out = &self.buf[self.pos..end];
         self.pos = end;
         Ok(out)
     }
 
+    /// Takes exactly `N` bytes as a fixed-size array — the checked form of
+    /// `take(N)?.try_into().unwrap()`.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], ProtocolError> {
+        let s = self.take(N)?;
+        <[u8; N]>::try_from(s)
+            .map_err(|_| ProtocolError::Malformed(format!("payload truncated: wanted {N} bytes")))
+    }
+
     fn u8(&mut self) -> Result<u8, ProtocolError> {
-        Ok(self.take(1)?[0])
+        self.take_n().map(|[b]| b)
     }
 
     fn bool(&mut self) -> Result<bool, ProtocolError> {
@@ -676,23 +683,23 @@ impl<'a> Reader<'a> {
     }
 
     fn u16(&mut self) -> Result<u16, ProtocolError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+        Ok(u16::from_le_bytes(self.take_n()?))
     }
 
     fn u32(&mut self) -> Result<u32, ProtocolError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+        Ok(u32::from_le_bytes(self.take_n()?))
     }
 
     fn u64(&mut self) -> Result<u64, ProtocolError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(u64::from_le_bytes(self.take_n()?))
     }
 
     fn i64(&mut self) -> Result<i64, ProtocolError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(i64::from_le_bytes(self.take_n()?))
     }
 
     fn f64(&mut self) -> Result<f64, ProtocolError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+        Ok(f64::from_le_bytes(self.take_n()?))
     }
 
     fn str(&mut self) -> Result<String, ProtocolError> {
@@ -795,6 +802,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, ProtocolError> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
+        // lint:allow(panic, filled < 4 by the loop condition)
         match r.read(&mut len_buf[filled..]) {
             Ok(0) => {
                 if filled == 0 {
@@ -855,6 +863,7 @@ pub fn read_frame_timeout(
     // connection never starts it.
     let mut started: Option<Instant> = None;
     while filled < 4 {
+        // lint:allow(panic, filled < 4 by the loop condition)
         match r.read(&mut len_buf[filled..]) {
             Ok(0) => {
                 if filled == 0 {
@@ -893,6 +902,7 @@ pub fn read_frame_timeout(
     let mut payload = vec![0u8; len as usize];
     let mut got = 0usize;
     while got < len as usize {
+        // lint:allow(panic, got < len by the loop condition)
         match r.read(&mut payload[got..]) {
             Ok(0) => {
                 return Err(ProtocolError::Malformed("EOF inside frame payload".into()));
