@@ -19,7 +19,8 @@ use crate::marginals::MarginalTable;
 use crate::pdb::ProbabilisticDB;
 use fgdb_graph::{Model, ModelError};
 use fgdb_relational::{
-    compile_query, execute, ExecError, MaterializedView, Plan, QueryError, StorageError, Tuple,
+    compile_query, execute, CircuitError, ExecError, MaterializedView, Plan, QueryError,
+    StorageError, Tuple, ViewBackend,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -40,6 +41,9 @@ pub enum EvaluateError {
     /// Model/world addressing failure (malformed proposal or model) —
     /// surfaced as an error instead of aborting the engine thread.
     Model(ModelError),
+    /// View-maintenance failure (circuit compile error, recursion cap,
+    /// inconsistent delta stream).
+    View(CircuitError),
 }
 
 impl fmt::Display for EvaluateError {
@@ -52,6 +56,7 @@ impl fmt::Display for EvaluateError {
             EvaluateError::Storage(e) => write!(f, "storage error: {e}"),
             EvaluateError::Query(e) => write!(f, "query error: {e}"),
             EvaluateError::Model(e) => write!(f, "model error: {e}"),
+            EvaluateError::View(e) => write!(f, "view error: {e}"),
         }
     }
 }
@@ -76,6 +81,11 @@ impl From<QueryError> for EvaluateError {
 impl From<ModelError> for EvaluateError {
     fn from(e: ModelError) -> Self {
         EvaluateError::Model(e)
+    }
+}
+impl From<CircuitError> for EvaluateError {
+    fn from(e: CircuitError) -> Self {
+        EvaluateError::View(e)
     }
 }
 
@@ -165,6 +175,23 @@ impl QueryEvaluator {
         k: usize,
     ) -> Result<Self, EvaluateError> {
         let view = MaterializedView::new(&plan, pdb.database())?;
+        Self::from_view(plan, view, k)
+    }
+
+    /// [`Self::materialized`] on an explicitly chosen view backend
+    /// (legacy operator tree or Z-set circuit), bypassing the
+    /// `FGDB_VIEW_BACKEND` environment selector.
+    pub fn materialized_with_backend<M: Model>(
+        plan: Plan,
+        pdb: &ProbabilisticDB<M>,
+        k: usize,
+        backend: ViewBackend,
+    ) -> Result<Self, EvaluateError> {
+        let view = MaterializedView::with_backend(&plan, pdb.database(), backend)?;
+        Self::from_view(plan, view, k)
+    }
+
+    fn from_view(plan: Plan, view: MaterializedView, k: usize) -> Result<Self, EvaluateError> {
         let mut marginals = MarginalTable::new();
         marginals.record(view.result());
         let work = EvaluatorWork {
@@ -248,7 +275,7 @@ impl QueryEvaluator {
             StrategyState::Materialized(view) => {
                 // Algorithm 1 line 5: s ← s − Q'(w,Δ⁻) ∪ Q'(w,Δ⁺).
                 let before = view.stats().delta_rows_processed;
-                view.apply_delta(deltas);
+                view.try_apply_delta(deltas)?;
                 let used = view.stats().delta_rows_processed - before;
                 sample_work.delta_rows = used;
                 self.work.delta_rows += used;

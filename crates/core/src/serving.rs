@@ -39,7 +39,9 @@ use crate::evaluate::{EvaluateError, QueryEvaluator};
 use crate::pdb::ProbabilisticDB;
 use fgdb_graph::Model;
 use fgdb_mcmc::{effective_sample_size, split_r_hat};
-use fgdb_relational::{compile_query, execute, CountedSet, Database, QueryResult, Tuple};
+use fgdb_relational::{
+    compile_query, execute, CountedSet, Database, QueryResult, Tuple, ViewBackend,
+};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +63,10 @@ pub struct ServingConfig {
     /// Per-tuple split-R̂ gate for the `converged` tag (values ≤ 1 disarm
     /// the gate, exactly as in [`crate::EngineConfig`]).
     pub r_hat_threshold: f64,
+    /// View-maintenance backend for registered queries. Defaults to
+    /// [`ViewBackend::from_env`] (`FGDB_VIEW_BACKEND`); recursive plans
+    /// always use the circuit backend regardless.
+    pub view_backend: ViewBackend,
 }
 
 impl Default for ServingConfig {
@@ -70,6 +76,7 @@ impl Default for ServingConfig {
             publish_every: 8,
             window: 256,
             r_hat_threshold: 1.1,
+            view_backend: ViewBackend::from_env(),
         }
     }
 }
@@ -524,7 +531,12 @@ pub(crate) fn build_registered<M: Model>(
         let columns = plan
             .output_columns(pdb.database())
             .map_err(|e| ServingError::from(EvaluateError::Exec(e.into())))?;
-        let eval = QueryEvaluator::materialized(plan, pdb, config.thinning)?;
+        let eval = QueryEvaluator::materialized_with_backend(
+            plan,
+            pdb,
+            config.thinning,
+            config.view_backend,
+        )?;
         let mut traces = WindowedTraces::new(config.window);
         traces.record(
             eval.current_answer()
@@ -811,6 +823,7 @@ mod tests {
             publish_every: 4,
             window: 64,
             r_hat_threshold: 1.5,
+            ..ServingConfig::default()
         });
         let reader = sampler.reader();
         while reader.status().samples < 40 {

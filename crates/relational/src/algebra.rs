@@ -141,7 +141,46 @@ pub enum Plan {
         /// Right input.
         right: Box<Plan>,
     },
+    /// μ — least fixpoint of a linear-recursive query (`WITH RECURSIVE`).
+    ///
+    /// Evaluates `base`, then repeatedly evaluates `step` with [`Plan::Rec`]
+    /// leaves named `rec` bound to the tuples derived so far, until no new
+    /// tuples appear (set semantics, `all == false`) or the working table
+    /// empties (bag semantics, `all == true`). Iteration is bounded by `cap`;
+    /// exceeding it is a typed error, never divergence.
+    Fixpoint {
+        /// The non-recursive seed term.
+        base: Box<Plan>,
+        /// The recursive term; may reference `rec` via [`Plan::Rec`].
+        step: Box<Plan>,
+        /// Name binding [`Plan::Rec`] leaves in `step` to this fixpoint.
+        rec: Arc<str>,
+        /// Output column names (the recursive relation's schema).
+        columns: Vec<Arc<str>>,
+        /// `true` for `UNION ALL` (bag) accumulation, `false` for `UNION`
+        /// (set) semantics. Set semantics terminate on cyclic data; bag
+        /// semantics on a cycle hit `cap`.
+        all: bool,
+        /// Maximum number of iterations before a typed error.
+        cap: usize,
+    },
+    /// A reference to the enclosing [`Plan::Fixpoint`]'s recursive relation.
+    ///
+    /// Valid only inside a fixpoint's `step`; carries its column names so
+    /// plans remain resolvable without a catalog entry.
+    Rec {
+        /// The fixpoint name this leaf refers to.
+        name: Arc<str>,
+        /// Output column names (possibly alias-qualified).
+        columns: Vec<Arc<str>>,
+    },
 }
+
+/// Default iteration cap for [`Plan::Fixpoint`] nodes built by
+/// [`Plan::fixpoint`] and the SQL frontend. Generous enough for any closure
+/// a realistic entity-link graph produces, small enough that a divergent
+/// bag-semantics recursion errors out in milliseconds.
+pub const DEFAULT_FIXPOINT_CAP: usize = 10_000;
 
 /// Errors raised while validating or binding a plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -259,6 +298,37 @@ impl Plan {
         }
     }
 
+    /// Least fixpoint: `self` is the base term, `step` the recursive term
+    /// referencing [`Plan::rec`] leaves named `rec`. Set semantics (`UNION`),
+    /// cap [`DEFAULT_FIXPOINT_CAP`]; see [`Plan::with_fixpoint_cap`].
+    pub fn fixpoint(self, step: Plan, rec: impl Into<Arc<str>>, columns: &[&str]) -> Plan {
+        Plan::Fixpoint {
+            base: Box::new(self),
+            step: Box::new(step),
+            rec: rec.into(),
+            columns: columns.iter().map(|c| Arc::from(*c)).collect(),
+            all: false,
+            cap: DEFAULT_FIXPOINT_CAP,
+        }
+    }
+
+    /// A recursive-relation reference for use inside a fixpoint's step.
+    pub fn rec(name: impl Into<Arc<str>>, columns: &[&str]) -> Plan {
+        Plan::Rec {
+            name: name.into(),
+            columns: columns.iter().map(|c| Arc::from(*c)).collect(),
+        }
+    }
+
+    /// Overrides the iteration cap of a top-level [`Plan::Fixpoint`]
+    /// (no-op on other plan shapes).
+    pub fn with_fixpoint_cap(mut self, new_cap: usize) -> Plan {
+        if let Plan::Fixpoint { cap, .. } = &mut self {
+            *cap = new_cap;
+        }
+        self
+    }
+
     /// Output column names of this plan against a database catalog.
     pub fn output_columns(&self, db: &Database) -> Result<Vec<Arc<str>>, PlanError> {
         match self {
@@ -329,6 +399,48 @@ impl Plan {
                 }
                 Ok(l)
             }
+            Plan::Fixpoint {
+                base,
+                step,
+                columns,
+                ..
+            } => {
+                let b = base.output_columns(db)?;
+                let s = step.output_columns(db)?;
+                if b.len() != columns.len() || s.len() != columns.len() {
+                    return Err(PlanError::UnknownColumn(format!(
+                        "recursive terms arity mismatch: base {} vs step {} vs declared {}",
+                        b.len(),
+                        s.len(),
+                        columns.len()
+                    )));
+                }
+                check_unique(columns)?;
+                Ok(columns.clone())
+            }
+            Plan::Rec { columns, .. } => {
+                check_unique(columns)?;
+                Ok(columns.clone())
+            }
+        }
+    }
+
+    /// True when the plan contains a [`Plan::Fixpoint`] (or a stray
+    /// [`Plan::Rec`]) anywhere — i.e. it needs an engine that understands
+    /// recursion.
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            Plan::Fixpoint { .. } | Plan::Rec { .. } => true,
+            Plan::Scan { .. } => false,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Distinct { input } => input.is_recursive(),
+            Plan::Product { left, right }
+            | Plan::Join { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Difference { left, right }
+            | Plan::Intersect { left, right } => left.is_recursive() || right.is_recursive(),
         }
     }
 
@@ -356,6 +468,13 @@ impl Plan {
                 left.collect_base_relations(out);
                 right.collect_base_relations(out);
             }
+            Plan::Fixpoint { base, step, .. } => {
+                base.collect_base_relations(out);
+                step.collect_base_relations(out);
+            }
+            // A Rec leaf names the fixpoint's own output, not a stored
+            // relation.
+            Plan::Rec { .. } => {}
         }
     }
 }
@@ -396,6 +515,17 @@ impl fmt::Display for Plan {
             Plan::Union { left, right } => write!(f, "({left} ∪ {right})"),
             Plan::Difference { left, right } => write!(f, "({left} ∖ {right})"),
             Plan::Intersect { left, right } => write!(f, "({left} ∩ {right})"),
+            Plan::Fixpoint {
+                base,
+                step,
+                rec,
+                all,
+                ..
+            } => {
+                let sem = if *all { "all" } else { "set" };
+                write!(f, "μ[{rec};{sem}]({base}, {step})")
+            }
+            Plan::Rec { name, .. } => write!(f, "Rec({name})"),
         }
     }
 }

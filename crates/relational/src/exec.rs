@@ -82,12 +82,28 @@ impl fmt::Display for QueryResult {
 pub enum ExecError {
     /// Plan failed validation or binding.
     Plan(PlanError),
+    /// A [`Plan::Fixpoint`] failed to converge within its iteration cap
+    /// (divergent recursion — e.g. `UNION ALL` over a cyclic graph, or a
+    /// non-monotone recursive term).
+    FixpointLimit {
+        /// The configured iteration cap that was exceeded.
+        cap: usize,
+    },
+    /// A [`Plan::Rec`] leaf appeared outside any enclosing fixpoint binding
+    /// its name.
+    UnboundRecursion(String),
 }
 
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Plan(p) => write!(f, "plan error: {p}"),
+            ExecError::FixpointLimit { cap } => {
+                write!(f, "recursive query exceeded the iteration cap ({cap})")
+            }
+            ExecError::UnboundRecursion(name) => {
+                write!(f, "recursive reference `{name}` outside its fixpoint")
+            }
         }
     }
 }
@@ -105,7 +121,7 @@ impl From<PlanError> for ExecError {
 pub fn execute(plan: &Plan, db: &Database) -> Result<(QueryResult, ExecStats), ExecError> {
     let mut stats = ExecStats::default();
     let columns = plan.output_columns(db)?;
-    let rows = eval(plan, db, &mut stats)?;
+    let rows = eval(plan, db, None, &mut stats)?;
     Ok((QueryResult { columns, rows }, stats))
 }
 
@@ -114,7 +130,32 @@ pub fn execute_simple(plan: &Plan, db: &Database) -> Result<QueryResult, ExecErr
     execute(plan, db).map(|(r, _)| r)
 }
 
-fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet, ExecError> {
+/// One frame of the recursion environment: inside a fixpoint's step, the
+/// recursive relation name is bound to the tuples accumulated so far.
+/// Frames form a borrow-stack so nested fixpoints shadow correctly.
+struct RecFrame<'a> {
+    parent: Option<&'a RecFrame<'a>>,
+    name: &'a str,
+    rows: &'a CountedSet,
+}
+
+fn rec_lookup<'a>(env: Option<&'a RecFrame<'a>>, name: &str) -> Option<&'a CountedSet> {
+    let mut cur = env;
+    while let Some(frame) = cur {
+        if frame.name == name {
+            return Some(frame.rows);
+        }
+        cur = frame.parent;
+    }
+    None
+}
+
+fn eval(
+    plan: &Plan,
+    db: &Database,
+    env: Option<&RecFrame<'_>>,
+    stats: &mut ExecStats,
+) -> Result<CountedSet, ExecError> {
     match plan {
         Plan::Scan { relation, .. } => {
             let rel = db
@@ -134,7 +175,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             }
             let in_cols = input.output_columns(db)?;
             let bound = bind(predicate, &in_cols)?;
-            let rows = eval(input, db, stats)?;
+            let rows = eval(input, db, env, stats)?;
             let mut out = CountedSet::new();
             for (t, c) in rows.iter() {
                 stats.rows_processed += 1;
@@ -147,7 +188,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
         Plan::Project { input, columns } => {
             let in_cols = input.output_columns(db)?;
             let indices = resolve_all(columns, &in_cols)?;
-            let rows = eval(input, db, stats)?;
+            let rows = eval(input, db, env, stats)?;
             let mut out = CountedSet::new();
             for (t, c) in rows.iter() {
                 stats.rows_processed += 1;
@@ -157,8 +198,8 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             Ok(out)
         }
         Plan::Product { left, right } => {
-            let l = eval(left, db, stats)?;
-            let r = eval(right, db, stats)?;
+            let l = eval(left, db, env, stats)?;
+            let r = eval(right, db, env, stats)?;
             let mut out = CountedSet::new();
             for (lt, lc) in l.iter() {
                 for (rt, rc) in r.iter() {
@@ -173,8 +214,8 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             let l_cols = left.output_columns(db)?;
             let r_cols = right.output_columns(db)?;
             let (lk, rk) = join_key_indices(on, &l_cols, &r_cols)?;
-            let l = eval(left, db, stats)?;
-            let r = eval(right, db, stats)?;
+            let l = eval(left, db, env, stats)?;
+            let r = eval(right, db, env, stats)?;
             // Hash join: build on the right, probe with the left. The table
             // keys hash via the tuples' cached fingerprints (see fasthash).
             let mut table: FxHashMap<Tuple, Vec<(&Tuple, i64)>> = FxHashMap::default();
@@ -206,7 +247,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             let in_cols = input.output_columns(db)?;
             let group_idx = resolve_all(group_by, &in_cols)?;
             let specs = bind_aggs(aggs, &in_cols)?;
-            let rows = eval(input, db, stats)?;
+            let rows = eval(input, db, env, stats)?;
             let mut groups: FxHashMap<Tuple, Vec<AggAcc>> = FxHashMap::default();
             for (t, c) in rows.iter() {
                 stats.rows_processed += 1;
@@ -232,7 +273,7 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             Ok(out)
         }
         Plan::Distinct { input } => {
-            let rows = eval(input, db, stats)?;
+            let rows = eval(input, db, env, stats)?;
             let mut out = CountedSet::new();
             for t in rows.support() {
                 stats.rows_processed += 1;
@@ -242,16 +283,16 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             Ok(out)
         }
         Plan::Union { left, right } => {
-            let mut l = eval(left, db, stats)?;
-            let r = eval(right, db, stats)?;
+            let mut l = eval(left, db, env, stats)?;
+            let r = eval(right, db, env, stats)?;
             stats.rows_processed += r.distinct_len() as u64;
             l.merge_owned(r);
             stats.intermediate_tuples += l.distinct_len() as u64;
             Ok(l)
         }
         Plan::Difference { left, right } => {
-            let l = eval(left, db, stats)?;
-            let r = eval(right, db, stats)?;
+            let l = eval(left, db, env, stats)?;
+            let r = eval(right, db, env, stats)?;
             let mut out = CountedSet::new();
             for (t, lc) in l.iter() {
                 stats.rows_processed += 1;
@@ -262,8 +303,8 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             Ok(out)
         }
         Plan::Intersect { left, right } => {
-            let l = eval(left, db, stats)?;
-            let r = eval(right, db, stats)?;
+            let l = eval(left, db, env, stats)?;
+            let r = eval(right, db, env, stats)?;
             let mut out = CountedSet::new();
             for (t, lc) in l.iter() {
                 stats.rows_processed += 1;
@@ -273,6 +314,84 @@ fn eval(plan: &Plan, db: &Database, stats: &mut ExecStats) -> Result<CountedSet,
             stats.intermediate_tuples += out.distinct_len() as u64;
             Ok(out)
         }
+        Plan::Fixpoint {
+            base,
+            step,
+            rec,
+            all,
+            cap,
+            ..
+        } => {
+            let base_rows = eval(base, db, env, stats)?;
+            let rows = if *all {
+                // Bag semantics (UNION ALL): working-table iteration. The
+                // answer is the sum of every step application; on cyclic
+                // data the working table never empties and the cap fires.
+                let mut acc = base_rows.clone();
+                let mut working = base_rows;
+                let mut iters = 0usize;
+                while !working.is_empty() {
+                    iters += 1;
+                    if iters > *cap {
+                        return Err(ExecError::FixpointLimit { cap: *cap });
+                    }
+                    let produced = {
+                        let frame = RecFrame {
+                            parent: env,
+                            name: rec,
+                            rows: &working,
+                        };
+                        eval(step, db, Some(&frame), stats)?
+                    };
+                    acc.merge(&produced);
+                    working = produced;
+                }
+                acc
+            } else {
+                // Set semantics (UNION): iterated naive fixpoint, the
+                // differential oracle for the circuit's semi-naive variant.
+                // Rᵢ₊₁ = δ(base ∪ step(Rᵢ)); stop when nothing new appears.
+                let mut acc = CountedSet::new();
+                for t in base_rows.support() {
+                    acc.add(t.clone(), 1);
+                }
+                let mut iters = 0usize;
+                loop {
+                    iters += 1;
+                    if iters > *cap {
+                        return Err(ExecError::FixpointLimit { cap: *cap });
+                    }
+                    let produced = {
+                        let frame = RecFrame {
+                            parent: env,
+                            name: rec,
+                            rows: &acc,
+                        };
+                        eval(step, db, Some(&frame), stats)?
+                    };
+                    let mut grew = false;
+                    for t in produced.support() {
+                        if !acc.contains(t) {
+                            acc.add(t.clone(), 1);
+                            grew = true;
+                        }
+                    }
+                    if !grew {
+                        break;
+                    }
+                }
+                acc
+            };
+            stats.intermediate_tuples += rows.distinct_len() as u64;
+            Ok(rows)
+        }
+        Plan::Rec { name, .. } => match rec_lookup(env, name) {
+            Some(rows) => {
+                stats.rows_processed += rows.distinct_len() as u64;
+                Ok(rows.clone())
+            }
+            None => Err(ExecError::UnboundRecursion(name.to_string())),
+        },
     }
 }
 

@@ -26,6 +26,7 @@
 //!   Algorithm 1 of the paper — the headline systems contribution).
 
 pub mod algebra;
+pub mod circuit;
 pub mod counted;
 pub mod database;
 pub mod delta;
@@ -39,8 +40,10 @@ pub mod storage;
 pub mod tuple;
 pub mod value;
 pub mod view;
+pub mod zset;
 
-pub use algebra::{AggExpr, AggFunc, Plan, PlanError};
+pub use algebra::{AggExpr, AggFunc, Plan, PlanError, DEFAULT_FIXPOINT_CAP};
+pub use circuit::{Circuit, CircuitError, CircuitStats};
 pub use counted::CountedSet;
 pub use database::{CatalogError, Database};
 pub use delta::DeltaSet;
@@ -53,4 +56,5 @@ pub use schema::{Column, Schema, SchemaError};
 pub use storage::{Relation, RowId, StorageError};
 pub use tuple::Tuple;
 pub use value::{Interner, Value, ValueType, F64};
-pub use view::{MaterializedView, ViewStats};
+pub use view::{MaterializedView, ViewBackend, ViewStats};
+pub use zset::{NegativeWeight, ZSet};

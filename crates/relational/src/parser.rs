@@ -13,7 +13,13 @@
 //! * predicates with `= <> < <= > >= AND OR NOT IS [NOT] NULL`,
 //!   parentheses, string/number/boolean/NULL literals;
 //! * `UNION / EXCEPT / INTERSECT`, each with an optional `ALL`
-//!   (`INTERSECT` binds tighter than `UNION`/`EXCEPT`, as in standard SQL).
+//!   (`INTERSECT` binds tighter than `UNION`/`EXCEPT`, as in standard SQL);
+//! * a `WITH RECURSIVE`-lite prefix — exactly one recursive CTE of the form
+//!   `WITH RECURSIVE R (c, …) AS (base UNION [ALL] step) body`, lowering to
+//!   [`Plan::Fixpoint`]. The last top-level `UNION` inside the parentheses
+//!   splits base from step (so the recursive term comes last, as in standard
+//!   SQL); the base term may not reference `R`, and references to `R` in the
+//!   body may not carry an alias.
 //!
 //! Parsing produces a [`SqlQuery`] AST whose [`fmt::Display`] prints
 //! canonical SQL — `parse ∘ print` is a fixpoint, which the round-trip
@@ -41,7 +47,7 @@
 //! assert!(parse("SELECT FROM WHERE").is_err());
 //! ```
 
-use crate::algebra::{AggExpr, AggFunc, Plan};
+use crate::algebra::{AggExpr, AggFunc, Plan, DEFAULT_FIXPOINT_CAP};
 use crate::expr::{CmpOp, Expr};
 use crate::value::Value;
 use std::fmt;
@@ -371,6 +377,27 @@ pub enum SqlQuery {
         /// Right input.
         right: Box<SqlQuery>,
     },
+    /// `WITH RECURSIVE name (columns) AS (base UNION [ALL] step) body`.
+    ///
+    /// One linear-recursive CTE. The base term seeds the recursion and may
+    /// not reference `name`; the step term references `name` as a table and
+    /// re-fires until a fixpoint (`UNION`) or an empty working table
+    /// (`UNION ALL`); the body consumes the closed relation.
+    WithRecursive {
+        /// The recursive relation's name.
+        name: Arc<str>,
+        /// Its declared column names (renames whatever the base emits).
+        columns: Vec<Arc<str>>,
+        /// `true` for `UNION ALL` (bag accumulation — diverges to the
+        /// iteration cap on cyclic data), `false` for `UNION` (set).
+        all: bool,
+        /// The non-recursive seed term.
+        base: Box<SqlQuery>,
+        /// The recursive term (no top-level `UNION` of its own).
+        step: Box<SqlQuery>,
+        /// The query consuming the recursive relation.
+        body: Box<SqlQuery>,
+    },
 }
 
 /// Parses a SQL query into its AST.
@@ -384,7 +411,11 @@ pub fn parse(sql: &str) -> Result<SqlQuery, ParseError> {
         expr_nodes: 0,
         selects: 0,
     };
-    let q = p.query()?;
+    let q = if p.peek_kw("WITH") {
+        p.with_recursive()?
+    } else {
+        p.query()?
+    };
     if let Some((_, off)) = p.peek_raw() {
         return Err(ParseError::at("trailing input after query", *off));
     }
@@ -497,6 +528,58 @@ impl Parser {
         } else {
             Ok(Arc::from(head))
         }
+    }
+
+    // with_recursive := WITH RECURSIVE ident "(" ident ("," ident)* ")"
+    //                   AS "(" query ")" query
+    //
+    // Only valid at the very top of a statement (so recursion cannot nest),
+    // and the parenthesized query must be a top-level UNION: its last
+    // operand is the recursive step, everything left of it the base. Since
+    // `query` is left-associative the step is always a single
+    // `intersect_term`, which keeps printing unambiguous.
+    fn with_recursive(&mut self) -> Result<SqlQuery, ParseError> {
+        self.expect_kw("WITH")?;
+        self.expect_kw("RECURSIVE")?;
+        let name: Arc<str> = Arc::from(self.ident()?);
+        self.expect_sym("(")?;
+        let mut columns = vec![Arc::from(self.ident()?)];
+        while self.eat_sym(",") {
+            columns.push(Arc::from(self.ident()?));
+        }
+        self.expect_sym(")")?;
+        self.expect_kw("AS")?;
+        let cte_off = self.offset();
+        self.expect_sym("(")?;
+        let cte = self.query()?;
+        self.expect_sym(")")?;
+        let SqlQuery::SetOp {
+            op: SetOp::Union,
+            all,
+            left: base,
+            right: step,
+        } = cte
+        else {
+            return Err(ParseError::at(
+                "recursive CTE must be `base UNION [ALL] step`",
+                cte_off,
+            ));
+        };
+        if references_table(&base, &name) {
+            return Err(ParseError::at(
+                format!("the non-recursive term may not reference `{name}`"),
+                cte_off,
+            ));
+        }
+        let body = Box::new(self.query()?);
+        Ok(SqlQuery::WithRecursive {
+            name,
+            columns,
+            all,
+            base,
+            step,
+            body,
+        })
     }
 
     // query := intersect_term ((UNION|EXCEPT) [ALL] intersect_term)*
@@ -871,7 +954,22 @@ const RESERVED: &[&str] = &[
     "MIN",
     "MAX",
     "FILTER",
+    "WITH",
+    "RECURSIVE",
 ];
+
+/// True when `q` scans `name` anywhere in a FROM clause.
+fn references_table(q: &SqlQuery, name: &str) -> bool {
+    match q {
+        SqlQuery::Select(s) => s.from.iter().any(|item| {
+            &*item.base.relation == name || item.joins.iter().any(|j| &*j.table.relation == name)
+        }),
+        SqlQuery::SetOp { left, right, .. } => {
+            references_table(left, name) || references_table(right, name)
+        }
+        SqlQuery::WithRecursive { .. } => unreachable!("WITH cannot nest"),
+    }
+}
 
 // -------------------------------------------------------------- lowering --
 
@@ -910,8 +1008,117 @@ impl SqlQuery {
                     }
                 })
             }
+            SqlQuery::WithRecursive {
+                name,
+                columns,
+                all,
+                base,
+                step,
+                body,
+            } => {
+                // Scans of the recursive relation in the step become Rec
+                // leaves carrying the declared columns (alias-qualified when
+                // the reference is aliased, mirroring Scan's naming).
+                let step = rewrite_scans(step.to_plan()?, &mut |relation, alias| {
+                    if *relation != **name {
+                        return Ok(Plan::Scan { relation, alias });
+                    }
+                    let cols: Vec<Arc<str>> = match &alias {
+                        Some(a) => columns
+                            .iter()
+                            .map(|c| Arc::from(format!("{a}.{c}")))
+                            .collect(),
+                        None => columns.clone(),
+                    };
+                    Ok(Plan::Rec {
+                        name: relation,
+                        columns: cols,
+                    })
+                })?;
+                let fix = Plan::Fixpoint {
+                    base: Box::new(base.to_plan()?),
+                    step: Box::new(step),
+                    rec: Arc::clone(name),
+                    columns: columns.clone(),
+                    all: *all,
+                    cap: DEFAULT_FIXPOINT_CAP,
+                };
+                // Scans of the recursive relation in the body splice in the
+                // whole fixpoint. There is no rename operator, so an alias
+                // there has nothing to attach to.
+                rewrite_scans(body.to_plan()?, &mut |relation, alias| {
+                    if *relation == **name {
+                        if let Some(a) = alias {
+                            return Err(ParseError::new(format!(
+                                "alias `{a}` on recursive relation `{name}` \
+                                 is not supported outside the recursive term"
+                            )));
+                        }
+                        Ok(fix.clone())
+                    } else {
+                        Ok(Plan::Scan { relation, alias })
+                    }
+                })
+            }
         }
     }
+}
+
+/// Rebuilds a plan bottom-up, letting `f` replace every [`Plan::Scan`] leaf.
+///
+/// Freshly lowered SELECT terms contain no `Fixpoint`/`Rec` nodes, but body
+/// substitution runs after the step's, so spliced subtrees must pass through
+/// untouched — hence those arms return the node as-is.
+fn rewrite_scans<F>(plan: Plan, f: &mut F) -> Result<Plan, ParseError>
+where
+    F: FnMut(Arc<str>, Option<Arc<str>>) -> Result<Plan, ParseError>,
+{
+    let boxed = |p: Plan, f: &mut F| rewrite_scans(p, f).map(Box::new);
+    Ok(match plan {
+        Plan::Scan { relation, alias } => f(relation, alias)?,
+        Plan::Select { input, predicate } => Plan::Select {
+            input: boxed(*input, f)?,
+            predicate,
+        },
+        Plan::Project { input, columns } => Plan::Project {
+            input: boxed(*input, f)?,
+            columns,
+        },
+        Plan::Product { left, right } => Plan::Product {
+            left: boxed(*left, f)?,
+            right: boxed(*right, f)?,
+        },
+        Plan::Join { left, right, on } => Plan::Join {
+            left: boxed(*left, f)?,
+            right: boxed(*right, f)?,
+            on,
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Plan::Aggregate {
+            input: boxed(*input, f)?,
+            group_by,
+            aggs,
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: boxed(*input, f)?,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: boxed(*left, f)?,
+            right: boxed(*right, f)?,
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: boxed(*left, f)?,
+            right: boxed(*right, f)?,
+        },
+        Plan::Intersect { left, right } => Plan::Intersect {
+            left: boxed(*left, f)?,
+            right: boxed(*right, f)?,
+        },
+        p @ (Plan::Fixpoint { .. } | Plan::Rec { .. }) => p,
+    })
 }
 
 impl SelectStmt {
@@ -1148,6 +1355,27 @@ impl fmt::Display for SqlQuery {
                     SetOp::Intersect => "INTERSECT",
                 };
                 write!(f, "{left} {kw}{} {right}", if *all { " ALL" } else { "" })
+            }
+            SqlQuery::WithRecursive {
+                name,
+                columns,
+                all,
+                base,
+                step,
+                body,
+            } => {
+                write!(f, "WITH RECURSIVE {name} (")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str(c)?;
+                }
+                write!(
+                    f,
+                    ") AS ({base} UNION{} {step}) {body}",
+                    if *all { " ALL" } else { "" }
+                )
             }
         }
     }
@@ -1724,5 +1952,125 @@ mod tests {
         let res = execute_simple(&plan, &db).unwrap();
         // doc 1: tok 1 + 3 = 4 (tok 2 is O).
         assert!(res.rows.contains(&tuple![1i64, 4i64]));
+    }
+
+    fn link_db() -> Database {
+        let mut db = Database::new();
+        let schema =
+            Schema::from_pairs(&[("src", ValueType::Int), ("dst", ValueType::Int)]).unwrap();
+        db.create_relation("LINK", schema).unwrap();
+        let rel = db.relation_mut("LINK").unwrap();
+        for (s, d) in [(1i64, 2i64), (2, 3), (5, 6)] {
+            rel.insert(tuple![s, d]).unwrap();
+        }
+        db
+    }
+
+    const CLOSURE_SQL: &str = "WITH RECURSIVE REACH (a, b) AS \
+         (SELECT src, dst FROM LINK \
+          UNION SELECT r.a, l.dst FROM REACH r JOIN LINK l ON r.b = l.src) \
+         SELECT * FROM REACH";
+
+    #[test]
+    fn with_recursive_roundtrips() {
+        roundtrip(CLOSURE_SQL);
+        // Bag variant, unaliased step, projecting body.
+        roundtrip(
+            "WITH RECURSIVE R (a, b) AS \
+             (SELECT src, dst FROM LINK UNION ALL \
+              SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT a FROM R WHERE b > 2",
+        );
+        // A base that is itself a union still splits at the LAST union.
+        roundtrip(
+            "WITH RECURSIVE R (a, b) AS \
+             (SELECT src, dst FROM LINK UNION SELECT dst, src FROM LINK \
+              UNION SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT * FROM R",
+        );
+    }
+
+    #[test]
+    fn transitive_closure_lowers_and_executes() {
+        let db = link_db();
+        let plan = parse_plan(CLOSURE_SQL).unwrap();
+        assert!(plan.is_recursive());
+        let res = execute_simple(&plan, &db).unwrap();
+        assert_eq!(res.rows.distinct_len(), 4, "{:?}", res.rows);
+        assert!(res.rows.contains(&tuple![1i64, 3i64]), "derived 1→3");
+        // Declared CTE columns rename the base's output.
+        assert_eq!(res.columns, vec![Arc::<str>::from("a"), Arc::from("b")]);
+    }
+
+    #[test]
+    fn with_recursive_splits_base_from_step_at_last_union() {
+        let sql = "WITH RECURSIVE R (a, b) AS \
+             (SELECT src, dst FROM LINK UNION SELECT dst, src FROM LINK \
+              UNION SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT * FROM R";
+        let SqlQuery::WithRecursive { base, step, .. } = parse(sql).unwrap() else {
+            panic!("expected WITH RECURSIVE");
+        };
+        assert!(
+            matches!(*base, SqlQuery::SetOp { .. }),
+            "base keeps both seeds"
+        );
+        assert!(references_table(&step, "R"));
+        // Executes: the reversed seeds participate (3→2 ∘ 2→3 gives 3→3),
+        // which only happens if BOTH unions landed in the base.
+        let res = execute_simple(&parse_plan(sql).unwrap(), &link_db()).unwrap();
+        assert!(res.rows.contains(&tuple![3i64, 3i64]), "{:?}", res.rows);
+    }
+
+    #[test]
+    fn with_recursive_bag_variant_sets_all() {
+        let plan = parse_plan(
+            "WITH RECURSIVE R (a, b) AS \
+             (SELECT src, dst FROM LINK UNION ALL \
+              SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT * FROM R",
+        )
+        .unwrap();
+        let Plan::Fixpoint { all, cap, .. } = plan else {
+            panic!("expected a fixpoint at the root, got {plan}");
+        };
+        assert!(all);
+        assert_eq!(cap, DEFAULT_FIXPOINT_CAP);
+    }
+
+    #[test]
+    fn with_recursive_rejects_malformed_forms() {
+        // No UNION splitting base from step.
+        assert!(
+            parse("WITH RECURSIVE R (a, b) AS (SELECT src, dst FROM LINK) SELECT * FROM R")
+                .is_err()
+        );
+        // Base references the CTE.
+        assert!(parse(
+            "WITH RECURSIVE R (a, b) AS \
+             (SELECT a, b FROM R UNION SELECT src, dst FROM LINK) SELECT * FROM R"
+        )
+        .is_err());
+        // WITH cannot nest inside the CTE (query() never accepts WITH).
+        assert!(parse(
+            "WITH RECURSIVE R (a, b) AS \
+             (WITH RECURSIVE S (x, y) AS (SELECT src, dst FROM LINK UNION \
+              SELECT x, dst FROM S JOIN LINK ON y = src) SELECT * FROM S \
+              UNION SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT * FROM R"
+        )
+        .is_err());
+        // Alias on the recursive relation outside the recursive term is a
+        // lowering error (there is no rename operator to hang it on).
+        assert!(parse_plan(
+            "WITH RECURSIVE R (a, b) AS \
+             (SELECT src, dst FROM LINK UNION \
+              SELECT a, dst FROM R JOIN LINK ON b = src) \
+             SELECT q.a FROM R q"
+        )
+        .is_err());
+        // Reserved words stay reserved.
+        assert!(parse("SELECT with FROM TOKEN").is_err());
+        assert!(parse("SELECT recursive FROM TOKEN").is_err());
     }
 }

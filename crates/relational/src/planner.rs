@@ -211,6 +211,11 @@ pub fn estimate_rows(plan: &Plan, db: &Database) -> f64 {
         Plan::Union { left, right } => estimate_rows(left, db) + estimate_rows(right, db),
         Plan::Difference { left, right: _ } => estimate_rows(left, db),
         Plan::Intersect { left, right } => estimate_rows(left, db).min(estimate_rows(right, db)),
+        // A closure typically multiplies its seed by a small path factor;
+        // the exact size is data-dependent, so stay deliberately coarse.
+        Plan::Fixpoint { base, .. } => estimate_rows(base, db) * 4.0,
+        // A Rec leaf's cardinality is the fixpoint's, unknowable locally.
+        Plan::Rec { .. } => 100.0,
     }
 }
 
@@ -295,6 +300,14 @@ fn declared_type(plan: &Plan, db: &Database, name: &str) -> Option<ValueType> {
             let tr = declared_type(right, db, r_cols.get(j)?)?;
             (tl == tr).then_some(tl)
         }
+        Plan::Fixpoint { base, columns, .. } => {
+            // The fixpoint's columns are positionally those of its base term.
+            let j = resolve_column(columns, name)?;
+            let base_cols = base.output_columns(db).ok()?;
+            declared_type(base, db, base_cols.get(j)?)
+        }
+        // A Rec leaf has no catalog anchor — conservatively unknown.
+        Plan::Rec { .. } => None,
     }
 }
 
@@ -386,6 +399,26 @@ fn rewrite(
             left: Box::new(rewrite(*left, db, false, rep)?),
             right: Box::new(rewrite(*right, db, false, rep)?),
         }),
+        // A fixpoint is a rewrite barrier: its terms are optimized
+        // independently (column order across iterations is positional, so
+        // order-changing rewrites stay disabled), and nothing migrates
+        // across the recursion boundary.
+        Plan::Fixpoint {
+            base,
+            step,
+            rec,
+            columns,
+            all,
+            cap,
+        } => Ok(Plan::Fixpoint {
+            base: Box::new(rewrite(*base, db, false, rep)?),
+            step: Box::new(rewrite(*step, db, false, rep)?),
+            rec,
+            columns,
+            all,
+            cap,
+        }),
+        Plan::Rec { .. } => Ok(plan),
     }
 }
 
@@ -511,6 +544,10 @@ fn push_preds(
             push_into_setop(*left, *right, SetOpShape::Intersect, preds, db, rep)
         }
         Plan::Scan { .. } => Ok(wrap(plan, preds)),
+        // Pushing predicates across the recursion boundary is unsound in
+        // general (a predicate that prunes intermediate closure tuples
+        // changes the fixpoint), so a fixpoint is a pushdown barrier.
+        Plan::Fixpoint { .. } | Plan::Rec { .. } => Ok(wrap(plan, preds)),
     }
 }
 

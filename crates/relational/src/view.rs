@@ -50,6 +50,7 @@
 //! ```
 
 use crate::algebra::{Plan, PlanError};
+use crate::circuit::{Circuit, CircuitError, CircuitStats};
 use crate::counted::CountedSet;
 use crate::database::Database;
 use crate::delta::DeltaSet;
@@ -72,24 +73,182 @@ pub struct ViewStats {
     pub init_tuples_scanned: u64,
 }
 
-/// A query answer maintained incrementally under world deltas.
+/// Which maintenance engine services a [`MaterializedView`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ViewBackend {
+    /// The original per-node operator tree. Battle-tested, but cannot
+    /// express recursive plans and silently absorbs inconsistent deltas.
+    Legacy,
+    /// The Z-set operator circuit ([`crate::circuit`]): same incremental
+    /// contract, plus recursion ([`Plan::Fixpoint`]) and typed errors.
+    #[default]
+    Circuit,
+}
+
+impl ViewBackend {
+    /// Backend selection from the environment: `FGDB_VIEW_BACKEND=legacy`
+    /// opts out of circuits; anything else (or unset) selects the circuit
+    /// backend. Recursive plans always use circuits regardless.
+    pub fn from_env() -> ViewBackend {
+        match std::env::var("FGDB_VIEW_BACKEND") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => ViewBackend::Legacy,
+            _ => ViewBackend::Circuit,
+        }
+    }
+}
+
+/// A query answer maintained incrementally under world deltas, serviced by
+/// either maintenance engine behind one registration API (the transition
+/// selector the circuit rollout ships behind).
 pub struct MaterializedView {
+    inner: ViewImpl,
+    poisoned: Option<CircuitError>,
+}
+
+enum ViewImpl {
+    Legacy(LegacyView),
+    Circuit(Circuit),
+}
+
+impl MaterializedView {
+    /// Compiles `plan` and runs the one-time full evaluation over the
+    /// initial world `w₀` (Algorithm 1 line 2: "run full query to get
+    /// initial results"). The backend comes from [`ViewBackend::from_env`];
+    /// recursive plans force the circuit backend.
+    pub fn new(plan: &Plan, db: &Database) -> Result<Self, CircuitError> {
+        let backend = if plan.is_recursive() {
+            ViewBackend::Circuit
+        } else {
+            ViewBackend::from_env()
+        };
+        Self::with_backend(plan, db, backend)
+    }
+
+    /// Compiles `plan` on an explicitly chosen backend. Selecting
+    /// [`ViewBackend::Legacy`] for a recursive plan is a typed error.
+    pub fn with_backend(
+        plan: &Plan,
+        db: &Database,
+        backend: ViewBackend,
+    ) -> Result<Self, CircuitError> {
+        let inner = match backend {
+            ViewBackend::Legacy => ViewImpl::Legacy(LegacyView::new(plan, db)?),
+            ViewBackend::Circuit => ViewImpl::Circuit(Circuit::new(plan, db)?),
+        };
+        Ok(MaterializedView {
+            inner,
+            poisoned: None,
+        })
+    }
+
+    /// The engine servicing this view.
+    pub fn backend(&self) -> ViewBackend {
+        match &self.inner {
+            ViewImpl::Legacy(_) => ViewBackend::Legacy,
+            ViewImpl::Circuit(_) => ViewBackend::Circuit,
+        }
+    }
+
+    /// Applies a world delta, updating the maintained answer and returning
+    /// the answer's own signed delta (what Algorithm 1 line 5 consumes).
+    ///
+    /// A delta disjoint from the view's source relations short-circuits at
+    /// the root: no operator recursion, no per-node allocation. A circuit
+    /// error (inconsistent stream, iteration cap) poisons the view — see
+    /// [`MaterializedView::error`] — and yields an empty delta; callers
+    /// that need the typed error use [`MaterializedView::try_apply_delta`].
+    pub fn apply_delta(&mut self, deltas: &DeltaSet) -> CountedSet {
+        match self.try_apply_delta(deltas) {
+            Ok(out) => out,
+            Err(e) => {
+                self.poisoned = Some(e);
+                CountedSet::new()
+            }
+        }
+    }
+
+    /// Fallible delta application: the circuit backend's typed errors
+    /// propagate instead of poisoning the view silently. The legacy
+    /// backend is infallible.
+    pub fn try_apply_delta(&mut self, deltas: &DeltaSet) -> Result<CountedSet, CircuitError> {
+        match &mut self.inner {
+            ViewImpl::Legacy(v) => Ok(v.apply_delta(deltas)),
+            ViewImpl::Circuit(c) => c.apply_delta(deltas),
+        }
+    }
+
+    /// The first error that poisoned this view via
+    /// [`MaterializedView::apply_delta`], if any. A poisoned view's answer
+    /// is no longer trustworthy and should be rebuilt.
+    pub fn error(&self) -> Option<&CircuitError> {
+        self.poisoned.as_ref()
+    }
+
+    /// The current maintained answer multiset.
+    pub fn result(&self) -> &CountedSet {
+        match &self.inner {
+            ViewImpl::Legacy(v) => &v.result,
+            ViewImpl::Circuit(c) => c.result(),
+        }
+    }
+
+    /// Output column names.
+    pub fn columns(&self) -> &[Arc<str>] {
+        match &self.inner {
+            ViewImpl::Legacy(v) => &v.columns,
+            ViewImpl::Circuit(c) => c.columns(),
+        }
+    }
+
+    /// Base relations this view reads (sorted, deduplicated). Deltas
+    /// disjoint from this set are guaranteed no-ops.
+    pub fn source_relations(&self) -> &[Arc<str>] {
+        match &self.inner {
+            ViewImpl::Legacy(v) => &v.root.sources,
+            ViewImpl::Circuit(c) => c.source_relations(),
+        }
+    }
+
+    /// Work counters (backend-agnostic subset).
+    pub fn stats(&self) -> ViewStats {
+        match &self.inner {
+            ViewImpl::Legacy(v) => v.stats,
+            ViewImpl::Circuit(c) => {
+                let s = c.stats();
+                ViewStats {
+                    deltas_applied: s.deltas_applied,
+                    delta_rows_processed: s.delta_rows_processed,
+                    init_tuples_scanned: s.init_tuples_scanned,
+                }
+            }
+        }
+    }
+
+    /// Circuit-specific counters (recursion iterations, rebuilds) when the
+    /// circuit backend services this view.
+    pub fn circuit_stats(&self) -> Option<CircuitStats> {
+        match &self.inner {
+            ViewImpl::Legacy(_) => None,
+            ViewImpl::Circuit(c) => Some(c.stats()),
+        }
+    }
+}
+
+/// The original operator-tree engine (see module docs).
+struct LegacyView {
     root: Node,
     result: CountedSet,
     columns: Vec<Arc<str>>,
     stats: ViewStats,
 }
 
-impl MaterializedView {
-    /// Compiles `plan` and runs the one-time full evaluation over the
-    /// initial world `w₀` (Algorithm 1 line 2: "run full query to get
-    /// initial results").
-    pub fn new(plan: &Plan, db: &Database) -> Result<Self, ExecError> {
+impl LegacyView {
+    fn new(plan: &Plan, db: &Database) -> Result<Self, CircuitError> {
         let columns = plan.output_columns(db)?;
         let mut root = compile(plan, db)?;
         let mut stats = ViewStats::default();
-        let result = root.init(db, &mut stats)?;
-        Ok(MaterializedView {
+        let result = root.init(db, &mut stats).map_err(CircuitError::Exec)?;
+        Ok(LegacyView {
             root,
             result,
             columns,
@@ -97,12 +256,7 @@ impl MaterializedView {
         })
     }
 
-    /// Applies a world delta, updating the maintained answer and returning
-    /// the answer's own signed delta (what Algorithm 1 line 5 consumes).
-    ///
-    /// A delta disjoint from the view's source relations short-circuits at
-    /// the root: no operator-tree recursion, no per-node allocation.
-    pub fn apply_delta(&mut self, deltas: &DeltaSet) -> CountedSet {
+    fn apply_delta(&mut self, deltas: &DeltaSet) -> CountedSet {
         self.stats.deltas_applied += 1;
         let out = self
             .root
@@ -110,27 +264,6 @@ impl MaterializedView {
             .into_counted();
         self.result.merge(&out);
         out
-    }
-
-    /// The current maintained answer multiset.
-    pub fn result(&self) -> &CountedSet {
-        &self.result
-    }
-
-    /// Output column names.
-    pub fn columns(&self) -> &[Arc<str>] {
-        &self.columns
-    }
-
-    /// Base relations this view reads (sorted, deduplicated). Deltas
-    /// disjoint from this set are guaranteed no-ops.
-    pub fn source_relations(&self) -> &[Arc<str>] {
-        &self.root.sources
-    }
-
-    /// Work counters.
-    pub fn stats(&self) -> ViewStats {
-        self.stats
     }
 }
 
@@ -249,14 +382,14 @@ enum Op {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum SetOpKind {
+pub(crate) enum SetOpKind {
     Difference,
     Intersect,
 }
 
 impl SetOpKind {
     /// Output multiplicity of a tuple given its input multiplicities.
-    fn out_count(self, l: i64, r: i64) -> i64 {
+    pub(crate) fn out_count(self, l: i64, r: i64) -> i64 {
         match self {
             SetOpKind::Difference => (l - r).max(0),
             SetOpKind::Intersect => l.min(r).max(0),
@@ -264,15 +397,15 @@ impl SetOpKind {
     }
 }
 
-struct GroupState {
+pub(crate) struct GroupState {
     /// Total input multiplicity in the group (existence test: n > 0, except
     /// the global group which always exists).
-    n: i64,
-    accs: Vec<AggAcc>,
+    pub(crate) n: i64,
+    pub(crate) accs: Vec<AggAcc>,
 }
 
 impl GroupState {
-    fn new(specs: &[AggSpec]) -> Self {
+    pub(crate) fn new(specs: &[AggSpec]) -> Self {
         GroupState {
             n: 0,
             accs: specs.iter().map(AggAcc::new).collect(),
@@ -281,7 +414,7 @@ impl GroupState {
 
     /// Assembles the group's output row through a reusable buffer: one
     /// tuple allocation, no intermediate `Vec` per call.
-    fn output(&self, key: &[Value], buf: &mut Vec<Value>) -> Tuple {
+    pub(crate) fn output(&self, key: &[Value], buf: &mut Vec<Value>) -> Tuple {
         buf.clear();
         buf.extend_from_slice(key);
         buf.extend(self.accs.iter().map(AggAcc::finish));
@@ -289,7 +422,7 @@ impl GroupState {
     }
 }
 
-fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
+fn compile(plan: &Plan, db: &Database) -> Result<Node, CircuitError> {
     let op = match plan {
         Plan::Scan { relation, .. } => {
             // Verify the relation exists up front.
@@ -398,6 +531,11 @@ fn compile(plan: &Plan, db: &Database) -> Result<Node, ExecError> {
                 left_state: CountedSet::new(),
                 right_state: CountedSet::new(),
             }
+        }
+        Plan::Fixpoint { .. } | Plan::Rec { .. } => {
+            return Err(CircuitError::Unsupported(
+                "recursive plans require the circuit backend".into(),
+            ))
         }
     };
     Ok(Node {

@@ -1,0 +1,185 @@
+//! Coreference chains as a recursive view over an uncertain link relation.
+//!
+//! Coreference in its *antecedent-link* representation: each mention carries
+//! one uncertain pointer to an earlier mention (or to itself, starting a new
+//! entity), so a coref chain is exactly the transitive closure of the LINK
+//! relation. MCMC churns the pointers; a `WITH RECURSIVE` view maintains the
+//! closure incrementally via the Z-set circuit backend, and marginalizing the
+//! view over samples yields P(mention a is anaphoric to mention b).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example coref_chains
+//! ```
+
+use fgdb::prelude::*;
+
+/// (surface string, gender tag, is-pronoun) per mention, in document order.
+const MENTIONS: [(&str, char, bool); 10] = [
+    ("Barack Obama", 'm', false),
+    ("the president", 'm', false),
+    ("he", 'm', true),
+    ("Hillary Clinton", 'f', false),
+    ("she", 'f', true),
+    ("Obama", 'm', false),
+    ("the senator", 'f', false),
+    ("he", 'm', true),
+    ("Clinton", 'f', false),
+    ("her", 'f', true),
+];
+
+/// Reachability along antecedent pointers = chain membership.
+const CHAIN_SQL: &str = "WITH RECURSIVE R (a, b) AS \
+    (SELECT src, dst FROM LINK \
+     UNION SELECT r.a, l.dst FROM R r JOIN LINK l ON r.b = l.src) \
+    SELECT a, b FROM R";
+
+fn head(s: &str) -> &str {
+    s.rsplit(' ').next().unwrap_or(s)
+}
+
+/// Log-affinity for mention `i` choosing antecedent `j` (j == i ⇒ new
+/// entity). Head match binds names strongly; pronouns want a nearby
+/// gender-compatible antecedent; everything else is repelled.
+fn affinity(i: usize, j: usize) -> f64 {
+    if i == j {
+        return 0.0;
+    }
+    let (si, gi, pron_i) = MENTIONS[i];
+    let (sj, gj, _) = MENTIONS[j];
+    let dist = 0.3 * (i - j) as f64;
+    if pron_i {
+        if gi == gj {
+            2.0 - dist
+        } else {
+            -3.0
+        }
+    } else if head(si).eq_ignore_ascii_case(head(sj)) {
+        4.0 - 0.1 * (i - j) as f64
+    } else if gi == gj {
+        0.5 - dist
+    } else {
+        -2.0
+    }
+}
+
+/// Builds LINK(src, dst) with every mention a singleton (dst = src), one
+/// antecedent variable per mention, and per-variable affinity factors.
+fn build_pdb(seed: u64) -> ProbabilisticDB<FactorGraph> {
+    let n = MENTIONS.len();
+    let mut db = Database::new();
+    let schema = Schema::from_pairs(&[("src", ValueType::Int), ("dst", ValueType::Int)])
+        .unwrap()
+        .with_primary_key("src")
+        .unwrap();
+    db.create_relation("LINK", schema).unwrap();
+    let mut rows = Vec::new();
+    for i in 0..n as i64 {
+        rows.push(
+            db.relation_mut("LINK")
+                .unwrap()
+                .insert(Tuple::new(vec![Value::Int(i), Value::Int(i)]))
+                .unwrap(),
+        );
+    }
+
+    // Variable i ranges over candidate antecedents {0..i} (self = last).
+    let mut domains = Vec::new();
+    let mut g = FactorGraph::new();
+    for i in 0..n {
+        let candidates: Vec<Value> = (0..=i as i64).map(Value::Int).collect();
+        let weights: Vec<f64> = (0..=i).map(|j| affinity(i, j)).collect();
+        g.add_factor(Box::new(TableFactor::new(
+            vec![VariableId(i as u32)],
+            vec![candidates.len()],
+            weights,
+            format!("antecedent{i}"),
+        )));
+        domains.push(Domain::new(candidates));
+    }
+    let mut world = World::new(domains);
+    for i in 0..n {
+        let v = VariableId(i as u32);
+        let self_idx = world.domain(v).len() - 1;
+        world.set(v, self_idx); // dst = src: everyone starts a singleton
+    }
+
+    let binding = FieldBinding::new(&db, "LINK", "dst", rows).unwrap();
+    // Mention 0 has a singleton domain; proposing on it is a wasted move.
+    let movable: Vec<VariableId> = (1..n as u32).map(VariableId).collect();
+    ProbabilisticDB::new(
+        db,
+        g,
+        Box::new(UniformRelabel::new(movable)),
+        world,
+        binding,
+        seed,
+    )
+    .unwrap()
+}
+
+fn main() {
+    let n = MENTIONS.len();
+    println!("{n} mentions, antecedent-link coref model:");
+    for (i, (s, ..)) in MENTIONS.iter().enumerate() {
+        print!("  [{i}] {s}");
+    }
+    println!("\n\nchain query: {CHAIN_SQL}\n");
+
+    // 1. One-shot over the initial all-singleton world: the closure is just
+    //    the self-links.
+    let pdb = build_pdb(17);
+    let initial = pdb.query(CHAIN_SQL).expect("valid query");
+    println!(
+        "initial world (all singletons): closure has {} pairs",
+        initial.rows.distinct_len()
+    );
+
+    // 2. Algorithm 1 over the recursive view: the circuit backend maintains
+    //    the closure from MCMC deltas, and marginal counts over samples give
+    //    P(a anaphoric-to b).
+    let mut pdb = build_pdb(17);
+    let mut eval = QueryEvaluator::materialized_sql(CHAIN_SQL, &pdb, 40).expect("valid query");
+    eval.run(&mut pdb, 500).expect("sampling");
+    let mut pairs: Vec<(i64, i64, f64)> = eval
+        .marginals()
+        .probabilities()
+        .into_iter()
+        .filter_map(|(t, p)| match (t.get(0), t.get(1)) {
+            (Value::Int(a), Value::Int(b)) if a != b => Some((*a, *b, p)),
+            _ => None,
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.2.total_cmp(&x.2));
+    println!("\ntop anaphora links after 500 samples, P(a ~> b):");
+    for (a, b, p) in pairs.iter().take(10) {
+        println!(
+            "  {p:5.3}  [{a}] {:<14} ~> [{b}] {}",
+            MENTIONS[*a as usize].0, MENTIONS[*b as usize].0
+        );
+    }
+
+    // 3. The same view driven by hand, to show what the evaluator hides:
+    //    recursive plans always compile to the circuit backend, and the
+    //    maintained result stays equal to a from-scratch execution.
+    let mut pdb = build_pdb(91);
+    let plan = compile_query(CHAIN_SQL, pdb.database()).expect("compiles");
+    let mut view = MaterializedView::new(&plan, pdb.database()).expect("circuit compiles");
+    assert_eq!(view.backend(), ViewBackend::Circuit);
+    for _ in 0..200 {
+        let deltas = pdb.step(40).expect("sampling");
+        view.apply_delta(&deltas);
+    }
+    assert!(view.error().is_none());
+    let fresh = execute(&plan, pdb.database()).expect("re-exec").0;
+    assert_eq!(view.result().sorted_entries(), fresh.rows.sorted_entries());
+    let stats = view.circuit_stats().expect("circuit backend");
+    println!(
+        "\ncircuit after 200 intervals: {} deltas, {} delta rows, \
+         {} fixpoint iterations ({} full recomputes), view ≡ re-exec ✓",
+        stats.deltas_applied,
+        stats.delta_rows_processed,
+        stats.fixpoint_iterations,
+        stats.fixpoint_recomputes
+    );
+}

@@ -93,8 +93,9 @@ pub mod prelude {
     pub use fgdb_relational::parser::paper_sql;
     pub use fgdb_relational::{
         compile_query, execute, execute_simple, optimize, parse, parse_plan, AggExpr, AggFunc,
-        CountedSet, Database, DeltaSet, Expr, MaterializedView, ParseError, Plan, PlannerReport,
-        QueryError, QueryResult, Schema, SqlQuery, Tuple, Value, ValueType,
+        CircuitError, CircuitStats, CountedSet, Database, DeltaSet, Expr, MaterializedView,
+        ParseError, Plan, PlannerReport, QueryError, QueryResult, Schema, SqlQuery, Tuple, Value,
+        ValueType, ViewBackend, ZSet,
     };
     pub use fgdb_serve::{Client, Server};
 }
